@@ -1,0 +1,289 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Sec 6), plus bechamel micro-benchmarks of the kernels.
+
+   Usage:
+     main.exe                      run everything
+     main.exe table1 fig12a ...    run selected experiments
+     main.exe micro                bechamel micro-benchmarks only
+     main.exe --scale 0.25 ...     shrink datasets (quick mode)
+     main.exe --seed 7 ...         change the deterministic seed *)
+
+let ppf = Format.std_formatter
+
+let section title =
+  Format.fprintf ppf "@.=== %s ===@." title
+
+(* when --csv DIR is given, each experiment also writes DIR/<name>.csv *)
+let csv_dir : string option ref = ref None
+
+let write_csv name contents =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Format.fprintf ppf "(csv written to %s)@." path
+
+(* ------------------------------------------------------------------ *)
+(* Macro experiments: one entry per paper artifact. *)
+
+let run_fig1 opts () =
+  section "Fig 1 (headline)";
+  let r = Experiments.Fig1.run ~opts () in
+  Experiments.Fig1.print ppf r;
+  write_csv "fig1" (Experiments.Fig1.csv r)
+
+let run_table1 opts () =
+  section "Table 1";
+  let rows = Experiments.Table1.run ~opts () in
+  Experiments.Table1.print ppf rows;
+  write_csv "table1" (Experiments.Table1.csv rows)
+
+let run_table2 opts () =
+  section "Table 2";
+  let rows = Experiments.Table2.run ~opts () in
+  Experiments.Table2.print ppf rows;
+  write_csv "table2" (Experiments.Table2.csv rows)
+
+let run_fig12a opts () =
+  section "Fig 12(a)";
+  let rows = Experiments.Fig12a.run ~opts () in
+  Experiments.Fig12a.print ppf rows;
+  write_csv "fig12a" (Experiments.Fig12a.csv rows)
+
+let run_fig12b opts () =
+  section "Fig 12(b)";
+  let rows = Experiments.Fig12b.run ~opts () in
+  Experiments.Fig12b.print ppf rows;
+  write_csv "fig12b" (Experiments.Fig12b.csv rows)
+
+let run_fig12c opts () =
+  section "Fig 12(c)";
+  let rows = Experiments.Fig12c.run ~opts () in
+  Experiments.Fig12c.print ppf rows;
+  write_csv "fig12c" (Experiments.Fig12b.csv rows)
+
+let run_fig12d opts () =
+  section "Fig 12(d)";
+  let rows = Experiments.Fig12d.run ~opts () in
+  Experiments.Fig12d.print ppf rows;
+  write_csv "fig12d" (Experiments.Fig12d.csv rows)
+
+let run_fig12e opts () =
+  section "Fig 12(e)";
+  let rows = Experiments.Fig12ef.run ~opts ~deletions:false () in
+  Experiments.Fig12ef.print ppf ~deletions:false rows;
+  write_csv "fig12e" (Experiments.Fig12ef.csv rows)
+
+let run_fig12f opts () =
+  section "Fig 12(f)";
+  let rows = Experiments.Fig12ef.run ~opts ~deletions:true () in
+  Experiments.Fig12ef.print ppf ~deletions:true rows;
+  write_csv "fig12f" (Experiments.Fig12ef.csv rows)
+
+let run_fig12g opts () =
+  section "Fig 12(g)";
+  let rows = Experiments.Fig12g.run ~opts () in
+  Experiments.Fig12g.print ppf rows;
+  write_csv "fig12g" (Experiments.Fig12g.csv rows)
+
+let run_fig12h opts () =
+  section "Fig 12(h)";
+  let rows = Experiments.Fig12h.run ~opts () in
+  Experiments.Fig12h.print ppf rows;
+  write_csv "fig12h" (Experiments.Fig12h.csv rows)
+
+let run_fig12i opts () =
+  section "Fig 12(i)";
+  let rows = Experiments.Fig12ik.run ~opts ~pattern:false () in
+  Experiments.Fig12ik.print ppf ~pattern:false rows;
+  write_csv "fig12i" (Experiments.Fig12ik.csv rows)
+
+let run_fig12j opts () =
+  section "Fig 12(j)";
+  let rows = Experiments.Fig12jl.run ~opts ~pattern:false () in
+  Experiments.Fig12jl.print ppf ~pattern:false rows;
+  write_csv "fig12j" (Experiments.Fig12jl.csv rows)
+
+let run_fig12k opts () =
+  section "Fig 12(k)";
+  let rows = Experiments.Fig12ik.run ~opts ~pattern:true () in
+  Experiments.Fig12ik.print ppf ~pattern:true rows;
+  write_csv "fig12k" (Experiments.Fig12ik.csv rows)
+
+let run_fig12l opts () =
+  section "Fig 12(l)";
+  let rows = Experiments.Fig12jl.run ~opts ~pattern:true () in
+  Experiments.Fig12jl.print ppf ~pattern:true rows;
+  write_csv "fig12l" (Experiments.Fig12jl.csv rows)
+
+let run_lifetime opts () =
+  section "Lifetime (deployment simulation)";
+  let rows = Experiments.Lifetime.run ~opts () in
+  Experiments.Lifetime.print ppf rows;
+  write_csv "lifetime" (Experiments.Lifetime.csv rows)
+
+let run_indexes opts () =
+  section "Index comparison (G vs Gr)";
+  let rows = Experiments.Indexes.run ~opts () in
+  Experiments.Indexes.print ppf rows;
+  write_csv "indexes" (Experiments.Indexes.csv rows)
+
+let run_ablation opts () =
+  section "Ablations";
+  let rows = Experiments.Ablation.run ~opts () in
+  Experiments.Ablation.print ppf rows;
+  write_csv "ablation" (Experiments.Ablation.csv rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel, on
+   small fixed inputs so individual runs stay fast. *)
+
+let micro_tests opts =
+  let open Bechamel in
+  let scale = 0.35 *. opts.Experiments.scale in
+  let mini = { opts with Experiments.scale } in
+  let gen name =
+    let spec = Datasets.find name in
+    Datasets.generate_scaled ~seed:mini.Experiments.seed spec
+      ~nodes:(int_of_float (float_of_int spec.Datasets.nodes *. scale))
+      ~edges:(int_of_float (float_of_int spec.Datasets.edges *. scale))
+  in
+  let p2p = gen "P2P" in
+  let citation = gen "Citation" in
+  let cit_compressed = Compress_bisim.compress citation in
+  let p2p_compressed = Compress_reach.compress p2p in
+  let rng = Random.State.make [| mini.Experiments.seed |] in
+  let pairs = Reach_query.random_pairs rng p2p ~count:16 in
+  let pattern = Pattern_gen.anchored rng citation ~nodes:4 ~edges:4 ~max_bound:3 in
+  let ins_batch = Update_gen.insertions rng p2p ~count:50 in
+  let mixed_batch = Update_gen.mixed rng citation ~count:50 ~insert_frac:0.5 in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "table1/compressR(P2P)" (fun () -> Compress_reach.compress p2p);
+    t "table1/aho(P2P)" (fun () -> Transitive.aho_reduction p2p);
+    t "table2/compressB(Citation)" (fun () -> Compress_bisim.compress citation);
+    t "fig12a/bfs-on-G" (fun () ->
+        Array.iter
+          (fun (u, v) ->
+            ignore (Reach_query.eval Reach_query.Bfs p2p ~source:u ~target:v))
+          pairs);
+    t "fig12a/bfs-on-Gr" (fun () ->
+        Array.iter
+          (fun (u, v) ->
+            ignore (Compress_reach.answer p2p_compressed ~source:u ~target:v))
+          pairs);
+    t "fig12b/match-on-G" (fun () -> Bounded_sim.eval pattern citation);
+    t "fig12b/match-on-Gr" (fun () ->
+        Compress_bisim.answer pattern cit_compressed);
+    t "fig12d/2hop-on-Gr" (fun () ->
+        Two_hop.build (Compressed.graph p2p_compressed));
+    t "fig12ef/incRCM-batch" (fun () ->
+        let inc = Inc_reach.of_compressed p2p p2p_compressed in
+        Inc_reach.apply inc ins_batch);
+    t "fig12g/incPCM-batch" (fun () ->
+        let inc = Inc_bisim.of_compressed citation cit_compressed in
+        Inc_bisim.apply inc mixed_batch);
+    t "fig12h/incBMatch-batch" (fun () ->
+        let im = Inc_match.create pattern citation in
+        Inc_match.apply im mixed_batch);
+    t "fig12ik/densification-step" (fun () ->
+        let rng = Random.State.make [| 5 |] in
+        let g = Generators.erdos_renyi rng ~n:1000 ~m:1500 in
+        Compress_reach.compress g);
+  ]
+
+let run_micro opts () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let tests = micro_tests opts in
+  let grouped = Test.make_grouped ~name:"qpgc" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.fprintf ppf "%-34s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, est) ->
+      let ns = Analyze.OLS.estimates est in
+      let value = match ns with Some [ v ] -> v | _ -> nan in
+      let pretty =
+        if value > 1e9 then Printf.sprintf "%8.3f  s" (value /. 1e9)
+        else if value > 1e6 then Printf.sprintf "%8.3f ms" (value /. 1e6)
+        else if value > 1e3 then Printf.sprintf "%8.3f us" (value /. 1e3)
+        else Printf.sprintf "%8.1f ns" value
+      in
+      Format.fprintf ppf "%-34s %14s@." name pretty)
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", run_fig1);
+    ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig12a", run_fig12a);
+    ("fig12b", run_fig12b);
+    ("fig12c", run_fig12c);
+    ("fig12d", run_fig12d);
+    ("fig12e", run_fig12e);
+    ("fig12f", run_fig12f);
+    ("fig12g", run_fig12g);
+    ("fig12h", run_fig12h);
+    ("fig12i", run_fig12i);
+    ("fig12j", run_fig12j);
+    ("fig12k", run_fig12k);
+    ("fig12l", run_fig12l);
+    ("lifetime", run_lifetime);
+    ("indexes", run_indexes);
+    ("ablation", run_ablation);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let scale = ref 1.0 and seed = ref 42 in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        csv_dir := Some dir;
+        parse rest
+    | name :: rest ->
+        if List.mem_assoc name experiments then selected := name :: !selected
+        else begin
+          Printf.eprintf
+            "unknown experiment %S; available: %s, or no argument for all\n"
+            name
+            (String.concat ", " (List.map fst experiments));
+          exit 2
+        end;
+        parse rest
+  in
+  parse args;
+  let opts = { Experiments.seed = !seed; scale = !scale } in
+  let to_run =
+    match List.rev !selected with
+    | [] -> List.map fst experiments
+    | picked -> picked
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) opts ()) to_run;
+  Format.fprintf ppf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

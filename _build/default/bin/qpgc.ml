@@ -1,0 +1,462 @@
+(* qpgc — query preserving graph compression, command line front end.
+
+   Subcommands:
+     generate   materialise a synthetic dataset into a graph file
+     stats      structural statistics and compression ratios of a graph
+     compress   write the compressed graph (+ node map / full compression)
+     query      answer a reachability query via the compression
+     cquery     answer from a saved compression, no original graph needed
+     match      evaluate a pattern query via the compression
+     rpq        evaluate a regular path query via the compression
+     workload   run a query workload over G and Gr, verify and time
+     dot        Graphviz export, optionally clustered by hypernode
+     datasets   list the built-in dataset stand-ins *)
+
+open Cmdliner
+
+let read_graph path =
+  try fst (Graph_io.load path) with
+  | Graph_io.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: %s\n" path line msg;
+      exit 1
+  | Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* generate *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dataset"; "d" ] ~docv:"NAME"
+          ~doc:"Dataset stand-in to generate (see $(b,qpgc datasets)).")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Override the node count.")
+  in
+  let edges =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "edges"; "m" ] ~docv:"M" ~doc:"Override the edge count.")
+  in
+  let seed =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output graph file.")
+  in
+  let run dataset nodes edges seed output =
+    match Datasets.find dataset with
+    | exception Not_found ->
+        Printf.eprintf "unknown dataset %S; try `qpgc datasets'\n" dataset;
+        exit 1
+    | spec ->
+        let nodes = Option.value nodes ~default:spec.Datasets.nodes in
+        let edges = Option.value edges ~default:spec.Datasets.edges in
+        let g = Datasets.generate_scaled ~seed spec ~nodes ~edges in
+        Graph_io.save output g;
+        Printf.printf "wrote %s: |V| = %d, |E| = %d, |L| = %d\n" output
+          (Digraph.n g) (Digraph.m g) (Digraph.label_count g)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Materialise a synthetic dataset stand-in.")
+    Term.(const run $ dataset $ nodes $ edges $ seed $ output)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let graph_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"GRAPH" ~doc:"Graph file (see README for the format).")
+
+let stats_cmd =
+  let run path =
+    let g = read_graph path in
+    Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
+    let rc = Compress_reach.compress g in
+    Printf.printf "reach Gr    : |Vr| = %d, |Er| = %d  (RCr = %.2f%%)\n"
+      (Digraph.n (Compressed.graph rc))
+      (Digraph.m (Compressed.graph rc))
+      (100. *. Compressed.ratio rc ~original:g);
+    let pc = Compress_bisim.compress g in
+    Printf.printf "pattern Gr  : |Vr| = %d, |Er| = %d  (PCr = %.2f%%)\n"
+      (Digraph.n (Compressed.graph pc))
+      (Digraph.m (Compressed.graph pc))
+      (100. *. Compressed.ratio pc ~original:g)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Structural statistics and compression ratios.")
+    Term.(const run $ graph_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compress *)
+
+let mode_arg =
+  let mode = Arg.enum [ ("reach", `Reach); ("pattern", `Pattern) ] in
+  Arg.(
+    value
+    & opt mode `Reach
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Compression scheme: $(b,reach) or $(b,pattern).")
+
+let compress_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Compressed graph file.")
+  in
+  let map_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "map" ] ~docv:"FILE"
+          ~doc:"Also write the node map: one line per node, `node hypernode'.")
+  in
+  let save_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Write the full compression (Gr + node map) in one file, \
+             loadable by $(b,qpgc cquery).")
+  in
+  let run path mode output map_file save_file =
+    let g = read_graph path in
+    let t0 = Unix.gettimeofday () in
+    let c =
+      match mode with
+      | `Reach -> Compress_reach.compress g
+      | `Pattern -> Compress_bisim.compress g
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Graph_io.save output (Compressed.graph c);
+    (match save_file with
+    | None -> ()
+    | Some sf -> Compressed_io.save sf c);
+    (match map_file with
+    | None -> ()
+    | Some mf ->
+        let oc = open_out mf in
+        for v = 0 to Digraph.n g - 1 do
+          Printf.fprintf oc "%d %d\n" v (Compressed.hypernode c v)
+        done;
+        close_out oc);
+    Printf.printf "compressed in %.3fs: |V| = %d -> |Vr| = %d, ratio = %.2f%%\n"
+      dt (Digraph.n g)
+      (Digraph.n (Compressed.graph c))
+      (100. *. Compressed.ratio c ~original:g)
+  in
+  Cmd.v
+    (Cmd.info "compress" ~doc:"Compress a graph, preserving a query class.")
+    Term.(const run $ graph_arg $ mode_arg $ output $ map_file $ save_file)
+
+(* ------------------------------------------------------------------ *)
+(* query *)
+
+let query_cmd =
+  let source =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"SOURCE" ~doc:"Source node.")
+  in
+  let target =
+    Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
+  in
+  let run path source target =
+    let g = read_graph path in
+    let n = Digraph.n g in
+    if source < 0 || source >= n || target < 0 || target >= n then begin
+      Printf.eprintf "nodes must be in [0, %d)\n" n;
+      exit 1
+    end;
+    let c = Compress_reach.compress g in
+    let s, t = Compress_reach.rewrite c ~source ~target in
+    let answer = Compress_reach.answer c ~source ~target in
+    Printf.printf "QR(%d, %d) = %b   (rewritten to QR(%d, %d) on Gr with %d hypernodes)\n"
+      source target answer s t
+      (Digraph.n (Compressed.graph c));
+    let direct = Reach_query.eval Reach_query.Bfs g ~source ~target in
+    assert (direct = answer)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
+    Term.(const run $ graph_arg $ source $ target)
+
+(* ------------------------------------------------------------------ *)
+(* match *)
+
+let match_cmd =
+  let pattern_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern query file.")
+  in
+  let run path pattern_file =
+    let g = read_graph path in
+    let p =
+      try Pattern_io.load pattern_file
+      with Pattern_io.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" pattern_file line msg;
+        exit 1
+    in
+    let c = Compress_bisim.compress g in
+    match Compress_bisim.answer p c with
+    | None -> print_endline "no match"
+    | Some m ->
+        Array.iteri
+          (fun u matches ->
+            Printf.printf "pattern node %d: %s\n" u
+              (String.concat ", "
+                 (List.map string_of_int (Array.to_list matches))))
+          m
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Evaluate a pattern query on the compressed graph.")
+    Term.(const run $ graph_arg $ pattern_file)
+
+(* ------------------------------------------------------------------ *)
+(* cquery: query a saved compression without the original graph *)
+
+let cquery_cmd =
+  let comp_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"COMPRESSED"
+          ~doc:"Compressed graph file written by $(b,qpgc compress --save).")
+  in
+  let source =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"SOURCE" ~doc:"Source node (original id).")
+  in
+  let target =
+    Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node (original id).")
+  in
+  let run path source target =
+    let c =
+      try Compressed_io.load path
+      with Compressed_io.Parse_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s
+" path line msg;
+        exit 1
+    in
+    let n = Compressed.original_n c in
+    if source < 0 || source >= n || target < 0 || target >= n then begin
+      Printf.eprintf "nodes must be in [0, %d)
+" n;
+      exit 1
+    end;
+    Printf.printf "QR(%d, %d) = %b   (answered on Gr alone: %d hypernodes)
+"
+      source target
+      (Compress_reach.answer c ~source ~target)
+      (Digraph.n (Compressed.graph c))
+  in
+  Cmd.v
+    (Cmd.info "cquery"
+       ~doc:
+         "Answer a reachability query from a saved compression, without the           original graph.")
+    Term.(const run $ comp_file $ source $ target)
+
+(* ------------------------------------------------------------------ *)
+(* rpq *)
+
+let rpq_cmd =
+  let regex =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"REGEX"
+          ~doc:
+            "Regular path query over node labels: atoms $(b,l<id>) and \
+             $(b,.), postfix $(b,*)/$(b,+)/$(b,?), infix $(b,|), parentheses.")
+  in
+  let run path regex =
+    let g = read_graph path in
+    let r =
+      try Rpq.parse regex
+      with Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+    in
+    let c = Compress_bisim.compress g in
+    let nodes = Compress_bisim.answer_rpq r c in
+    Printf.printf
+      "%d node(s) with an outgoing path matching %s (answered on Gr with %d hypernodes):\n"
+      (Array.length nodes) regex
+      (Digraph.n (Compressed.graph c));
+    Array.iter (fun v -> Printf.printf "%d " v) nodes;
+    print_newline ()
+  in
+  Cmd.v
+    (Cmd.info "rpq"
+       ~doc:
+         "Evaluate a regular path query on the compressed graph (the \
+          paper's Sec 7 extension).")
+    Term.(const run $ graph_arg $ regex)
+
+(* ------------------------------------------------------------------ *)
+(* dot: Graphviz export, optionally clustered by the compression *)
+
+let dot_cmd =
+  let cluster_mode =
+    let mode =
+      Arg.enum [ ("none", `None); ("reach", `Reach); ("pattern", `Pattern) ]
+    in
+    Arg.(
+      value
+      & opt mode `None
+      & info [ "cluster" ] ~docv:"MODE"
+          ~doc:
+            "Group nodes into Graphviz clusters by their hypernode under              the $(b,reach) or $(b,pattern) compression.")
+  in
+  let run path cluster_mode =
+    let g = read_graph path in
+    let cluster =
+      match cluster_mode with
+      | `None -> None
+      | `Reach ->
+          let c = Compress_reach.compress g in
+          Some (Array.init (Digraph.n g) (Compressed.hypernode c))
+      | `Pattern ->
+          let c = Compress_bisim.compress g in
+          Some (Array.init (Digraph.n g) (Compressed.hypernode c))
+    in
+    print_string (Graph_io.to_dot ?cluster g)
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Render the graph as Graphviz DOT, optionally clustered by           hypernode.")
+    Term.(const run $ graph_arg $ cluster_mode)
+
+(* ------------------------------------------------------------------ *)
+(* workload: run a query workload file over G and over Gr, verify, time *)
+
+let workload_cmd =
+  let workload_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "queries"; "q" ] ~docv:"FILE"
+          ~doc:
+            "Workload file: one query per line — $(b,r <u> <v>) for              reachability, $(b,p <pattern-file>) for a pattern query,              $(b,x <regex>) for a regular path query.")
+  in
+  let run path workload_file =
+    let g = read_graph path in
+    let lines =
+      In_channel.with_open_text workload_file In_channel.input_lines
+      |> List.mapi (fun i l -> (i + 1, String.trim l))
+      |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+    in
+    let t0 = Unix.gettimeofday () in
+    let rc = lazy (Compress_reach.compress g) in
+    let pc = lazy (Compress_bisim.compress g) in
+    let time f =
+      let t = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t)
+    in
+    let g_time = ref 0.0 and gr_time = ref 0.0 in
+    let count = ref 0 and mismatches = ref 0 in
+    List.iter
+      (fun (lineno, line) ->
+        let parts =
+          String.split_on_char ' ' line |> List.filter (fun p -> p <> "")
+        in
+        let record equal dg dgr =
+          incr count;
+          g_time := !g_time +. dg;
+          gr_time := !gr_time +. dgr;
+          if not equal then begin
+            incr mismatches;
+            Printf.eprintf "%s:%d: MISMATCH
+" workload_file lineno
+          end
+        in
+        match parts with
+        | [ "r"; u; v ] ->
+            let u = int_of_string u and v = int_of_string v in
+            let a, dg =
+              time (fun () -> Reach_query.eval Reach_query.Bfs g ~source:u ~target:v)
+            in
+            let b, dgr =
+              time (fun () ->
+                  Compress_reach.answer (Lazy.force rc) ~source:u ~target:v)
+            in
+            record (a = b) dg dgr
+        | [ "p"; file ] ->
+            let p = Pattern_io.load file in
+            let a, dg = time (fun () -> Bounded_sim.eval p g) in
+            let b, dgr =
+              time (fun () -> Compress_bisim.answer p (Lazy.force pc))
+            in
+            record (Pattern.result_equal a b) dg dgr
+        | [ "x"; regex ] ->
+            let r = Rpq.parse regex in
+            let a, dg = time (fun () -> Bitset.to_list (Rpq.matches r g)) in
+            let b, dgr =
+              time (fun () ->
+                  Array.to_list (Compress_bisim.answer_rpq r (Lazy.force pc)))
+            in
+            record (a = b) dg dgr
+        | _ ->
+            Printf.eprintf "%s:%d: unrecognised query %S
+" workload_file
+              lineno line;
+            exit 1)
+      lines;
+    Printf.printf
+      "%d queries: %.3fs on G, %.3fs via compression (%.3fs total with the \
+       one-time compression), %d mismatches\n"
+      !count !g_time !gr_time
+      (Unix.gettimeofday () -. t0)
+      !mismatches;
+    if !mismatches > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run a query workload over a graph and its compression, verifying agreement.")
+    Term.(const run $ graph_arg $ workload_file)
+
+(* ------------------------------------------------------------------ *)
+(* datasets *)
+
+let datasets_cmd =
+  let run () =
+    Printf.printf "%-12s %10s %10s %6s   %s\n" "name" "|V|" "|E|" "|L|"
+      "models";
+    List.iter
+      (fun s ->
+        Printf.printf "%-12s %10d %10d %6d   %d / %d (paper)\n"
+          s.Datasets.name s.Datasets.nodes s.Datasets.edges s.Datasets.labels
+          s.Datasets.paper_nodes s.Datasets.paper_edges)
+      (Datasets.reach_datasets @ Datasets.pattern_datasets)
+  in
+  Cmd.v
+    (Cmd.info "datasets" ~doc:"List the built-in dataset stand-ins.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "query preserving graph compression (Fan et al., SIGMOD 2012)" in
+  let info = Cmd.info "qpgc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; stats_cmd; compress_cmd; query_cmd; cquery_cmd;
+            match_cmd; rpq_cmd; workload_cmd; dot_cmd; datasets_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/distributed_compression.ml: Array Compress_reach Compressed Datasets Digraph Dist_reach Fragmentation Printf Random Reach_query Traversal

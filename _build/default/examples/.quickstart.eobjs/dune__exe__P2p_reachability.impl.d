@@ -1,0 +1,1 @@
+examples/p2p_reachability.ml: Array Compress_reach Compressed Datasets Digraph Printf Random Reach_query Two_hop Unix

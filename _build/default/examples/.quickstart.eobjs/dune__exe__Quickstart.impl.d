@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bounded_sim Compress_bisim Compress_reach Compressed Digraph Edge_update Inc_reach List Pattern Printf String

@@ -1,0 +1,1 @@
+examples/recommendation.ml: Array Bisimulation Bounded_sim Compress_bisim Compress_reach Compressed Digraph List Pattern Printf Reach_equiv String

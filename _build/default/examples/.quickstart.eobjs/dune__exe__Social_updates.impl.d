@@ -1,0 +1,1 @@
+examples/social_updates.ml: Array Bounded_sim Compress_bisim Compress_reach Compressed Datasets Digraph Inc_bisim Inc_reach List Pattern Pattern_gen Printf Random Reach_query Unix Update_gen

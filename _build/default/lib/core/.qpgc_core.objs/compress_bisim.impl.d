@@ -1,0 +1,1 @@
+lib/core/compress_bisim.ml: Array Bisimulation Bitset Bounded_sim Compressed Digraph Hashtbl Partition Regular_pattern Rpq

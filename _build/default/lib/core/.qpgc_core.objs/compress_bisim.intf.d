@@ -1,0 +1,1 @@
+lib/core/compress_bisim.mli: Bounded_sim Compressed Digraph Pattern Regular_pattern Rpq

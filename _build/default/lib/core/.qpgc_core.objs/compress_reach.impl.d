@@ -1,0 +1,1 @@
+lib/core/compress_reach.ml: Array Bitset Compressed Digraph Hashtbl List Queue Reach_equiv Reach_query Transitive

@@ -1,0 +1,1 @@
+lib/core/compress_reach.mli: Compressed Digraph Reach_equiv Reach_query

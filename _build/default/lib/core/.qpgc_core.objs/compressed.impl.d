@@ -1,0 +1,1 @@
+lib/core/compressed.ml: Array Digraph Format List Printf

@@ -1,0 +1,1 @@
+lib/core/compressed.mli: Digraph Format Pattern

@@ -1,0 +1,1 @@
+lib/core/compressed_io.ml: Array Buffer Compressed Digraph Format Fun In_channel List Printf String

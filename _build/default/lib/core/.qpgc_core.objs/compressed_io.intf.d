@@ -1,0 +1,1 @@
+lib/core/compressed_io.mli: Compressed

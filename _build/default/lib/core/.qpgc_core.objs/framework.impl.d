@@ -1,0 +1,1 @@
+lib/core/framework.ml: Array Bitset Bounded_sim Compress_bisim Compress_reach Compressed Digraph Pattern Reach_query Rpq

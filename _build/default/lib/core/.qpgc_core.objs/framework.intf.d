@@ -1,0 +1,1 @@
+lib/core/framework.mli: Compressed Digraph Pattern Rpq

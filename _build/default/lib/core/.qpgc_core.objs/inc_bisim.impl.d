@@ -1,0 +1,1 @@
+lib/core/inc_bisim.ml: Array Bitset Compress_bisim Compressed Digraph Edge_update Hashtbl List Paige_tarjan Region

@@ -1,0 +1,1 @@
+lib/core/inc_bisim.mli: Compressed Digraph Edge_update

@@ -1,0 +1,1 @@
+lib/core/inc_reach.ml: Array Bitset Compress_reach Compressed Digraph Edge_update List Reach_equiv Region Traversal

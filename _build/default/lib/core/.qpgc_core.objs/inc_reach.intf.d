@@ -1,0 +1,1 @@
+lib/core/inc_reach.mli: Compressed Digraph Edge_update

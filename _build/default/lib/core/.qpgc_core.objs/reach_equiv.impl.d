@@ -1,0 +1,1 @@
+lib/core/reach_equiv.ml: Array Bitset Digraph Hashtbl List Scc Transitive

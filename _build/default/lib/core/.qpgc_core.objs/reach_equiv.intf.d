@@ -1,0 +1,1 @@
+lib/core/reach_equiv.mli: Digraph

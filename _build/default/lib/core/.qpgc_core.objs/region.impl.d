@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Bitset Compressed Digraph Hashtbl List Queue

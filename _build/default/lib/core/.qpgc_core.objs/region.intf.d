@@ -1,0 +1,1 @@
+lib/core/region.mli: Bitset Compressed Digraph Hashtbl

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Bisimulation Bitset Bounded_sim Compress_bisim Compress_reach Compressed Digraph Partition Pattern Random Reach_equiv Traversal

@@ -1,0 +1,44 @@
+let compress_of_partition g assignment =
+  let n = Digraph.n g in
+  if Array.length assignment <> n then
+    invalid_arg "Compress_bisim: assignment length mismatch";
+  if n = 0 then Compressed.v ~graph:Digraph.empty ~node_map:[||]
+  else begin
+    let assignment = Partition.normalize_assignment assignment in
+    let k = Array.fold_left (fun acc b -> max acc (b + 1)) 0 assignment in
+    let labels = Array.make k 0 in
+    Array.iteri (fun v b -> labels.(b) <- Digraph.label g v) assignment;
+    let seen = Hashtbl.create 1024 in
+    let edges = ref [] in
+    Digraph.iter_edges g (fun u v ->
+        let e = (assignment.(u), assignment.(v)) in
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          edges := e :: !edges
+        end);
+    let graph = Digraph.make ~n:k ~labels !edges in
+    Compressed.v ~graph ~node_map:assignment
+  end
+
+let compress g = compress_of_partition g (Bisimulation.max_bisimulation g)
+
+let answer ?cache p c =
+  Compressed.expand_result c
+    (Bounded_sim.eval ?cache p (Compressed.graph c))
+
+let answer_boolean ?cache p c =
+  Bounded_sim.eval_boolean ?cache p (Compressed.graph c)
+
+let answer_regular p c =
+  Compressed.expand_result c
+    (Regular_pattern.eval p (Compressed.graph c))
+
+let answer_rpq r c =
+  let on_gr = Rpq.matches r (Compressed.graph c) in
+  let out = ref [] in
+  Bitset.iter
+    (fun h -> Array.iter (fun v -> out := v :: !out) (Compressed.members c h))
+    on_gr;
+  let a = Array.of_list !out in
+  Array.sort compare a;
+  a

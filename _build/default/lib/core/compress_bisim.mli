@@ -1,0 +1,45 @@
+(** Graph pattern preserving compression (paper Sec 4, Theorem 4).
+
+    [compress] is the compression function [R]: hypernodes are the classes
+    of the maximum bisimulation [Rb]; a hypernode keeps the (shared) label
+    of its members; [( [v], [w] )] is an edge as soon as some member edge
+    crosses (algorithm [compressB], Fig 7 — no edge reduction here, unlike
+    the reachability scheme).
+
+    The query rewriting function [F] is the identity: any pattern query
+    runs on [Gr] as is.  The post-processing function [P] replaces each
+    matched hypernode by its members ({!Compressed.expand_result}), linear
+    in the answer size; Boolean pattern queries skip [P]. *)
+
+(** [compress g] computes [Gr = R(G)] in O(|E| log |V|) via Paige–Tarjan. *)
+val compress : Digraph.t -> Compressed.t
+
+(** [compress_of_partition g assignment] builds [Gr] from a given stable
+    partition (shared with the incremental layer).  The assignment must be
+    a bisimulation partition; [compress] guarantees the {e maximum} one. *)
+val compress_of_partition : Digraph.t -> int array -> Compressed.t
+
+(** [answer ?cache p c] evaluates pattern [p] on the compressed graph with
+    the stock {!Bounded_sim.eval} and expands the result through [P]:
+    equals [Bounded_sim.eval p g] on the original graph (Theorem 4).  The
+    optional cache must be built on [Compressed.graph c]. *)
+val answer : ?cache:Bounded_sim.cache -> Pattern.t -> Compressed.t -> Pattern.result
+
+(** [answer_boolean ?cache p c] decides [Qp ⊨ G] directly on [Gr]; no
+    post-processing involved. *)
+val answer_boolean : ?cache:Bounded_sim.cache -> Pattern.t -> Compressed.t -> bool
+
+(** [answer_regular p c] evaluates a regular pattern query (pattern edges
+    carrying regular expressions, the other Sec 7 direction — see
+    {!Regular_pattern}) on the compressed graph and expands the result
+    through [P]: equals [Regular_pattern.eval p g] on the original graph.
+    The witness conditions consult only label paths, which bisimulation
+    quotients preserve exactly. *)
+val answer_regular : Regular_pattern.t -> Compressed.t -> Pattern.result
+
+(** [answer_rpq r c] evaluates a regular path query (the paper's Sec 7
+    future work, see {!Rpq}) on the compressed graph and expands the
+    answer: the sorted original nodes with an outgoing path spelling a word
+    in [L(r)].  Exact, because a node's outgoing label-path language is a
+    bisimulation invariant. *)
+val answer_rpq : Rpq.t -> Compressed.t -> int array

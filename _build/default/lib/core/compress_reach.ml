@@ -1,0 +1,115 @@
+let compress_of_equiv g re =
+  let k = re.Reach_equiv.count in
+  if k = 0 then Compressed.v ~graph:Digraph.empty ~node_map:[||]
+  else begin
+    (* Class-level edges, without self-loops: between distinct classes the
+       quotient is a DAG, so the redundant-edge rule of Fig 5 is its unique
+       transitive reduction. *)
+    let seen = Hashtbl.create 1024 in
+    let edges = ref [] in
+    Digraph.iter_edges g (fun u v ->
+        let cu = re.Reach_equiv.class_of.(u)
+        and cv = re.Reach_equiv.class_of.(v) in
+        if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+          Hashtbl.replace seen (cu, cv) ();
+          edges := (cu, cv) :: !edges
+        end);
+    let quotient = Digraph.make ~n:k !edges in
+    let reduced = Transitive.reduction_dag quotient in
+    (* Self-loops mark cyclic classes: a member reaches itself by a nonempty
+       path iff its hypernode does. *)
+    let self_loops = ref [] in
+    Array.iteri
+      (fun c cyc -> if cyc then self_loops := (c, c) :: !self_loops)
+      re.Reach_equiv.cyclic;
+    let graph = Digraph.add_edges reduced !self_loops in
+    Compressed.v ~graph ~node_map:re.Reach_equiv.class_of
+  end
+
+let compress g = compress_of_equiv g (Reach_equiv.compute g)
+
+(* Fig 5 verbatim: per-node forward/backward BFS, then group nodes with
+   equal (ancestors, descendants).  Quadratic, like the paper's bound. *)
+let compress_paper g =
+  let n = Digraph.n g in
+  if n = 0 then Compressed.v ~graph:Digraph.empty ~node_map:[||]
+  else begin
+    let bfs_set start ~forward =
+      let visited = Bitset.create n in
+      let q = Queue.create () in
+      Queue.add start q;
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        let visit y =
+          if not (Bitset.mem visited y) then begin
+            Bitset.add visited y;
+            Queue.add y q
+          end
+        in
+        if forward then Digraph.iter_succ g x visit
+        else Digraph.iter_pred g x visit
+      done;
+      visited
+    in
+    (* Group by (ancestor set, descendant set): hash first, verify within
+       buckets to rule out collisions. *)
+    let buckets : (int * int, (int * Bitset.t * Bitset.t) list ref) Hashtbl.t =
+      Hashtbl.create (2 * n)
+    in
+    for v = 0 to n - 1 do
+      let desc = bfs_set v ~forward:true in
+      let anc = bfs_set v ~forward:false in
+      let key = (Bitset.hash anc, Bitset.hash desc) in
+      match Hashtbl.find_opt buckets key with
+      | Some l -> l := (v, anc, desc) :: !l
+      | None -> Hashtbl.replace buckets key (ref [ (v, anc, desc) ])
+    done;
+    let class_of = Array.make n (-1) in
+    let cyclic_acc = ref [] in
+    let count = ref 0 in
+    Hashtbl.iter
+      (fun _ l ->
+        let remaining = ref !l in
+        while !remaining <> [] do
+          match !remaining with
+          | [] -> ()
+          | (rep, ranc, rdesc) :: rest ->
+              let cls = !count in
+              incr count;
+              class_of.(rep) <- cls;
+              if Bitset.mem rdesc rep then cyclic_acc := cls :: !cyclic_acc;
+              let keep = ref [] in
+              List.iter
+                (fun ((v, anc, desc) as entry) ->
+                  if Bitset.equal anc ranc && Bitset.equal desc rdesc then
+                    class_of.(v) <- cls
+                  else keep := entry :: !keep)
+                rest;
+              remaining := !keep
+        done)
+      buckets;
+    let members_count = Array.make !count 0 in
+    Array.iter (fun c -> members_count.(c) <- members_count.(c) + 1) class_of;
+    let members = Array.init !count (fun c -> Array.make members_count.(c) 0) in
+    let fill = Array.make !count 0 in
+    for v = 0 to n - 1 do
+      let c = class_of.(v) in
+      members.(c).(fill.(c)) <- v;
+      fill.(c) <- fill.(c) + 1
+    done;
+    let cyclic = Array.make !count false in
+    List.iter (fun c -> cyclic.(c) <- true) !cyclic_acc;
+    compress_of_equiv g
+      { Reach_equiv.count = !count; class_of; members; cyclic }
+  end
+
+let rewrite c ~source ~target =
+  (Compressed.hypernode c source, Compressed.hypernode c target)
+
+let answer ?(algorithm = Reach_query.Bfs) c ~source ~target =
+  if source = target then true
+  else begin
+    let s, t = rewrite c ~source ~target in
+    Reach_query.eval_nonempty algorithm (Compressed.graph c) ~source:s
+      ~target:t
+  end

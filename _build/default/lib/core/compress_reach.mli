@@ -1,0 +1,47 @@
+(** Reachability preserving compression (paper Sec 3, Theorem 2).
+
+    [compress] is the compression function [R]: hypernodes are the classes
+    of the reachability equivalence relation [Re]; hypernode labels are a
+    fixed symbol (labels are irrelevant to reachability); edges connect
+    classes with a member edge, except edges redundant for reachability
+    (Fig 5 lines 6-8) — the class-level quotient is a DAG up to self-loops,
+    so "no redundant edges" is its unique transitive reduction.  A hypernode
+    carries a self-loop iff its class is cyclic, which preserves queries
+    between distinct nodes of one class.
+
+    The query rewriting function [F] maps [QR(v,w)] to [QR(R(v), R(w))] in
+    O(1); no post-processing is needed (Fig 3(b)). *)
+
+(** [compress g] computes [Gr = R(G)].  O(|V|·|E|/w + |Gr|²): equivalence
+    at SCC-condensation granularity with bitset ancestor/descendant sets —
+    an optimised implementation of the paper's algorithm. *)
+val compress : Digraph.t -> Compressed.t
+
+(** [compress_paper g] is algorithm [compressR] exactly as the paper states
+    it (Fig 5): a forward and a backward BFS {e per node} to collect its
+    descendant and ancestor sets, grouping nodes on those sets, then the
+    redundant-edge-free quotient.  O(|V|·(|V|+|E|)), the paper's quadratic
+    bound.  Same output as {!compress}; kept as the faithful baseline for
+    Figs 12(e)/(f) and as a test oracle. *)
+val compress_paper : Digraph.t -> Compressed.t
+
+(** [compress_of_equiv g re] builds [Gr] from an already-computed
+    equivalence relation (shared with the incremental layer). *)
+val compress_of_equiv : Digraph.t -> Reach_equiv.t -> Compressed.t
+
+(** [rewrite c ~source ~target] is [F(QR(source,target))]: the pair of
+    hypernodes to query on [Compressed.graph c]. *)
+val rewrite : Compressed.t -> source:int -> target:int -> int * int
+
+(** [answer ?algorithm c ~source ~target] evaluates the rewritten query on
+    [Gr] with a stock evaluator (default {!Reach_query.Bfs}) and returns
+    [QR(source, target)] on the original graph: reflexively [true] when
+    [source = target], otherwise nonempty-path reachability between the
+    hypernodes (handled entirely inside [Gr]; same-hypernode queries resolve
+    through the class self-loop). *)
+val answer :
+  ?algorithm:Reach_query.algorithm ->
+  Compressed.t ->
+  source:int ->
+  target:int ->
+  bool

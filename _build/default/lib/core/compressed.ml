@@ -1,0 +1,57 @@
+type t = {
+  graph : Digraph.t;
+  node_map : int array;
+  members : int array array;
+}
+
+let v ~graph ~node_map =
+  let nr = Digraph.n graph in
+  let counts = Array.make nr 0 in
+  Array.iter
+    (fun h ->
+      if h < 0 || h >= nr then
+        invalid_arg "Compressed.v: hypernode out of range";
+      counts.(h) <- counts.(h) + 1)
+    node_map;
+  Array.iteri
+    (fun h c ->
+      if c = 0 then
+        invalid_arg (Printf.sprintf "Compressed.v: hypernode %d has no member" h))
+    counts;
+  let members = Array.init nr (fun h -> Array.make counts.(h) 0) in
+  let fill = Array.make nr 0 in
+  Array.iteri
+    (fun u h ->
+      members.(h).(fill.(h)) <- u;
+      fill.(h) <- fill.(h) + 1)
+    node_map;
+  (* node ids ascend, so each members.(h) is already sorted. *)
+  { graph; node_map = Array.copy node_map; members }
+
+let graph t = t.graph
+let hypernode t u = t.node_map.(u)
+let members t h = t.members.(h)
+let original_n t = Array.length t.node_map
+let size t = Digraph.size t.graph
+
+let ratio t ~original =
+  let g = Digraph.size original in
+  if g = 0 then 1.0 else float_of_int (size t) /. float_of_int g
+
+let expand_result t = function
+  | None -> None
+  | Some per_node ->
+      Some
+        (Array.map
+           (fun hypernodes ->
+             let out =
+               Array.to_list hypernodes
+               |> List.concat_map (fun h -> Array.to_list t.members.(h))
+               |> List.sort_uniq compare
+             in
+             Array.of_list out)
+           per_node)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>compressed |Vr|=%d |Er|=%d of |V|=%d@,%a@]"
+    (Digraph.n t.graph) (Digraph.m t.graph) (original_n t) Digraph.pp t.graph

@@ -1,0 +1,96 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let to_string c =
+  let gr = Compressed.graph c in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Digraph.n gr));
+  for h = 0 to Digraph.n gr - 1 do
+    let l = Digraph.label gr h in
+    if l <> 0 then Buffer.add_string buf (Printf.sprintf "l %d %d\n" h l)
+  done;
+  Digraph.iter_edges gr (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v));
+  let original_n = Compressed.original_n c in
+  Buffer.add_string buf (Printf.sprintf "o %d\n" original_n);
+  for v = 0 to original_n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "m %d %d\n" v (Compressed.hypernode c v))
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let nr = ref (-1) in
+  let labels = ref [||] in
+  let edges = ref [] in
+  let original_n = ref (-1) in
+  let node_map = ref [||] in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let parts =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun p -> p <> "")
+      in
+      let int_of p =
+        match int_of_string_opt p with
+        | Some x -> x
+        | None -> fail lineno "expected integer, got %S" p
+      in
+      let hyper p =
+        let h = int_of p in
+        if !nr < 0 || h < 0 || h >= !nr then
+          fail lineno "hypernode %S out of range" p;
+        h
+      in
+      match parts with
+      | [] -> ()
+      | [ "n"; count ] ->
+          if !nr >= 0 then fail lineno "duplicate hypernode-count line";
+          let c = int_of count in
+          if c < 0 then fail lineno "negative hypernode count";
+          nr := c;
+          labels := Array.make c 0
+      | [ "l"; h; l ] -> !labels.(hyper h) <- int_of l
+      | [ "e"; u; v ] -> edges := (hyper u, hyper v) :: !edges
+      | [ "o"; count ] ->
+          if !original_n >= 0 then fail lineno "duplicate original-count line";
+          let c = int_of count in
+          if c < 0 then fail lineno "negative original node count";
+          original_n := c;
+          node_map := Array.make c (-1)
+      | [ "m"; v; h ] ->
+          if !original_n < 0 then fail lineno "map entry before 'o' line";
+          let v = int_of v in
+          if v < 0 || v >= !original_n then
+            fail lineno "original node %d out of range" v;
+          !node_map.(v) <- hyper h
+      | kw :: _ -> fail lineno "unknown or malformed record %S" kw)
+    (String.split_on_char '\n' s);
+  if !nr < 0 then fail 1 "missing hypernode-count line";
+  if !original_n < 0 then fail 1 "missing original-count line";
+  Array.iteri
+    (fun v h -> if h < 0 then fail 1 "node %d missing from the map" v)
+    !node_map;
+  let graph = Digraph.make ~n:!nr ~labels:!labels !edges in
+  match Compressed.v ~graph ~node_map:!node_map with
+  | c -> c
+  | exception Invalid_argument msg -> fail 1 "%s" msg
+
+let save path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,22 @@
+(** Serialisation of compressed graphs with their node-map index: compress
+    once, ship [Gr] + [R], query anywhere.
+
+    Format, extending the {!Graph_io} records:
+    {v
+    n <hypernode-count>
+    l <hypernode> <label-id>       # omitted when 0
+    e <src> <dst>
+    o <original-node-count>
+    m <original-node> <hypernode>  # the map R, one line per node
+    v} *)
+
+exception Parse_error of int * string
+
+val to_string : Compressed.t -> string
+
+(** @raise Parse_error on malformed input (including maps that do not cover
+    every original node or point at unknown hypernodes). *)
+val of_string : string -> Compressed.t
+
+val save : string -> Compressed.t -> unit
+val load : string -> Compressed.t

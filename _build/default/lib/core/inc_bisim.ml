@@ -1,0 +1,180 @@
+type stats = {
+  updates_kept : int;
+  updates_dropped : int;
+  affected_hypernodes : int;
+  affected_members : int;
+  region_size : int;
+}
+
+type t = {
+  mutable graph : Digraph.t;
+  mutable compressed : Compressed.t;
+  mutable stats : stats option;
+}
+
+let create g = { graph = g; compressed = Compress_bisim.compress g; stats = None }
+let of_compressed g c = { graph = g; compressed = c; stats = None }
+let graph t = t.graph
+let compressed t = t.compressed
+let last_stats t = t.stats
+
+let effective g updates =
+  Edge_update.normalize updates
+  |> List.filter (function
+       | Edge_update.Insert (u, v) -> not (Digraph.mem_edge g u v)
+       | Edge_update.Delete (u, v) -> Digraph.mem_edge g u v)
+
+(* minDelta (paper Sec 5.2): [(u,w)] is redundant when [u] keeps another
+   child in [w]'s hypernode — then u's child-class set cannot change because
+   of this update.  The witness edge must exist in both the old and the new
+   graph (the paper's [(u,u'') ∉ ∆G] side condition): a witness that is
+   itself inserted in this batch would let two same-class insertions excuse
+   each other while the hypernode edge they need does not exist yet, and a
+   deleted witness excuses nothing.  Checked against the adjacency of [u]
+   only. *)
+let min_delta old ~old_graph ~new_graph updates =
+  let hyper = Compressed.hypernode old in
+  List.partition
+    (fun upd ->
+      let u, w = Edge_update.edge upd in
+      let cw = hyper w in
+      let witness = ref false in
+      Digraph.iter_succ new_graph u (fun x ->
+          if
+            (not !witness) && x <> w && hyper x = cw
+            && Digraph.mem_edge old_graph u x
+          then witness := true);
+      not !witness)
+    updates
+
+let empty_stats dropped =
+  {
+    updates_kept = 0;
+    updates_dropped = dropped;
+    affected_hypernodes = 0;
+    affected_members = 0;
+    region_size = 0;
+  }
+
+let apply t updates =
+  let updates = effective t.graph updates in
+  if updates = [] then begin
+    t.stats <- Some (empty_stats 0);
+    t.compressed
+  end
+  else begin
+    let old = t.compressed in
+    let old_graph = t.graph in
+    let new_graph = Edge_update.apply t.graph updates in
+    t.graph <- new_graph;
+    let kept, dropped = min_delta old ~old_graph ~new_graph updates in
+    if kept = [] then begin
+      (* Blocks are unchanged, but a dropped insertion can still contribute
+         a hypernode-level edge that batch compression would have: it cannot
+         — a witness child in the same hypernode means the class edge
+         already exists.  Gr is untouched. *)
+      t.stats <- Some (empty_stats (List.length dropped));
+      t.compressed
+    end
+    else begin
+      let gr = Compressed.graph old in
+      let k = Digraph.n gr in
+      (* All updates (kept and dropped) contribute hypernode-level edges to
+         the dependency graph used for propagation; block changes propagate
+         to parents only (Lemma 9). *)
+      let aug_edges =
+        List.filter_map
+          (fun upd ->
+            let u, v = Edge_update.edge upd in
+            let cu = Compressed.hypernode old u
+            and cv = Compressed.hypernode old v in
+            if Digraph.mem_edge gr cu cv then None else Some (cu, cv))
+          updates
+      in
+      let gr_aug = Digraph.add_edges gr aug_edges in
+      let affected = Bitset.create (max 1 k) in
+      List.iter
+        (fun upd ->
+          Bitset.add affected
+            (Compressed.hypernode old (fst (Edge_update.edge upd))))
+        kept;
+      (* Iterative SplitMerge: refine the expanded region; whenever a
+         hypernode on the boundary actually split or merged, its parents
+         (which see their children's blocks change) join the region and the
+         refinement reruns.  This keeps the region at the size of the real
+         affected area instead of the full ancestor closure. *)
+      let rec settle () =
+        let region =
+          Region.build ~new_graph ~old ~affected ~use_labels:true ()
+        in
+        let assignment =
+          Paige_tarjan.coarsest_stable_refinement region.Region.h
+            ~initial:(Digraph.labels region.Region.h)
+        in
+        (* A hypernode is unchanged iff all of its H nodes sit in one block
+           that contains nothing else. *)
+        let nh = Digraph.n region.Region.h in
+        let origin_class h =
+          match region.Region.h_origin.(h) with
+          | `Class c -> c
+          | `Member v -> Compressed.hypernode old v
+        in
+        (* group → its single class, or -2 once it mixes classes *)
+        let group_class = Hashtbl.create (2 * nh + 1) in
+        for h = 0 to nh - 1 do
+          let g = assignment.(h) in
+          let c = origin_class h in
+          match Hashtbl.find_opt group_class g with
+          | None -> Hashtbl.replace group_class g c
+          | Some c0 -> if c0 <> c then Hashtbl.replace group_class g (-2)
+        done;
+        let first_group = Array.make k (-1) in
+        let changed = Array.make k false in
+        for h = 0 to nh - 1 do
+          let g = assignment.(h) in
+          let c = origin_class h in
+          if Hashtbl.find group_class g = -2 then changed.(c) <- true;
+          if first_group.(c) = -1 then first_group.(c) <- g
+          else if first_group.(c) <> g then changed.(c) <- true
+        done;
+        (* Propagate one level: parents of hypernodes that actually split or
+           merged join the region.  The loop stops at the first level where
+           nothing new changes — the real affected frontier — rather than
+           expanding the a-priori ancestor closure, which in dense graphs is
+           almost everything. *)
+        let grew = ref false in
+        for c = 0 to k - 1 do
+          if changed.(c) then
+            Digraph.iter_pred gr_aug c (fun p ->
+                if not (Bitset.mem affected p) then begin
+                  Bitset.add affected p;
+                  grew := true
+                end)
+        done;
+        if !grew then settle () else (region, assignment)
+      in
+      let region, assignment = settle () in
+      let ch = Compress_bisim.compress_of_partition region.Region.h assignment in
+      let n = Digraph.n new_graph in
+      let node_map =
+        Array.init n (fun u ->
+            Compressed.hypernode ch (Region.h_of_node region old ~node:u))
+      in
+      let fresh = Compressed.v ~graph:(Compressed.graph ch) ~node_map in
+      t.compressed <- fresh;
+      t.stats <-
+        Some
+          {
+            updates_kept = List.length kept;
+            updates_dropped = List.length dropped;
+            affected_hypernodes = Bitset.cardinal affected;
+            affected_members = Array.length region.Region.member_to_h;
+            region_size = Digraph.n region.Region.h;
+          };
+      fresh
+    end
+  end
+
+let apply_one_by_one t updates =
+  List.iter (fun upd -> ignore (apply t [ upd ])) updates;
+  t.compressed

@@ -1,0 +1,55 @@
+(** Incremental graph pattern preserving compression — [incPCM]
+    (paper Sec 5.2) and the [IncBsim] baseline.
+
+    Maintains the bisimulation-based [Gr] under batch edge updates.  PCM is
+    unbounded even for unit updates (Theorem 8); the algorithm's work
+    depends on the affected area and [|Gr|]:
+
+    + {e minDelta}: an update [(u,w)] is redundant when [u] keeps another
+      child in [w]'s hypernode — [u]'s child-class set is unchanged (the
+      paper's insertion/deletion rules; the cancellation rule is update
+      normalization).  Redundant updates are dropped from the seed set but
+      their hypernode-level edges still steer the affected-area closure, so
+      filtering never hides a split;
+    + {e affected area}: a node's block depends on its label and its
+      children's blocks, so changes propagate to ancestors only: the
+      affected hypernodes are the backward closure of updated sources over
+      [Gr] plus the updated edges (Lemma 9's rank argument in closure
+      form);
+    + {e split & merge}: affected hypernodes are expanded ({!Region}); the
+      frozen partition is still a bisimulation of the updated graph, so
+      running Paige–Tarjan on the expanded quotient computes the exact new
+      maximum bisimulation, including cross-boundary merges (the paper's
+      [bMerge] under the Lemma 10 condition).
+
+    The result is identical to recompressing from scratch (randomized tests
+    compare the two), and only affected members' adjacency is read. *)
+
+type t
+
+type stats = {
+  updates_kept : int;
+  updates_dropped : int;
+  affected_hypernodes : int;
+  affected_members : int;
+  region_size : int;
+}
+
+(** [create g] compresses [g] and starts tracking it. *)
+val create : Digraph.t -> t
+
+(** [of_compressed g c] adopts an existing pattern-preserving compression. *)
+val of_compressed : Digraph.t -> Compressed.t -> t
+
+val graph : t -> Digraph.t
+val compressed : t -> Compressed.t
+
+(** [apply t updates] applies the batch and incrementally maintains [Gr]. *)
+val apply : t -> Edge_update.t list -> Compressed.t
+
+(** [apply_one_by_one t updates] is the [IncBsim] baseline (Fig 12(g)):
+    feeds updates through {!apply} one at a time, so no batch-level
+    reduction or region sharing happens. *)
+val apply_one_by_one : t -> Edge_update.t list -> Compressed.t
+
+val last_stats : t -> stats option

@@ -1,0 +1,169 @@
+type stats = {
+  updates_kept : int;
+  updates_dropped : int;
+  affected_hypernodes : int;
+  affected_members : int;
+  region_size : int;
+}
+
+type t = {
+  mutable graph : Digraph.t;
+  mutable compressed : Compressed.t;
+  mutable stats : stats option;
+}
+
+let create g = { graph = g; compressed = Compress_reach.compress g; stats = None }
+
+let of_compressed g c = { graph = g; compressed = c; stats = None }
+let graph t = t.graph
+let compressed t = t.compressed
+let last_stats t = t.stats
+
+(* Drop updates with no effect on the edge set of the current graph. *)
+let effective g updates =
+  Edge_update.normalize updates
+  |> List.filter (function
+       | Edge_update.Insert (u, v) -> not (Digraph.mem_edge g u v)
+       | Edge_update.Delete (u, v) -> Digraph.mem_edge g u v)
+
+(* Redundancy reduction (the paper's "reduce ∆G").  An update is redundant
+   when its endpoints stay connected in G_min — the old graph with every
+   deletion applied and no insertion — because G_min is a subgraph of both
+   the old and the new graph, so the update then cannot change the
+   reachability relation no matter what the rest of the batch does.
+
+   When the batch deletes nothing, G_min is the old graph and the test runs
+   on the current Gr (the paper's rule: [u]Re reaches [u']Re in Gr), which
+   is tiny.  Otherwise a budgeted BFS on G_min decides; running out of
+   budget conservatively keeps the update. *)
+let reduce old_compressed g_min ~has_deletion updates =
+  let keep upd =
+    let u, v = Edge_update.edge upd in
+    if not has_deletion then
+      if u = v then
+        let cu = Compressed.hypernode old_compressed u in
+        not (Digraph.mem_edge (Compressed.graph old_compressed) cu cu)
+      else not (Compress_reach.answer old_compressed ~source:u ~target:v)
+    else
+      match Traversal.budgeted_reaches g_min u v ~budget:384 with
+      | Some true -> false
+      | Some false | None -> true
+  in
+  List.partition keep updates
+
+let empty_stats dropped =
+  {
+    updates_kept = 0;
+    updates_dropped = dropped;
+    affected_hypernodes = 0;
+    affected_members = 0;
+    region_size = 0;
+  }
+
+let recompress t region new_graph =
+  let re_h = Reach_equiv.compute region.Region.h in
+  let ch = Compress_reach.compress_of_equiv region.Region.h re_h in
+  let old = t.compressed in
+  let node_map =
+    Array.init (Digraph.n new_graph) (fun u ->
+        Compressed.hypernode ch (Region.h_of_node region old ~node:u))
+  in
+  Compressed.v ~graph:(Compressed.graph ch) ~node_map
+
+let apply t updates =
+  let updates = effective t.graph updates in
+  if updates = [] then begin
+    t.stats <- Some (empty_stats 0);
+    t.compressed
+  end
+  else begin
+    let deletions =
+      List.filter_map
+        (function Edge_update.Delete (u, v) -> Some (u, v) | _ -> None)
+        updates
+    in
+    let g_min = Digraph.remove_edges t.graph deletions in
+    let insertions =
+      List.filter_map
+        (function Edge_update.Insert (u, v) -> Some (u, v) | _ -> None)
+        updates
+    in
+    let new_graph = Digraph.add_edges g_min insertions in
+    t.graph <- new_graph;
+    let kept, dropped =
+      reduce t.compressed g_min ~has_deletion:(deletions <> []) updates
+    in
+    if kept = [] then begin
+      t.stats <- Some (empty_stats (List.length dropped));
+      t.compressed
+    end
+    else begin
+      let old = t.compressed in
+      let kept_deletion =
+        List.exists
+          (function Edge_update.Delete _ -> true | _ -> false)
+          kept
+      in
+      let region, affected_count =
+        if not kept_deletion then begin
+          (* Pure surviving insertions: only endpoint nodes can split away
+             from their hypernodes; every other hypernode moves as a block.
+             The expanded quotient has |Gr| + #endpoints nodes. *)
+          let endpoints =
+            List.concat_map
+              (fun upd ->
+                let u, v = Edge_update.edge upd in
+                [ u; v ])
+              kept
+          in
+          ( Region.build_endpoints ~new_graph ~old ~endpoints,
+            List.length (List.sort_uniq compare endpoints) )
+        end
+        else begin
+          (* Deletions can split hypernodes away from the update endpoints
+             (splits propagate to ancestors), so expand the full affected
+             area: ancestors of sources and descendants of targets, at
+             hypernode level over Gr plus the inserted edges. *)
+          let gr = Compressed.graph old in
+          let aug_edges =
+            List.filter_map
+              (fun upd ->
+                match upd with
+                | Edge_update.Insert (u, v) ->
+                    let cu = Compressed.hypernode old u
+                    and cv = Compressed.hypernode old v in
+                    if cu <> cv then Some (cu, cv) else None
+                | Edge_update.Delete _ -> None)
+              kept
+          in
+          let gr_aug = Digraph.add_edges gr aug_edges in
+          let sources, targets =
+            List.fold_left
+              (fun (ss, ts) upd ->
+                let u, v = Edge_update.edge upd in
+                ( Compressed.hypernode old u :: ss,
+                  Compressed.hypernode old v :: ts ))
+              ([], []) kept
+          in
+          let affected = Region.closure gr_aug sources ~forward:false in
+          ignore
+            (Bitset.union_into ~into:affected
+               (Region.closure gr_aug targets ~forward:true));
+          ( Region.build ~new_graph ~old ~affected ~use_labels:false (),
+            Bitset.cardinal affected )
+        end
+      in
+      let fresh = recompress t region new_graph in
+      t.compressed <- fresh;
+      t.stats <-
+        Some
+          {
+            updates_kept = List.length kept;
+            updates_dropped = List.length dropped;
+            affected_hypernodes = affected_count;
+            affected_members = Array.length region.Region.member_to_h;
+            region_size = Digraph.n region.Region.h;
+          };
+      fresh
+    end
+  end

@@ -1,0 +1,55 @@
+(** Incremental reachability preserving compression — [incRCM]
+    (paper Sec 5.1).
+
+    Maintains [Gr = R(G)] under batch edge updates.  The problem is
+    unbounded even for unit updates (Theorem 6), but the algorithm's work
+    depends on the affected area and [|Gr|], never on a full recompression:
+
+    + {e reduce ∆G}: insertions between already-reachable hypernodes are
+      redundant (pure-insertion batches only, where the test against the
+      current [Gr] is sound);
+    + {e affected area}: hypernodes whose ancestor set can change are the
+      forward closure of updated targets, those whose descendant set can
+      change the backward closure of updated sources — both computed on
+      [Gr] augmented with the updated edges at hypernode level;
+    + {e split & merge}: the affected hypernodes are expanded into their
+      members ({!Region}), the reachability equivalence of that expanded
+      quotient is recomputed, and hypernodes with equal ancestor/descendant
+      signatures are (re)merged — including merges across the affected
+      boundary, which the signature grouping finds for free.
+
+    The result is {e identical} to recompressing from scratch (verified by
+    the randomized tests), without decompressing [Gr]: only the adjacency
+    of affected members is consulted, per the paper's access contract
+    ("accesses R but does not search G"). *)
+
+type t
+
+(** Counters describing the last {!apply}: the paper's [AFF] plus work
+    measures. *)
+type stats = {
+  updates_kept : int;  (** non-redundant updates after reduction *)
+  updates_dropped : int;  (** redundant updates filtered out *)
+  affected_hypernodes : int;
+  affected_members : int;
+  region_size : int;  (** [|H|], nodes of the expanded quotient *)
+}
+
+(** [create g] compresses [g] and starts tracking it. *)
+val create : Digraph.t -> t
+
+(** [of_compressed g c] adopts an existing compression of [g]. *)
+val of_compressed : Digraph.t -> Compressed.t -> t
+
+(** [graph t] is the current original graph (updates applied). *)
+val graph : t -> Digraph.t
+
+(** [compressed t] is the current [Gr]. *)
+val compressed : t -> Compressed.t
+
+(** [apply t updates] applies the batch to [G] and incrementally maintains
+    [Gr]; returns the refreshed compression. *)
+val apply : t -> Edge_update.t list -> Compressed.t
+
+(** [last_stats t] describes the most recent {!apply} ([None] before any). *)
+val last_stats : t -> stats option

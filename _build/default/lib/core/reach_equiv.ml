@@ -1,0 +1,143 @@
+type t = {
+  count : int;
+  class_of : int array;
+  members : int array array;
+  cyclic : bool array;
+}
+
+let of_scc_grouping g scc ~scc_class ~class_count =
+  (* Lift a grouping of SCCs to a grouping of nodes. *)
+  let n = Digraph.n g in
+  let class_of = Array.make n 0 in
+  for v = 0 to n - 1 do
+    class_of.(v) <- scc_class.(scc.Scc.comp.(v))
+  done;
+  let sizes = Array.make class_count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) class_of;
+  let members = Array.init class_count (fun c -> Array.make sizes.(c) 0) in
+  let fill = Array.make class_count 0 in
+  for v = 0 to n - 1 do
+    let c = class_of.(v) in
+    members.(c).(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  let cyclic = Array.make class_count false in
+  for s = 0 to scc.Scc.count - 1 do
+    if scc.Scc.nontrivial.(s) then cyclic.(scc_class.(s)) <- true
+  done;
+  { count = class_count; class_of; members; cyclic }
+
+let group_by_signature signatures =
+  (* signatures: per item a hashable key; returns (class per item, count). *)
+  let tbl = Hashtbl.create (2 * Array.length signatures + 1) in
+  let count = ref 0 in
+  let class_of =
+    Array.map
+      (fun key ->
+        match Hashtbl.find_opt tbl key with
+        | Some c -> c
+        | None ->
+            let c = !count in
+            incr count;
+            Hashtbl.replace tbl key c;
+            c)
+      signatures
+  in
+  (class_of, max 1 !count)
+
+let compute g =
+  let n = Digraph.n g in
+  if n = 0 then { count = 0; class_of = [||]; members = [||]; cyclic = [||] }
+  else begin
+    let scc = Scc.compute g in
+    let cond = Scc.condensation g scc in
+    let k = scc.Scc.count in
+    (* Descendant sets over SCC ids: ascending id is reverse topological
+       order.  A cyclic SCC contains itself. *)
+    let desc = Array.init k (fun _ -> Bitset.create k) in
+    for c = 0 to k - 1 do
+      Digraph.iter_succ cond c (fun c' ->
+          Bitset.add desc.(c) c';
+          ignore (Bitset.union_into ~into:desc.(c) desc.(c')));
+      if scc.Scc.nontrivial.(c) then Bitset.add desc.(c) c
+    done;
+    let anc = Array.init k (fun _ -> Bitset.create k) in
+    for c = k - 1 downto 0 do
+      Digraph.iter_pred cond c (fun c' ->
+          Bitset.add anc.(c) c';
+          ignore (Bitset.union_into ~into:anc.(c) anc.(c')));
+      if scc.Scc.nontrivial.(c) then Bitset.add anc.(c) c
+    done;
+    (* Group SCCs on the (ancestors, descendants) pair.  Two SCCs with equal
+       SCC-level sets have members with equal node-level sets and vice
+       versa. *)
+    let signatures =
+      Array.init k (fun c ->
+          (Bitset.hash anc.(c), Bitset.hash desc.(c), c))
+    in
+    (* Hash then verify: bucket by hash pair, split buckets by true set
+       equality to rule out collisions. *)
+    let buckets : (int * int, int list ref) Hashtbl.t = Hashtbl.create (2 * k) in
+    Array.iter
+      (fun (ha, hd, c) ->
+        match Hashtbl.find_opt buckets (ha, hd) with
+        | Some l -> l := c :: !l
+        | None -> Hashtbl.replace buckets (ha, hd) (ref [ c ]))
+      signatures;
+    let scc_class = Array.make k (-1) in
+    let count = ref 0 in
+    Hashtbl.iter
+      (fun _ l ->
+        let remaining = ref !l in
+        while !remaining <> [] do
+          match !remaining with
+          | [] -> ()
+          | rep :: rest ->
+              let cls = !count in
+              incr count;
+              scc_class.(rep) <- cls;
+              let keep = ref [] in
+              List.iter
+                (fun c ->
+                  if
+                    Bitset.equal anc.(c) anc.(rep)
+                    && Bitset.equal desc.(c) desc.(rep)
+                  then scc_class.(c) <- cls
+                  else keep := c :: !keep)
+                rest;
+              remaining := !keep
+        done)
+      buckets;
+    of_scc_grouping g scc ~scc_class ~class_count:!count
+  end
+
+let equivalent t u v = t.class_of.(u) = t.class_of.(v)
+
+let compute_naive g =
+  let n = Digraph.n g in
+  if n = 0 then { count = 0; class_of = [||]; members = [||]; cyclic = [||] }
+  else begin
+    let desc = Transitive.descendant_sets g in
+    let anc = Transitive.ancestor_sets g in
+    let keys =
+      Array.init n (fun v -> (Bitset.to_list anc.(v), Bitset.to_list desc.(v)))
+    in
+    let class_of, count = group_by_signature keys in
+    let scc = Scc.compute g in
+    (* Reuse the lifting helper by pretending every node is its own SCC is
+       not possible here (classes already node-level); build directly. *)
+    let sizes = Array.make count 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) class_of;
+    let members = Array.init count (fun c -> Array.make sizes.(c) 0) in
+    let fill = Array.make count 0 in
+    for v = 0 to n - 1 do
+      let c = class_of.(v) in
+      members.(c).(fill.(c)) <- v;
+      fill.(c) <- fill.(c) + 1
+    done;
+    let cyclic = Array.make count false in
+    for v = 0 to n - 1 do
+      if scc.Scc.nontrivial.(scc.Scc.comp.(v)) then cyclic.(class_of.(v)) <- true
+    done;
+    { count; class_of; members; cyclic }
+  end

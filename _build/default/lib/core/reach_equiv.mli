@@ -1,0 +1,36 @@
+(** The reachability equivalence relation [Re] (paper Sec 3.1).
+
+    [(u,v) ∈ Re] iff for every node [x]: [x] reaches [u] ⟺ [x] reaches [v],
+    and [u] reaches [x] ⟺ [v] reaches [x] — where "reaches" means {e by a
+    nonempty path}.  Equivalently, [u] and [v] have the same ancestor set and
+    the same descendant set.  [Re] is the unique maximum such relation and an
+    equivalence (Lemma 3).
+
+    Structure exploited by the implementation (each fact is also re-checked
+    by the property tests):
+    - all nodes of one SCC are equivalent, so a class is either exactly one
+      cyclic SCC or a set of pairwise-unreachable acyclic nodes;
+    - therefore [Re] can be computed on the condensation by grouping SCC
+      nodes with equal (ancestor, descendant) bitset pairs — O(|V|·|E|/w)
+      overall, the paper's quadratic bound with a word-parallel constant. *)
+
+type t = {
+  count : int;  (** number of equivalence classes *)
+  class_of : int array;  (** node → class id *)
+  members : int array array;  (** class id → sorted member nodes *)
+  cyclic : bool array;
+      (** [cyclic.(c)] iff the members of [c] lie on a cycle (the class is a
+          nontrivial SCC); exactly the classes whose hypernode carries a
+          self-loop in the compressed graph *)
+}
+
+(** [compute g] is the partition of [V] into [Re]-classes. *)
+val compute : Digraph.t -> t
+
+(** [equivalent t u v] whether [(u,v) ∈ Re]. *)
+val equivalent : t -> int -> int -> bool
+
+(** [compute_naive g] computes the same partition directly from the
+    per-node ancestor/descendant sets of {!Transitive} — the O(|V|²)-space
+    oracle the tests compare against. *)
+val compute_naive : Digraph.t -> t

@@ -1,0 +1,65 @@
+(** Affected-region extraction for incremental compression (paper Sec 5).
+
+    Both incremental algorithms work on the same auxiliary graph [H]: the
+    quotient of the updated graph by the partition that keeps every
+    {e unaffected} old hypernode intact and expands every {e affected}
+    hypernode into its individual members.  [H] has size
+    O(|Gr| + |AFF-members| + their adjacency) and is built without scanning
+    the full graph: only the adjacency of affected members is read.
+
+    For reachability, [H] preserves reachability exactly (unaffected classes
+    share ancestor/descendant sets, and no surviving path between unaffected
+    nodes crosses an updated edge).  For bisimulation, the frozen partition
+    is still a bisimulation on the updated graph (unaffected nodes cannot
+    reach any updated edge), so maximum bisimilarity on [H] lifts exactly.
+    Re-running the {e batch} construction on [H] and composing the node maps
+    therefore yields the same compressed graph as recompressing from
+    scratch — the property the randomized tests pin down. *)
+
+type t = {
+  h : Digraph.t;  (** the expanded-quotient graph [H] *)
+  class_to_h : int array;
+      (** old hypernode → its node in [H], or [-1] when expanded *)
+  member_to_h : (int * int) array;
+      (** pairs [(original node, H node)] for every affected member *)
+  member_h : (int, int) Hashtbl.t;
+      (** original affected node → its [H] node (same data, keyed) *)
+  h_origin : [ `Class of int | `Member of int ] array;
+      (** per [H] node: the old hypernode it froze, or the original node *)
+}
+
+(** [build ~new_graph ~old ~affected ~use_labels] expands the hypernodes
+    whose ids are set in [affected] (a bitset over old hypernode ids).
+    [use_labels] controls [H] node labels: [true] takes member/class labels
+    (bisimulation), [false] leaves all labels 0 (reachability). *)
+val build :
+  new_graph:Digraph.t ->
+  old:Compressed.t ->
+  affected:Bitset.t ->
+  use_labels:bool ->
+  unit ->
+  t
+
+(** [build_endpoints ~new_graph ~old ~endpoints] is the cheap expansion used
+    by [incRCM] when the surviving (non-redundant) updates are insertions
+    only: each endpoint node is split out as a singleton (the paper's
+    [Split({u}, [u]Re \ {u})]) and the non-endpoint remainder of its
+    hypernode stays one [H] node, as does every other hypernode.  Sound for
+    pure insertions because reachability only grows, and it grows uniformly
+    across the members of any hypernode that contains no endpoint — only
+    endpoint nodes can split away from their class.  [H] has
+    |Gr| + #endpoints nodes, independent of class sizes.
+
+    Node labels of [H] are all 0: this expansion is only meaningful for the
+    reachability scheme. *)
+val build_endpoints :
+  new_graph:Digraph.t -> old:Compressed.t -> endpoints:int list -> t
+
+(** [h_of_node t old ~node] locates an original node in [H]: its own [H]
+    node when its class was expanded, the frozen class node otherwise. *)
+val h_of_node : t -> Compressed.t -> node:int -> int
+
+(** [closure gr seeds ~forward] is the forward (or backward) closure of the
+    seed hypernodes in [gr], seeds included — the hypernode-level affected
+    area. *)
+val closure : Digraph.t -> int list -> forward:bool -> Bitset.t

@@ -1,0 +1,38 @@
+(** Executable statements of the paper's theorems — the oracles behind the
+    test suite.  Everything here is deliberately brute force and independent
+    of the production code paths it checks. *)
+
+(** [reach_preserved g c] checks Theorem 2 exhaustively: for every node pair
+    [(u,w)], [QR(u,w)] on [g] equals the rewritten query on the compressed
+    graph.  O(|V|²·|E|); use on small graphs. *)
+val reach_preserved : Digraph.t -> Compressed.t -> bool
+
+(** [reach_preserved_sampled rng g c ~samples] spot-checks the same property
+    on random pairs; for graphs where the exhaustive check is too slow. *)
+val reach_preserved_sampled :
+  Random.State.t -> Digraph.t -> Compressed.t -> samples:int -> bool
+
+(** [pattern_preserved p g c] checks Theorem 4 for one pattern: evaluating
+    on [g] directly equals evaluating on [Gr] and expanding through [P]. *)
+val pattern_preserved : Pattern.t -> Digraph.t -> Compressed.t -> bool
+
+(** [is_reach_equivalence g c] checks that the hypernodes of [c] are exactly
+    the classes of [Re] — equal ancestor and descendant sets, maximal. *)
+val is_reach_equivalence : Digraph.t -> Compressed.t -> bool
+
+(** [is_max_bisimulation g c] checks that the hypernodes of [c] are exactly
+    the classes of [Rb]: a stable partition that the naive oracle cannot
+    coarsen. *)
+val is_max_bisimulation : Digraph.t -> Compressed.t -> bool
+
+(** [same_compression a b] whether two compressed graphs are identical up to
+    hypernode renaming: same node partition, and the induced hypernode
+    correspondence is a label-preserving graph isomorphism.  This is how the
+    tests state "incremental maintenance equals batch recompression". *)
+val same_compression : Compressed.t -> Compressed.t -> bool
+
+(** [well_formed c ~original] structural sanity: the node map is total onto
+    hypernodes, members partition [V], and every hypernode edge is realised
+    by at least one member edge or is a justified reachability shortcut
+    (self-loop on a cyclic class). *)
+val well_formed : Compressed.t -> original:Digraph.t -> bool

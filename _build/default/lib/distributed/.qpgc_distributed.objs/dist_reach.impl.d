@@ -1,0 +1,1 @@
+lib/distributed/dist_reach.ml: Array Bitset Digraph Fragmentation Hashtbl List Queue Transitive Traversal

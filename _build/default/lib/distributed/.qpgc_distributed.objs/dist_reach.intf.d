@@ -1,0 +1,1 @@
+lib/distributed/dist_reach.mli: Fragmentation

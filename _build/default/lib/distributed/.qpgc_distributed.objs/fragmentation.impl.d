@@ -1,0 +1,1 @@
+lib/distributed/fragmentation.ml: Array Digraph Format Hashtbl List Queue Random

@@ -1,0 +1,170 @@
+type t = {
+  frag : Fragmentation.t;
+  (* assembly graph over boundary nodes, numbered densely *)
+  assembly : Digraph.t;
+  boundary_id : (int, int) Hashtbl.t; (* global node -> assembly node *)
+  (* per fragment: local reachability caches used at query time *)
+  reach_out : Bitset.t array array;
+      (* reach_out.(f).(local) = out-boundary locals reachable from local,
+         indexed by position in out_boundary *)
+  reach_in : Bitset.t array array;
+      (* reach_in.(f).(local) = in-boundary locals that reach local *)
+}
+
+(* positions of out-boundary nodes reachable from every local node of the
+   fragment, as bitsets over positions in [fr.out_boundary] *)
+let local_out_reach fr =
+  let g = fr.Fragmentation.graph in
+  let n = Digraph.n g in
+  let outs = fr.Fragmentation.out_boundary in
+  let pos = Hashtbl.create (2 * Array.length outs + 1) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) outs;
+  let desc = Transitive.descendant_sets g in
+  Array.init n (fun v ->
+      let s = Bitset.create (max 1 (Array.length outs)) in
+      (match Hashtbl.find_opt pos v with
+      | Some i -> Bitset.add s i (* v reaches itself reflexively *)
+      | None -> ());
+      Bitset.iter
+        (fun w ->
+          match Hashtbl.find_opt pos w with
+          | Some i -> Bitset.add s i
+          | None -> ())
+        desc.(v);
+      s)
+
+let local_in_reach fr =
+  let g = fr.Fragmentation.graph in
+  let n = Digraph.n g in
+  let ins = fr.Fragmentation.in_boundary in
+  let pos = Hashtbl.create (2 * Array.length ins + 1) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) ins;
+  let anc = Transitive.ancestor_sets g in
+  Array.init n (fun v ->
+      let s = Bitset.create (max 1 (Array.length ins)) in
+      (match Hashtbl.find_opt pos v with
+      | Some i -> Bitset.add s i
+      | None -> ());
+      Bitset.iter
+        (fun w ->
+          match Hashtbl.find_opt pos w with
+          | Some i -> Bitset.add s i
+          | None -> ())
+        anc.(v);
+      s)
+
+let build frag =
+  let boundary_id = Hashtbl.create 64 in
+  let next = ref 0 in
+  let intern v =
+    match Hashtbl.find_opt boundary_id v with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace boundary_id v i;
+        i
+  in
+  (* boundary nodes: endpoints of cross edges *)
+  List.iter
+    (fun (u, v) ->
+      ignore (intern u);
+      ignore (intern v))
+    frag.Fragmentation.cross_edges;
+  let reach_out = Array.map local_out_reach frag.Fragmentation.fragments in
+  let reach_in = Array.map local_in_reach frag.Fragmentation.fragments in
+  let edges = ref [] in
+  (* cross edges *)
+  List.iter
+    (fun (u, v) -> edges := (intern u, intern v) :: !edges)
+    frag.Fragmentation.cross_edges;
+  (* locally certified in-boundary -> out-boundary reachability *)
+  Array.iter
+    (fun fr ->
+      let f = fr.Fragmentation.id in
+      Array.iter
+        (fun local_in ->
+          let global_in = fr.Fragmentation.to_global.(local_in) in
+          Bitset.iter
+            (fun out_pos ->
+              let local_out = fr.Fragmentation.out_boundary.(out_pos) in
+              let global_out = fr.Fragmentation.to_global.(local_out) in
+              if global_in <> global_out then
+                edges := (intern global_in, intern global_out) :: !edges)
+            reach_out.(f).(local_in))
+        fr.Fragmentation.in_boundary)
+    frag.Fragmentation.fragments;
+  let assembly = Digraph.make ~n:(max 0 !next) !edges in
+  { frag; assembly; boundary_id; reach_out; reach_in }
+
+let query t u v =
+  if u = v then true
+  else begin
+    let fu = t.frag.Fragmentation.owner.(u)
+    and fv = t.frag.Fragmentation.owner.(v) in
+    let lu = t.frag.Fragmentation.local_of.(u)
+    and lv = t.frag.Fragmentation.local_of.(v) in
+    let local_hit =
+      fu = fv
+      && Traversal.bfs_reaches t.frag.Fragmentation.fragments.(fu).Fragmentation.graph
+           lu lv
+    in
+    local_hit
+    ||
+    (* bridge: u -> some out-boundary of fu -> assembly -> some in-boundary
+       of fv -> v *)
+    let fr_u = t.frag.Fragmentation.fragments.(fu) in
+    let fr_v = t.frag.Fragmentation.fragments.(fv) in
+    let sources =
+      Bitset.fold
+        (fun out_pos acc ->
+          let g = fr_u.Fragmentation.to_global.(fr_u.Fragmentation.out_boundary.(out_pos)) in
+          match Hashtbl.find_opt t.boundary_id g with
+          | Some i -> i :: acc
+          | None -> acc)
+        t.reach_out.(fu).(lu) []
+    in
+    let target_set =
+      let s = Bitset.create (max 1 (Digraph.n t.assembly)) in
+      Bitset.iter
+        (fun in_pos ->
+          let g = fr_v.Fragmentation.to_global.(fr_v.Fragmentation.in_boundary.(in_pos)) in
+          match Hashtbl.find_opt t.boundary_id g with
+          | Some i -> Bitset.add s i
+          | None -> ())
+        t.reach_in.(fv).(lv);
+      s
+    in
+    (not (Bitset.is_empty target_set))
+    && sources <> []
+    &&
+    (* BFS over the assembly graph from all sources at once *)
+    let visited = Bitset.create (Digraph.n t.assembly) in
+    let q = Queue.create () in
+    List.iter
+      (fun s ->
+        if not (Bitset.mem visited s) then begin
+          Bitset.add visited s;
+          Queue.add s q
+        end)
+      sources;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      if Bitset.mem target_set x then found := true
+      else
+        Digraph.iter_succ t.assembly x (fun y ->
+            if not (Bitset.mem visited y) then begin
+              Bitset.add visited y;
+              Queue.add y q
+            end)
+    done;
+    !found
+  end
+
+let assembly_size t = Digraph.size t.assembly
+
+let stats t =
+  ( Hashtbl.length t.boundary_id,
+    Digraph.m t.assembly,
+    List.length t.frag.Fragmentation.cross_edges )

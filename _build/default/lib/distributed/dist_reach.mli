@@ -1,0 +1,38 @@
+(** Distributed reachability by partial evaluation over a fragmentation —
+    a single-machine simulation of querying distributed graphs (the paper's
+    Sec 7 future work; the construction follows the partial-evaluation
+    approach of the authors' follow-up line of work).
+
+    Each "site" (fragment) precomputes, {e locally and independently}, the
+    reachability from its in-boundary nodes to its out-boundary nodes.  The
+    coordinator keeps only the {e assembly graph}: one node per boundary
+    node, an edge for each locally-certified in→out reachability and each
+    cross edge.  A query [QR(u, v)]:
+
+    + answers locally when [u] and [v] share a fragment and connect inside;
+    + otherwise asks [u]'s site for the out-boundary nodes [u] reaches
+      locally, [v]'s site for the in-boundary nodes reaching [v] locally,
+      and bridges the two sets over the assembly graph.
+
+    Everything shipped to the coordinator is boundary-sized; no site ever
+    sees another site's interior.  And because the compressed graph [Gr]
+    is an ordinary graph, the whole construction runs on top of
+    [Compress_reach] unchanged — compression composes with distribution
+    (demonstrated in the tests and the example). *)
+
+type t
+
+(** [build fragmentation] runs the per-site precomputation and assembles
+    the coordinator state. *)
+val build : Fragmentation.t -> t
+
+(** [query t u v] answers [QR(u, v)] with reflexive semantics, global node
+    ids. *)
+val query : t -> int -> int -> bool
+
+(** [assembly_size t] is [|V| + |E|] of the coordinator's assembly graph —
+    the memory a real coordinator would hold. *)
+val assembly_size : t -> int
+
+(** [stats t] is [(boundary_nodes, assembly_edges, cross_edges)]. *)
+val stats : t -> int * int * int

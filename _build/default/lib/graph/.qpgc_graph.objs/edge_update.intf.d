@@ -1,0 +1,1 @@
+lib/graph/edge_update.mli: Digraph Format

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Digraph Format Fun Hashtbl In_channel List Option Printf String

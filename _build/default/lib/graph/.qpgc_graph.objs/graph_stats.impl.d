@@ -1,0 +1,1 @@
+lib/graph/graph_stats.ml: Array Bitset Digraph Format Queue Scc

@@ -1,0 +1,1 @@
+lib/graph/topo_rank.mli: Digraph Scc

@@ -1,0 +1,1 @@
+lib/graph/transitive.ml: Array Bitset Digraph Scc

@@ -1,0 +1,1 @@
+lib/graph/transitive.mli: Bitset Digraph

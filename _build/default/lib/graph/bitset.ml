@@ -1,0 +1,150 @@
+(* Flat-word bitsets.  63 usable bits per OCaml int. *)
+
+let bits_per_word = 63
+
+type t = { mutable words : int array; size : int }
+
+let word_count size = (size + bits_per_word - 1) / bits_per_word
+
+let create size =
+  if size < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make (max 1 (word_count size)) 0; size }
+
+let universe_size s = s.size
+
+let check s i =
+  if i < 0 || i >= s.size then
+    invalid_arg
+      (Printf.sprintf "Bitset: index %d out of range [0,%d)" i s.size)
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  check s i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) land (1 lsl b) <> 0
+
+(* Kernighan popcount is fine here: sets are usually sparse per word, and the
+   hot paths (union_into) do not count. *)
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let is_empty s =
+  let n = Array.length s.words in
+  let rec go i = i >= n || (s.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+let copy s = { words = Array.copy s.words; size = s.size }
+
+let same_universe a b op =
+  if a.size <> b.size then
+    invalid_arg (Printf.sprintf "Bitset.%s: universe mismatch (%d vs %d)" op a.size b.size)
+
+let equal a b =
+  same_universe a b "equal";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+let union_into ~into src =
+  same_universe into src "union_into";
+  let changed = ref false in
+  let aw = into.words and bw = src.words in
+  for i = 0 to Array.length aw - 1 do
+    let u = aw.(i) lor bw.(i) in
+    if u <> aw.(i) then begin
+      aw.(i) <- u;
+      changed := true
+    end
+  done;
+  !changed
+
+let inter_into ~into src =
+  same_universe into src "inter_into";
+  let aw = into.words and bw = src.words in
+  for i = 0 to Array.length aw - 1 do
+    aw.(i) <- aw.(i) land bw.(i)
+  done
+
+let diff_into ~into src =
+  same_universe into src "diff_into";
+  let aw = into.words and bw = src.words in
+  for i = 0 to Array.length aw - 1 do
+    aw.(i) <- aw.(i) land lnot bw.(i)
+  done
+
+let inter_cardinal a b =
+  same_universe a b "inter_cardinal";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let disjoint a b =
+  same_universe a b "disjoint";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let subset a b =
+  same_universe a b "subset";
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list size xs =
+  let s = create size in
+  List.iter (add s) xs;
+  s
+
+exception Found of int
+
+let choose s =
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let hash s =
+  let h = ref (s.size * 0x9e3779b1) in
+  for i = 0 to Array.length s.words - 1 do
+    let w = s.words.(i) in
+    if w <> 0 then h := (!h * 31) lxor w lxor i
+  done;
+  !h land max_int
+
+let pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (to_list s)

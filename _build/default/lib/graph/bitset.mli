@@ -1,0 +1,81 @@
+(** Dense fixed-capacity bitsets over the integer universe [0, capacity).
+
+    Used throughout the library for ancestor/descendant sets, candidate sets
+    of pattern matching, and visited sets of traversals.  The representation
+    is a flat [int array] with 63 usable bits per word, so set operations on
+    graph-sized universes cost [capacity/63] word operations. *)
+
+type t
+
+(** [create capacity] is the empty set over universe [0, capacity).
+    @raise Invalid_argument if [capacity < 0]. *)
+val create : int -> t
+
+(** [universe_size s] is the capacity [s] was created with. *)
+val universe_size : t -> int
+
+(** [add s i] sets bit [i].  @raise Invalid_argument if [i] is out of range. *)
+val add : t -> int -> unit
+
+(** [remove s i] clears bit [i]. *)
+val remove : t -> int -> unit
+
+(** [mem s i] is [true] iff bit [i] is set. *)
+val mem : t -> int -> bool
+
+(** [cardinal s] is the number of set bits (popcount over all words). *)
+val cardinal : t -> int
+
+(** [is_empty s] is [true] iff no bit is set. *)
+val is_empty : t -> bool
+
+(** [clear s] resets every bit to 0 in place. *)
+val clear : t -> unit
+
+(** [copy s] is a fresh bitset with the same contents. *)
+val copy : t -> t
+
+(** [equal a b] is set equality.  The two sets must share a universe size. *)
+val equal : t -> t -> bool
+
+(** [union_into ~into src] computes [into := into ∪ src] in place and returns
+    [true] iff [into] changed.  The change report lets fixpoint loops detect
+    stabilisation without a separate comparison pass. *)
+val union_into : into:t -> t -> bool
+
+(** [inter_into ~into src] computes [into := into ∩ src] in place. *)
+val inter_into : into:t -> t -> unit
+
+(** [diff_into ~into src] computes [into := into \ src] in place. *)
+val diff_into : into:t -> t -> unit
+
+(** [inter_cardinal a b] is [|a ∩ b|] without allocating the intersection. *)
+val inter_cardinal : t -> t -> int
+
+(** [disjoint a b] is [true] iff [a ∩ b = ∅]. *)
+val disjoint : t -> t -> bool
+
+(** [subset a b] is [true] iff [a ⊆ b]. *)
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to each member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over members in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [to_list s] is the members in increasing order. *)
+val to_list : t -> int list
+
+(** [of_list capacity xs] is the set containing exactly [xs]. *)
+val of_list : int -> int list -> t
+
+(** [choose s] is the smallest member, or [None] if empty. *)
+val choose : t -> int option
+
+(** [hash s] is a content hash, suitable for hash tables keyed by set value.
+    Equal sets hash equally. *)
+val hash : t -> int
+
+(** [pp] prints as [{1, 5, 9}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,283 @@
+type t = {
+  n : int;
+  m : int;
+  labels : int array;
+  label_count : int;
+  out_adj : int array array;
+  in_adj : int array array;
+}
+
+let sort_dedup a =
+  Array.sort compare a;
+  let len = Array.length a in
+  if len <= 1 then a
+  else begin
+    (* Compact in place, then trim. *)
+    let k = ref 1 in
+    for i = 1 to len - 1 do
+      if a.(i) <> a.(!k - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = len then a else Array.sub a 0 !k
+  end
+
+let compute_label_count labels =
+  Array.fold_left (fun acc l -> if l >= acc then l + 1 else acc) 1 labels
+
+let check_labels n = function
+  | None -> Array.make n 0
+  | Some l ->
+      if Array.length l <> n then
+        invalid_arg "Digraph.make: label array length mismatch";
+      Array.iter
+        (fun x -> if x < 0 then invalid_arg "Digraph.make: negative label")
+        l;
+      Array.copy l
+
+let of_adjacency ~n ~labels ~out_lists =
+  (* out_lists: per-node arrays, not yet sorted/deduped. *)
+  let out_adj = Array.map sort_dedup out_lists in
+  let in_deg = Array.make n 0 in
+  Array.iter (Array.iter (fun v -> in_deg.(v) <- in_deg.(v) + 1)) out_adj;
+  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+  let fill = Array.make n 0 in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        in_adj.(v).(fill.(v)) <- u;
+        fill.(v) <- fill.(v) + 1)
+      out_adj.(u)
+  done;
+  (* in_adj is already sorted because u increases monotonically. *)
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 out_adj in
+  { n; m; labels; label_count = compute_label_count labels; out_adj; in_adj }
+
+let make_arrays ~n ?labels edges =
+  if n < 0 then invalid_arg "Digraph.make: negative node count";
+  let labels = check_labels n labels in
+  let out_deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Digraph.make: edge (%d,%d) out of range [0,%d)" u v n);
+      out_deg.(u) <- out_deg.(u) + 1)
+    edges;
+  let out_lists = Array.init n (fun u -> Array.make out_deg.(u) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      out_lists.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1)
+    edges;
+  of_adjacency ~n ~labels ~out_lists
+
+let make ~n ?labels edges = make_arrays ~n ?labels (Array.of_list edges)
+let empty = make ~n:0 []
+
+module Builder = struct
+  type t = {
+    mutable labels : int array;
+    mutable count : int;
+    mutable edges : (int * int) list;
+    mutable edge_count : int;
+  }
+
+  let create ?(expected_nodes = 16) () =
+    { labels = Array.make (max 1 expected_nodes) 0; count = 0; edges = []; edge_count = 0 }
+
+  let add_node b ~label =
+    if label < 0 then invalid_arg "Builder.add_node: negative label";
+    if b.count = Array.length b.labels then begin
+      let bigger = Array.make (2 * b.count) 0 in
+      Array.blit b.labels 0 bigger 0 b.count;
+      b.labels <- bigger
+    end;
+    b.labels.(b.count) <- label;
+    b.count <- b.count + 1;
+    b.count - 1
+
+  let add_edge b u v =
+    if u < 0 || u >= b.count || v < 0 || v >= b.count then
+      invalid_arg "Builder.add_edge: unknown endpoint";
+    b.edges <- (u, v) :: b.edges;
+    b.edge_count <- b.edge_count + 1
+
+  let node_count b = b.count
+
+  let build b =
+    let labels = Array.sub b.labels 0 b.count in
+    make_arrays ~n:b.count ~labels (Array.of_list b.edges)
+end
+
+let n g = g.n
+let m g = g.m
+let size g = g.n + g.m
+
+let memory_bytes g =
+  (* out and in adjacency entries + 3-word headers per array + labels. *)
+  (8 * 2 * g.m) + (24 * 2 * g.n) + (8 * g.n)
+let label g v = g.labels.(v)
+let labels g = g.labels
+let label_count g = g.label_count
+let succ g v = g.out_adj.(v)
+let pred g v = g.in_adj.(v)
+let out_degree g v = Array.length g.out_adj.(v)
+let in_degree g v = Array.length g.in_adj.(v)
+
+let mem_sorted a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length a && a.(!lo) = x
+
+let mem_edge g u v = mem_sorted g.out_adj.(u) v
+let iter_succ g v f = Array.iter f g.out_adj.(v)
+let iter_pred g v f = Array.iter f g.in_adj.(v)
+let fold_succ g v f init = Array.fold_left f init g.out_adj.(v)
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> f u v) g.out_adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let a = g.out_adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      acc := (u, a.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let reverse g =
+  {
+    g with
+    out_adj = Array.map Array.copy g.in_adj;
+    in_adj = Array.map Array.copy g.out_adj;
+  }
+
+let with_labels g labels =
+  if Array.length labels <> g.n then
+    invalid_arg "Digraph.with_labels: length mismatch";
+  { g with labels = Array.copy labels; label_count = compute_label_count labels }
+
+let add_edges g es =
+  let extra = Array.make g.n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then
+        invalid_arg "Digraph.add_edges: endpoint out of range";
+      extra.(u) <- v :: extra.(u))
+    es;
+  let out_lists =
+    Array.init g.n (fun u ->
+        if extra.(u) = [] then Array.copy g.out_adj.(u)
+        else Array.append g.out_adj.(u) (Array.of_list extra.(u)))
+  in
+  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+
+let remove_edges g es =
+  let removed = Hashtbl.create (List.length es * 2 + 1) in
+  List.iter (fun (u, v) -> Hashtbl.replace removed (u, v) ()) es;
+  let out_lists =
+    Array.init g.n (fun u ->
+        let keep =
+          Array.to_list g.out_adj.(u)
+          |> List.filter (fun v -> not (Hashtbl.mem removed (u, v)))
+        in
+        Array.of_list keep)
+  in
+  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+
+let edit g ~add ~remove =
+  let removed = Hashtbl.create (2 * List.length remove + 1) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then
+        invalid_arg "Digraph.edit: endpoint out of range";
+      Hashtbl.replace removed (u, v) ())
+    remove;
+  let extra = Array.make g.n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= g.n || v < 0 || v >= g.n then
+        invalid_arg "Digraph.edit: endpoint out of range";
+      Hashtbl.remove removed (u, v);
+      extra.(u) <- v :: extra.(u))
+    add;
+  let out_lists =
+    Array.init g.n (fun u ->
+        let kept =
+          if Hashtbl.length removed = 0 then Array.to_list g.out_adj.(u)
+          else
+            Array.to_list g.out_adj.(u)
+            |> List.filter (fun v -> not (Hashtbl.mem removed (u, v)))
+        in
+        Array.of_list (List.rev_append extra.(u) kept))
+  in
+  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+
+let induced g nodes =
+  let k = Array.length nodes in
+  let old_to_new = Hashtbl.create (2 * k + 1) in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= g.n then invalid_arg "Digraph.induced: node out of range";
+      if Hashtbl.mem old_to_new v then
+        invalid_arg "Digraph.induced: duplicate node";
+      Hashtbl.replace old_to_new v i)
+    nodes;
+  let labels = Array.map (fun v -> g.labels.(v)) nodes in
+  let out_lists =
+    Array.init k (fun i ->
+        let v = nodes.(i) in
+        let keep =
+          Array.to_list g.out_adj.(v)
+          |> List.filter_map (fun w -> Hashtbl.find_opt old_to_new w)
+        in
+        Array.of_list keep)
+  in
+  (of_adjacency ~n:k ~labels ~out_lists, Array.copy nodes)
+
+let equal a b =
+  a.n = b.n && a.m = b.m && a.labels = b.labels
+  && (let rec go u = u >= a.n || (a.out_adj.(u) = b.out_adj.(u) && go (u + 1)) in
+      go 0)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
+  for v = 0 to g.n - 1 do
+    Format.fprintf ppf "  %d[l%d] -> %a@," v g.labels.(v)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      (Array.to_list g.out_adj.(v))
+  done;
+  Format.fprintf ppf "@]"
+
+let validate g =
+  let fail fmt = Format.kasprintf failwith fmt in
+  if Array.length g.labels <> g.n then fail "labels length";
+  let count = ref 0 in
+  let check_sorted name v a =
+    for i = 0 to Array.length a - 1 do
+      if a.(i) < 0 || a.(i) >= g.n then fail "%s(%d): out of range" name v;
+      if i > 0 && a.(i - 1) >= a.(i) then fail "%s(%d): not strictly sorted" name v
+    done
+  in
+  for v = 0 to g.n - 1 do
+    check_sorted "succ" v g.out_adj.(v);
+    check_sorted "pred" v g.in_adj.(v);
+    count := !count + Array.length g.out_adj.(v)
+  done;
+  if !count <> g.m then fail "edge count";
+  iter_edges g (fun u v ->
+      if not (mem_sorted g.in_adj.(v) u) then fail "missing mirror edge (%d,%d)" u v);
+  let in_count = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.in_adj in
+  if in_count <> g.m then fail "in-edge count"

@@ -1,0 +1,133 @@
+(** Labeled directed graphs [G = (V, E, L)] (paper Sec 2.1).
+
+    Nodes are dense integers [0 .. n-1]; each node carries an integer label
+    drawn from [0 .. label_count-1] (string label names are handled by
+    {!Graph_io.Label_table} at the I/O boundary, so the core algorithms stay
+    allocation-free).  The structure is immutable once built; adjacency lists
+    are sorted, deduplicated arrays, so membership tests are binary searches
+    and traversals scan contiguous memory. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [make ~n ~labels edges] builds a graph with [n] nodes, the given labels
+    (defaulting to all-0 when [labels] is omitted) and the given directed
+    edges.  Duplicate edges are collapsed; self-loops are kept.
+    @raise Invalid_argument on an out-of-range endpoint or label array of the
+    wrong length. *)
+val make : n:int -> ?labels:int array -> (int * int) list -> t
+
+(** [make_arrays] is {!make} for preallocated edge arrays (no list boxing);
+    used by generators producing millions of edges. *)
+val make_arrays : n:int -> ?labels:int array -> (int * int) array -> t
+
+(** [empty] is the graph with no nodes and no edges. *)
+val empty : t
+
+(** A mutable staging area for incremental construction. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  (** [create ?expected_nodes ()] is an empty builder. *)
+  val create : ?expected_nodes:int -> unit -> t
+
+  (** [add_node b ~label] allocates the next node id and returns it. *)
+  val add_node : t -> label:int -> int
+
+  (** [add_edge b u v] records edge [(u, v)]; both endpoints must already
+      exist. *)
+  val add_edge : t -> int -> int -> unit
+
+  (** [node_count b] is the number of nodes allocated so far. *)
+  val node_count : t -> int
+
+  (** [build b] freezes the builder into an immutable graph. *)
+  val build : t -> graph
+end
+
+(** {1 Accessors} *)
+
+(** [n g] is the number of nodes [|V|]. *)
+val n : t -> int
+
+(** [m g] is the number of distinct edges [|E|]. *)
+val m : t -> int
+
+(** [size g] is [|V| + |E|], the paper's [|G|]. *)
+val size : t -> int
+
+(** [memory_bytes g] estimates the resident size of the structure: 8 bytes
+    per adjacency entry (stored twice, out and in), plus per-node array
+    headers and the label array.  Used for the Fig 12(d)-style memory
+    comparisons. *)
+val memory_bytes : t -> int
+
+(** [label g v] is [L(v)]. *)
+val label : t -> int -> int
+
+(** [labels g] is the label array (do not mutate). *)
+val labels : t -> int array
+
+(** [label_count g] is [1 + max label] (at least 1 even for empty graphs). *)
+val label_count : t -> int
+
+(** [succ g v] is the sorted array of successors of [v] (do not mutate). *)
+val succ : t -> int -> int array
+
+(** [pred g v] is the sorted array of predecessors of [v] (do not mutate). *)
+val pred : t -> int -> int array
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [mem_edge g u v] is [true] iff [(u,v) ∈ E]; O(log out_degree(u)). *)
+val mem_edge : t -> int -> int -> bool
+
+val iter_succ : t -> int -> (int -> unit) -> unit
+val iter_pred : t -> int -> (int -> unit) -> unit
+val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** [iter_edges g f] applies [f u v] to every edge in lexicographic order. *)
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** [edges g] lists all edges in lexicographic order. *)
+val edges : t -> (int * int) list
+
+(** {1 Derived graphs} *)
+
+(** [reverse g] flips every edge; labels are preserved. *)
+val reverse : t -> t
+
+(** [with_labels g labels] is [g] with its label array replaced. *)
+val with_labels : t -> int array -> t
+
+(** [add_edges g es] is [g] plus the extra edges (endpoints must exist). *)
+val add_edges : t -> (int * int) list -> t
+
+(** [remove_edges g es] is [g] minus the given edges (absent edges are
+    ignored). *)
+val remove_edges : t -> (int * int) list -> t
+
+(** [edit g ~add ~remove] applies both changes with a single adjacency
+    rebuild; an edge in both lists ends up present. *)
+val edit : t -> add:(int * int) list -> remove:(int * int) list -> t
+
+(** [induced g nodes] is the subgraph induced by [nodes]: result node [i]
+    corresponds to [nodes.(i)].  Returns the subgraph and the mapping array
+    from new ids to old ids. *)
+val induced : t -> int array -> t * int array
+
+(** {1 Comparison and printing} *)
+
+(** [equal a b] is structural equality: same [n], labels and edge sets. *)
+val equal : t -> t -> bool
+
+(** [pp] prints a compact textual form, for debugging and expect tests. *)
+val pp : Format.formatter -> t -> unit
+
+(** [validate g] re-checks internal invariants (sorted, deduplicated, in/out
+    adjacency mirror each other); used by property tests.
+    @raise Failure when an invariant is broken. *)
+val validate : t -> unit

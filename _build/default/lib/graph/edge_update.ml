@@ -1,0 +1,38 @@
+type t = Insert of int * int | Delete of int * int
+
+let pp ppf = function
+  | Insert (u, v) -> Format.fprintf ppf "+(%d,%d)" u v
+  | Delete (u, v) -> Format.fprintf ppf "-(%d,%d)" u v
+
+let edge = function Insert (u, v) | Delete (u, v) -> (u, v)
+
+let normalize updates =
+  (* Last write per edge wins; emit in first-touch order. *)
+  let last : (int * int, t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun u ->
+      let e = edge u in
+      if not (Hashtbl.mem last e) then order := e :: !order;
+      Hashtbl.replace last e u)
+    updates;
+  List.rev_map (fun e -> Hashtbl.find last e) !order
+
+let apply g updates =
+  let updates = normalize updates in
+  let inserts =
+    List.filter_map
+      (function
+        | Insert (u, v) when not (Digraph.mem_edge g u v) -> Some (u, v)
+        | Insert _ | Delete _ -> None)
+      updates
+  in
+  let deletes =
+    List.filter_map
+      (function
+        | Delete (u, v) when Digraph.mem_edge g u v -> Some (u, v)
+        | Insert _ | Delete _ -> None)
+      updates
+  in
+  (* one adjacency rebuild instead of two *)
+  Digraph.edit g ~add:inserts ~remove:deletes

@@ -1,0 +1,22 @@
+(** Batch edge updates [∆G] (paper Sec 5): lists of edge insertions and
+    deletions applied to a graph. *)
+
+type t =
+  | Insert of int * int
+  | Delete of int * int
+
+val pp : Format.formatter -> t -> unit
+
+(** [apply g updates] applies the batch left to right.  Inserting an existing
+    edge and deleting an absent one are no-ops, matching the paper's
+    redundant-update notion at the graph level.
+    @raise Invalid_argument on out-of-range endpoints. *)
+val apply : Digraph.t -> t list -> Digraph.t
+
+(** [normalize updates] cancels later operations against earlier ones on the
+    same edge (an insert followed by a delete of the same edge disappears)
+    and drops duplicates, preserving the net effect of {!apply}. *)
+val normalize : t list -> t list
+
+(** [edge u v] of an update. *)
+val edge : t -> int * int

@@ -1,0 +1,131 @@
+type rng = Random.State.t
+
+let distinct_random_edges rng ~n ~m ~acyclic =
+  let max_edges =
+    if acyclic then n * (n - 1) / 2 else n * (n - 1)
+  in
+  let m = min m max_edges in
+  let seen = Hashtbl.create (2 * m + 1) in
+  let edges = Array.make m (0, 0) in
+  let k = ref 0 in
+  while !k < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let e = if acyclic && u < v then (v, u) else (u, v) in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.replace seen e ();
+        edges.(!k) <- e;
+        incr k
+      end
+    end
+  done;
+  edges
+
+let erdos_renyi rng ~n ~m =
+  if n < 2 then Digraph.make ~n:(max n 0) []
+  else Digraph.make_arrays ~n (distinct_random_edges rng ~n ~m ~acyclic:false)
+
+let random_dag rng ~n ~m =
+  if n < 2 then Digraph.make ~n:(max n 0) []
+  else Digraph.make_arrays ~n (distinct_random_edges rng ~n ~m ~acyclic:true)
+
+let preferential_attachment rng ~n ~out_degree ~reciprocity =
+  if n <= 0 then Digraph.empty
+  else begin
+    let edges = ref [] in
+    (* endpoint pool: every edge endpoint appears once, so sampling from the
+       pool is sampling proportional to degree; seed with each node once for
+       the +1 smoothing. *)
+    let pool = ref [| 0 |] in
+    let pool_len = ref 1 in
+    let push x =
+      if !pool_len = Array.length !pool then begin
+        let bigger = Array.make (2 * !pool_len) 0 in
+        Array.blit !pool 0 bigger 0 !pool_len;
+        pool := bigger
+      end;
+      !pool.(!pool_len) <- x;
+      incr pool_len
+    in
+    for v = 1 to n - 1 do
+      let d = min out_degree v in
+      for _ = 1 to d do
+        let t = !pool.(Random.State.int rng !pool_len) in
+        if t <> v then begin
+          edges := (v, t) :: !edges;
+          push v;
+          push t;
+          if Random.State.float rng 1.0 < reciprocity then begin
+            edges := (t, v) :: !edges;
+            push t;
+            push v
+          end
+        end
+      done;
+      push v
+    done;
+    Digraph.make ~n !edges
+  end
+
+let hierarchical_web rng ~hosts ~pages_per_host ~cross_links =
+  let n = hosts * pages_per_host in
+  if n = 0 then Digraph.empty
+  else begin
+    let edges = ref [] in
+    for h = 0 to hosts - 1 do
+      let base = h * pages_per_host in
+      for p = 1 to pages_per_host - 1 do
+        (* Tree edge from a random earlier page of the host. *)
+        let parent = base + Random.State.int rng p in
+        edges := (parent, base + p) :: !edges;
+        (* Navigation back to the host root, sometimes. *)
+        if Random.State.float rng 1.0 < 0.35 then
+          edges := (base + p, base) :: !edges
+      done
+    done;
+    for _ = 1 to cross_links do
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then edges := (u, v) :: !edges
+    done;
+    Digraph.make ~n !edges
+  end
+
+let tree_with_shortcuts rng ~n ~extra =
+  if n = 0 then Digraph.empty
+  else begin
+    let edges = ref [] in
+    for v = 1 to n - 1 do
+      let parent = Random.State.int rng v in
+      edges := (v, parent) :: !edges
+    done;
+    for _ = 1 to extra do
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then edges := (u, v) :: !edges
+    done;
+    Digraph.make ~n !edges
+  end
+
+let with_random_labels rng g ~label_count =
+  let label_count = max 1 label_count in
+  let labels =
+    Array.init (Digraph.n g) (fun _ -> Random.State.int rng label_count)
+  in
+  Digraph.with_labels g labels
+
+let with_zipf_labels rng g ~label_count =
+  let label_count = max 1 label_count in
+  (* Zipf(1): weight of label i is 1/(i+1). *)
+  let weights = Array.init label_count (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let draw () =
+    let x = Random.State.float rng total in
+    let rec go i acc =
+      if i = label_count - 1 then i
+      else begin
+        let acc = acc +. weights.(i) in
+        if x < acc then i else go (i + 1) acc
+      end
+    in
+    go 0 0.0
+  in
+  Digraph.with_labels g (Array.init (Digraph.n g) (fun _ -> draw ()))

@@ -1,0 +1,45 @@
+(** Random graph generators (paper Sec 6, "synthetic data").
+
+    All generators are deterministic in the supplied [Random.State.t], so
+    experiments are reproducible run to run.  The topology families mirror
+    the structural drivers of the paper's real-life datasets; see
+    [lib/workload/datasets.mli] for the calibrated stand-ins. *)
+
+type rng = Random.State.t
+
+(** [erdos_renyi rng ~n ~m] draws [m] distinct directed edges (no self-loops)
+    uniformly at random.  [m] is clamped to [n·(n-1)]. *)
+val erdos_renyi : rng -> n:int -> m:int -> Digraph.t
+
+(** [random_dag rng ~n ~m] is an acyclic Erdős–Rényi variant: every edge goes
+    from a higher to a lower node id, the citation-network shape (new papers
+    cite older ones). *)
+val random_dag : rng -> n:int -> m:int -> Digraph.t
+
+(** [preferential_attachment rng ~n ~out_degree ~reciprocity] grows a graph
+    node by node; each new node sends [out_degree] edges to targets chosen
+    proportionally to degree + 1, and each such edge is reciprocated with
+    probability [reciprocity].  High reciprocity yields the large SCCs and
+    shared neighbourhoods typical of social networks, which the paper
+    identifies as the best compressing family. *)
+val preferential_attachment :
+  rng -> n:int -> out_degree:int -> reciprocity:float -> Digraph.t
+
+(** [hierarchical_web rng ~hosts ~pages_per_host ~cross_links] builds a web
+    graph: per host a shallow page tree rooted at the host page with some
+    back-to-root links, plus [cross_links] random host-to-host page links. *)
+val hierarchical_web :
+  rng -> hosts:int -> pages_per_host:int -> cross_links:int -> Digraph.t
+
+(** [tree_with_shortcuts rng ~n ~extra] is a random rooted tree (edges point
+    towards the root, AS-provider style) plus [extra] random shortcut edges;
+    the internet-topology shape. *)
+val tree_with_shortcuts : rng -> n:int -> extra:int -> Digraph.t
+
+(** [with_random_labels rng g ~label_count] assigns each node a uniform
+    label in [0, label_count). *)
+val with_random_labels : rng -> Digraph.t -> label_count:int -> Digraph.t
+
+(** [with_zipf_labels rng g ~label_count] assigns labels with a Zipf(1)
+    skew, the usual shape of category labels in real graphs. *)
+val with_zipf_labels : rng -> Digraph.t -> label_count:int -> Digraph.t

@@ -1,0 +1,156 @@
+module Label_table = struct
+  type t = {
+    by_name : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable count : int;
+  }
+
+  let create () = { by_name = Hashtbl.create 16; names = Array.make 8 ""; count = 0 }
+
+  let intern t name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None ->
+        if t.count = Array.length t.names then begin
+          let bigger = Array.make (2 * t.count) "" in
+          Array.blit t.names 0 bigger 0 t.count;
+          t.names <- bigger
+        end;
+        let id = t.count in
+        t.names.(id) <- name;
+        t.count <- t.count + 1;
+        Hashtbl.replace t.by_name name id;
+        id
+
+  let name t id =
+    if id < 0 || id >= t.count then raise Not_found;
+    t.names.(id)
+
+  let count t = t.count
+end
+
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let of_string s =
+  let table = Label_table.create () in
+  (* Unlabeled nodes get "_"; it is interned lazily so label ids round-trip
+     unchanged when every node carries an explicit label. *)
+  let n = ref (-1) in
+  let labels = ref [||] in
+  let edges = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      let parts =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun p -> p <> "")
+      in
+      let int_of p =
+        match int_of_string_opt p with
+        | Some x -> x
+        | None -> fail lineno "expected integer, got %S" p
+      in
+      match parts with
+      | [] -> ()
+      | [ "n"; count ] ->
+          if !n >= 0 then fail lineno "duplicate node-count line";
+          let c = int_of count in
+          if c < 0 then fail lineno "negative node count";
+          n := c;
+          labels := Array.make c (-1)
+      | "n" :: _ -> fail lineno "malformed node-count line"
+      | [ "l"; v; name ] ->
+          if !n < 0 then fail lineno "label before node-count line";
+          let v = int_of v in
+          if v < 0 || v >= !n then fail lineno "node %d out of range" v;
+          !labels.(v) <- Label_table.intern table name
+      | "l" :: _ -> fail lineno "malformed label line"
+      | [ "e"; u; v ] ->
+          if !n < 0 then fail lineno "edge before node-count line";
+          let u = int_of u and v = int_of v in
+          if u < 0 || u >= !n then fail lineno "node %d out of range" u;
+          if v < 0 || v >= !n then fail lineno "node %d out of range" v;
+          edges := (u, v) :: !edges
+      | "e" :: _ -> fail lineno "malformed edge line"
+      | kw :: _ -> fail lineno "unknown record %S" kw)
+    lines;
+  if !n < 0 then fail 1 "missing node-count line";
+  let labels =
+    Array.map
+      (fun l -> if l >= 0 then l else Label_table.intern table "_")
+      !labels
+  in
+  (Digraph.make ~n:!n ~labels !edges, table)
+
+let to_string ?labels g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Digraph.n g));
+  for v = 0 to Digraph.n g - 1 do
+    let l = Digraph.label g v in
+    let name =
+      match labels with
+      | Some t -> (try Label_table.name t l with Not_found -> Printf.sprintf "l%d" l)
+      | None -> Printf.sprintf "l%d" l
+    in
+    if name <> "_" then Buffer.add_string buf (Printf.sprintf "l %d %s\n" v name)
+  done;
+  Digraph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v));
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let to_dot ?labels ?(name = "g") ?cluster g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle fontsize=10];\n";
+  let label_name l =
+    match labels with
+    | Some t -> (try Label_table.name t l with Not_found -> Printf.sprintf "l%d" l)
+    | None -> Printf.sprintf "l%d" l
+  in
+  let emit_node v indent =
+    Buffer.add_string buf
+      (Printf.sprintf "%sn%d [label=\"%d:%s\"];\n" indent v v
+         (label_name (Digraph.label g v)))
+  in
+  (match cluster with
+  | None -> for v = 0 to Digraph.n g - 1 do emit_node v "  " done
+  | Some c ->
+      if Array.length c <> Digraph.n g then
+        invalid_arg "Graph_io.to_dot: cluster array length mismatch";
+      let groups = Hashtbl.create 16 in
+      Array.iteri
+        (fun v k ->
+          Hashtbl.replace groups k
+            (v :: Option.value (Hashtbl.find_opt groups k) ~default:[]))
+        c;
+      Hashtbl.iter
+        (fun k members ->
+          Buffer.add_string buf
+            (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%d\";\n" k k);
+          List.iter (fun v -> emit_node v "    ") members;
+          Buffer.add_string buf "  }\n")
+        groups);
+  Digraph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?labels path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?labels g))

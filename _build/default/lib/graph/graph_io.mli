@@ -1,0 +1,50 @@
+(** Text serialisation of labeled graphs.
+
+    Format (one record per line, ['#'] starts a comment):
+    {v
+    n <node-count>
+    l <node-id> <label-name>     # optional; default label is "_"
+    e <src> <dst>
+    v}
+    Nodes are implicitly [0 .. n-1].  String label names are interned into the
+    dense integer labels used by {!Digraph} via {!Label_table}. *)
+
+(** Bidirectional mapping between string label names and dense label ids. *)
+module Label_table : sig
+  type t
+
+  val create : unit -> t
+
+  (** [intern t name] returns the id of [name], allocating one if new. *)
+  val intern : t -> string -> int
+
+  (** [name t id] is the interned string for [id].
+      @raise Not_found on an unknown id. *)
+  val name : t -> int -> string
+
+  val count : t -> int
+end
+
+(** Raised by the parsers with a 1-based line number and message. *)
+exception Parse_error of int * string
+
+(** [of_string s] parses the format above, returning the graph and the label
+    table.  @raise Parse_error on malformed input. *)
+val of_string : string -> Digraph.t * Label_table.t
+
+(** [to_string ?labels g] prints the format above.  When [labels] is given,
+    label names come from it; otherwise labels print as [l<id>]. *)
+val to_string : ?labels:Label_table.t -> Digraph.t -> string
+
+(** [load path] reads and parses a graph file. *)
+val load : string -> Digraph.t * Label_table.t
+
+(** [save ?labels path g] writes [g] to [path]. *)
+val save : ?labels:Label_table.t -> string -> Digraph.t -> unit
+
+(** [to_dot ?labels ?name ?cluster g] renders Graphviz DOT.  Nodes show
+    their id and label; when [cluster] is given, nodes are grouped into
+    subgraph clusters by [cluster.(v)] (e.g. hypernode or fragment id) —
+    the natural way to look at a compression or a fragmentation. *)
+val to_dot :
+  ?labels:Label_table.t -> ?name:string -> ?cluster:int array -> Digraph.t -> string

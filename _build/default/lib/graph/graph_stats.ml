@@ -1,0 +1,122 @@
+type t = {
+  nodes : int;
+  edges : int;
+  labels : int;
+  self_loops : int;
+  density : float;
+  reciprocity : float;
+  scc_count : int;
+  largest_scc : int;
+  wcc_count : int;
+  sinks : int;
+  sources : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  approx_diameter : int;
+}
+
+(* undirected BFS returning the farthest node and its distance *)
+let undirected_sweep g start =
+  let n = Digraph.n g in
+  let dist = Array.make n (-1) in
+  dist.(start) <- 0;
+  let q = Queue.create () in
+  Queue.add start q;
+  let far = ref start and far_d = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let visit v =
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        if dist.(v) > !far_d then begin
+          far_d := dist.(v);
+          far := v
+        end;
+        Queue.add v q
+      end
+    in
+    Digraph.iter_succ g u visit;
+    Digraph.iter_pred g u visit
+  done;
+  (!far, !far_d)
+
+let compute g =
+  let n = Digraph.n g and m = Digraph.m g in
+  let self_loops = ref 0 and reciprocal = ref 0 in
+  Digraph.iter_edges g (fun u v ->
+      if u = v then incr self_loops
+      else if Digraph.mem_edge g v u then incr reciprocal);
+  let scc = Scc.compute g in
+  let largest_scc =
+    Array.fold_left (fun acc ms -> max acc (Array.length ms)) 0 scc.Scc.members
+  in
+  (* weakly connected components via union over undirected sweeps *)
+  let wcc_seen = Bitset.create (max 1 n) in
+  let wcc_count = ref 0 in
+  for v = 0 to n - 1 do
+    if not (Bitset.mem wcc_seen v) then begin
+      incr wcc_count;
+      (* BFS marking *)
+      let q = Queue.create () in
+      Bitset.add wcc_seen v;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let visit w =
+          if not (Bitset.mem wcc_seen w) then begin
+            Bitset.add wcc_seen w;
+            Queue.add w q
+          end
+        in
+        Digraph.iter_succ g u visit;
+        Digraph.iter_pred g u visit
+      done
+    end
+  done;
+  let sinks = ref 0 and sources = ref 0 in
+  let max_out = ref 0 and max_in = ref 0 in
+  for v = 0 to n - 1 do
+    let o = Digraph.out_degree g v and i = Digraph.in_degree g v in
+    if o = 0 then incr sinks;
+    if i = 0 then incr sources;
+    if o > !max_out then max_out := o;
+    if i > !max_in then max_in := i
+  done;
+  let approx_diameter =
+    if n = 0 then 0
+    else begin
+      let far, _ = undirected_sweep g 0 in
+      let _, d = undirected_sweep g far in
+      d
+    end
+  in
+  {
+    nodes = n;
+    edges = m;
+    labels = Digraph.label_count g;
+    self_loops = !self_loops;
+    density =
+      (if n < 2 then 0.0
+       else float_of_int m /. (float_of_int n *. float_of_int (n - 1)));
+    reciprocity =
+      (if m = 0 then 0.0 else float_of_int !reciprocal /. float_of_int m);
+    scc_count = scc.Scc.count;
+    largest_scc;
+    wcc_count = !wcc_count;
+    sinks = !sinks;
+    sources = !sources;
+    max_out_degree = !max_out;
+    max_in_degree = !max_in;
+    approx_diameter;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>nodes %d, edges %d, labels %d@,\
+     density %.5f, reciprocity %.3f, self-loops %d@,\
+     SCCs %d (largest %d), weak components %d@,\
+     sources %d, sinks %d, max degree out/in %d/%d@,\
+     approx diameter (undirected) %d@]"
+    s.nodes s.edges s.labels s.density s.reciprocity s.self_loops s.scc_count
+    s.largest_scc s.wcc_count s.sources s.sinks s.max_out_degree
+    s.max_in_degree s.approx_diameter

@@ -1,0 +1,27 @@
+(** Descriptive statistics for labeled digraphs — the numbers a user wants
+    before deciding how a graph will compress (connectivity drives RCr;
+    label diversity and structural regularity drive PCr). *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  labels : int;
+  self_loops : int;
+  density : float;  (** |E| / (|V|·(|V|-1)), 0 for tiny graphs *)
+  reciprocity : float;  (** fraction of edges whose reverse also exists *)
+  scc_count : int;
+  largest_scc : int;  (** node count of the largest SCC *)
+  wcc_count : int;  (** weakly connected components *)
+  sinks : int;  (** out-degree 0 *)
+  sources : int;  (** in-degree 0 *)
+  max_out_degree : int;
+  max_in_degree : int;
+  approx_diameter : int;
+      (** lower bound from a double BFS sweep over the underlying
+          undirected graph; 0 for empty graphs *)
+}
+
+(** [compute g] gathers all statistics in O(|V| + |E|) plus one SCC pass. *)
+val compute : Digraph.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+type t = {
+  count : int;
+  comp : int array;
+  members : int array array;
+  nontrivial : bool array;
+}
+
+(* Iterative Tarjan.  The explicit stack holds (node, next-successor-index)
+   frames; lowlink is folded back when a frame is popped. *)
+let compute g =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let scc_count = ref 0 in
+  let frames = Stack.create () in
+  let start root =
+    Stack.push (root, 0) frames;
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while not (Stack.is_empty frames) do
+      let v, i = Stack.pop frames in
+      let adj = Digraph.succ g v in
+      if i < Array.length adj then begin
+        let w = adj.(i) in
+        Stack.push (v, i + 1) frames;
+        if index.(w) < 0 then begin
+          index.(w) <- !next_index;
+          lowlink.(w) <- !next_index;
+          incr next_index;
+          stack := w :: !stack;
+          on_stack.(w) <- true;
+          Stack.push (w, 0) frames
+        end
+        else if on_stack.(w) && index.(w) < lowlink.(v) then
+          lowlink.(v) <- index.(w)
+      end
+      else begin
+        if lowlink.(v) = index.(v) then begin
+          (* v is an SCC root: pop the component. *)
+          let c = !scc_count in
+          incr scc_count;
+          let continue = ref true in
+          while !continue do
+            match !stack with
+            | [] -> assert false
+            | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp.(w) <- c;
+                if w = v then continue := false
+          done
+        end;
+        (* Propagate lowlink to the parent frame, if any. *)
+        (match Stack.top_opt frames with
+        | Some (p, _) when lowlink.(v) < lowlink.(p) -> lowlink.(p) <- lowlink.(v)
+        | _ -> ())
+      end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then start v
+  done;
+  let count = !scc_count in
+  let sizes = Array.make count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  let members = Array.init count (fun c -> Array.make sizes.(c) 0) in
+  let fill = Array.make count 0 in
+  for v = 0 to n - 1 do
+    let c = comp.(v) in
+    members.(c).(fill.(c)) <- v;
+    fill.(c) <- fill.(c) + 1
+  done;
+  let nontrivial =
+    Array.init count (fun c ->
+        Array.length members.(c) > 1
+        ||
+        let v = members.(c).(0) in
+        Digraph.mem_edge g v v)
+  in
+  { count; comp; members; nontrivial }
+
+let condensation g scc =
+  let edges = ref [] in
+  Digraph.iter_edges g (fun u v ->
+      let cu = scc.comp.(u) and cv = scc.comp.(v) in
+      if cu <> cv then edges := (cu, cv) :: !edges);
+  Digraph.make ~n:scc.count !edges
+
+let same_scc scc u v = scc.comp.(u) = scc.comp.(v)

@@ -1,0 +1,78 @@
+let neg_inf = min_int
+
+let topological_order dag =
+  let n = Digraph.n dag in
+  let in_deg = Array.init n (Digraph.in_degree dag) in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if in_deg.(v) = 0 then Queue.add v q
+  done;
+  let order = Array.make n 0 in
+  let k = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!k) <- u;
+    incr k;
+    Digraph.iter_succ dag u (fun v ->
+        in_deg.(v) <- in_deg.(v) - 1;
+        if in_deg.(v) = 0 then Queue.add v q)
+  done;
+  if !k = n then Some order else None
+
+(* SCC ids from Scc.compute are already in reverse topological order of the
+   condensation (if SCC a reaches SCC b, a ≠ b, then a > b), so a simple
+   ascending scan visits every component after all of its successors. *)
+
+let scc_children g scc =
+  let cond = Scc.condensation g scc in
+  fun c -> Digraph.succ cond c
+
+let reach_ranks g scc =
+  let children = scc_children g scc in
+  let rank_c = Array.make scc.Scc.count 0 in
+  for c = 0 to scc.Scc.count - 1 do
+    let best = ref (-1) in
+    Array.iter (fun c' -> if rank_c.(c') > !best then best := rank_c.(c')) (children c);
+    rank_c.(c) <- if !best < 0 then 0 else !best + 1
+  done;
+  Array.map (fun c -> rank_c.(c)) scc.Scc.comp
+
+let well_founded g scc =
+  let children = scc_children g scc in
+  let wf_c = Array.make scc.Scc.count true in
+  for c = 0 to scc.Scc.count - 1 do
+    wf_c.(c) <-
+      (not scc.Scc.nontrivial.(c))
+      && Array.for_all (fun c' -> wf_c.(c')) (children c)
+  done;
+  Array.map (fun c -> wf_c.(c)) scc.Scc.comp
+
+let bisim_ranks g scc =
+  let children = scc_children g scc in
+  let wf_c = Array.make scc.Scc.count true in
+  for c = 0 to scc.Scc.count - 1 do
+    wf_c.(c) <-
+      (not scc.Scc.nontrivial.(c))
+      && Array.for_all (fun c' -> wf_c.(c')) (children c)
+  done;
+  let rank_c = Array.make scc.Scc.count 0 in
+  for c = 0 to scc.Scc.count - 1 do
+    let cs = children c in
+    if Array.length cs = 0 then
+      (* Sink SCC: rank 0 for a lone acyclic node, -∞ when it has a cycle
+         (its members have children inside the SCC but none outside). *)
+      rank_c.(c) <- (if scc.Scc.nontrivial.(c) then neg_inf else 0)
+    else begin
+      let best = ref neg_inf in
+      Array.iter
+        (fun c' ->
+          let contrib =
+            if wf_c.(c') then rank_c.(c') + 1
+            else rank_c.(c')
+          in
+          if contrib > !best then best := contrib)
+        cs;
+      rank_c.(c) <- !best
+    end
+  done;
+  Array.map (fun c -> rank_c.(c)) scc.Scc.comp

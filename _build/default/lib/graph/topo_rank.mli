@@ -1,0 +1,30 @@
+(** Topological orders and the two rank functions of paper Sec 5.
+
+    - The {e reachability rank} [r] (Sec 5.1): [r(s) = 0] when [s]'s SCC is a
+      sink of the condensation, [r(s) = max r(child) + 1] otherwise, equal
+      within an SCC.  Lemma 7: reachability-equivalent nodes share a rank.
+    - The {e bisimulation rank} [rb] (Sec 5.2, after Dovier–Piazza–Policriti):
+      0 for childless nodes, [-∞] for nodes of sink SCCs that contain a cycle,
+      and otherwise the max over children of [rb+1] for well-founded children
+      and [rb] for non-well-founded ones.  Lemma 9: bisimilar nodes share a
+      rank. *)
+
+(** The integer standing in for [-∞] ([min_int]); only [rb] uses it. *)
+val neg_inf : int
+
+(** [topological_order dag] is the nodes of an acyclic graph sorted so that
+    every edge goes from an earlier to a later position, or [None] if [dag]
+    has a cycle (Kahn's algorithm). *)
+val topological_order : Digraph.t -> int array option
+
+(** [reach_ranks g scc] is the per-node reachability rank [r].  Runs on the
+    condensation in reverse topological order, O(|V| + |E|). *)
+val reach_ranks : Digraph.t -> Scc.t -> int array
+
+(** [bisim_ranks g scc] is the per-node bisimulation rank [rb], with
+    {!neg_inf} for ranks [-∞].  Also O(|V| + |E|). *)
+val bisim_ranks : Digraph.t -> Scc.t -> int array
+
+(** [well_founded g scc] marks nodes that cannot reach any cycle (the set
+    [WF] of Sec 5.2). *)
+val well_founded : Digraph.t -> Scc.t -> bool array

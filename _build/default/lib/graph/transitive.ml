@@ -1,0 +1,69 @@
+(* Descendant sets at SCC granularity, then expanded to nodes.  Ascending SCC
+   id is reverse topological order (see Scc), so one pass suffices. *)
+let scc_descendant_sets g scc =
+  let cond = Scc.condensation g scc in
+  let k = scc.Scc.count in
+  let sets = Array.init k (fun _ -> Bitset.create k) in
+  for c = 0 to k - 1 do
+    let s = sets.(c) in
+    Digraph.iter_succ cond c (fun c' ->
+        Bitset.add s c';
+        ignore (Bitset.union_into ~into:s sets.(c')));
+    if scc.Scc.nontrivial.(c) then Bitset.add s c
+  done;
+  (cond, sets)
+
+let descendant_sets g =
+  let scc = Scc.compute g in
+  let _, scc_sets = scc_descendant_sets g scc in
+  let n = Digraph.n g in
+  Array.init n (fun v ->
+      let s = Bitset.create n in
+      Bitset.iter
+        (fun c -> Array.iter (Bitset.add s) scc.Scc.members.(c))
+        scc_sets.(scc.Scc.comp.(v));
+      s)
+
+let ancestor_sets g = descendant_sets (Digraph.reverse g)
+
+let reduction_dag dag =
+  let scc = Scc.compute dag in
+  if scc.Scc.count <> Digraph.n dag || Array.exists (fun b -> b) scc.Scc.nontrivial
+  then invalid_arg "Transitive.reduction_dag: graph has a cycle";
+  let desc = descendant_sets dag in
+  let edges = ref [] in
+  for u = 0 to Digraph.n dag - 1 do
+    Digraph.iter_succ dag u (fun v ->
+        (* (u,v) is redundant iff v is reachable from another successor. *)
+        let redundant = ref false in
+        Digraph.iter_succ dag u (fun w ->
+            if (not !redundant) && w <> v && Bitset.mem desc.(w) v then
+              redundant := true);
+        if not !redundant then edges := (u, v) :: !edges)
+  done;
+  Digraph.make ~n:(Digraph.n dag) ~labels:(Digraph.labels dag) !edges
+
+let aho_reduction g =
+  let scc = Scc.compute g in
+  let cond = Scc.condensation g scc in
+  let cond_reduced = reduction_dag cond in
+  let edges = ref [] in
+  (* Simple cycle through each nontrivial SCC. *)
+  for c = 0 to scc.Scc.count - 1 do
+    let ms = scc.Scc.members.(c) in
+    let len = Array.length ms in
+    if scc.Scc.nontrivial.(c) then
+      if len = 1 then edges := (ms.(0), ms.(0)) :: !edges
+      else
+        for i = 0 to len - 1 do
+          edges := (ms.(i), ms.((i + 1) mod len)) :: !edges
+        done
+  done;
+  (* One representative edge per reduced condensation edge. *)
+  Digraph.iter_edges cond_reduced (fun a b ->
+      edges := (scc.Scc.members.(a).(0), scc.Scc.members.(b).(0)) :: !edges);
+  Digraph.make ~n:(Digraph.n g) ~labels:(Digraph.labels g) !edges
+
+let closure_matrix g =
+  let desc = descendant_sets g in
+  fun u v -> Bitset.mem desc.(u) v

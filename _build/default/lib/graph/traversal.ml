@@ -1,0 +1,194 @@
+let bfs_generic g ~starts ~seed_visited =
+  (* Returns the visited bitset after exhausting the frontier. [seed_visited]
+     controls whether the start nodes are marked before expansion, which is
+     how nonempty-path semantics differ from reflexive ones. *)
+  let visited = Bitset.create (Digraph.n g) in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if seed_visited then Bitset.add visited s;
+      Queue.add s q)
+    starts;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Digraph.iter_succ g u (fun v ->
+        if not (Bitset.mem visited v) then begin
+          Bitset.add visited v;
+          Queue.add v q
+        end)
+  done;
+  visited
+
+let bfs_reaches g u v =
+  u = v ||
+  Bitset.mem (bfs_generic g ~starts:[ u ] ~seed_visited:true) v
+
+let bfs_reaches_nonempty g u v =
+  (* Do not pre-mark [u]: it only becomes "reached" if rediscovered via a
+     cycle. *)
+  Bitset.mem (bfs_generic g ~starts:[ u ] ~seed_visited:false) v
+
+let descendants g u = bfs_generic g ~starts:[ u ] ~seed_visited:false
+
+let ancestors g u =
+  let visited = Bitset.create (Digraph.n g) in
+  let q = Queue.create () in
+  Queue.add u q;
+  while not (Queue.is_empty q) do
+    let x = Queue.pop q in
+    Digraph.iter_pred g x (fun p ->
+        if not (Bitset.mem visited p) then begin
+          Bitset.add visited p;
+          Queue.add p q
+        end)
+  done;
+  visited
+
+let bounded_descendants g u k =
+  if k < 0 then invalid_arg "Traversal.bounded_descendants: negative bound";
+  let visited = Bitset.create (Digraph.n g) in
+  let frontier = ref [ u ] in
+  let depth = ref 0 in
+  while !frontier <> [] && !depth < k do
+    incr depth;
+    let next = ref [] in
+    List.iter
+      (fun x ->
+        Digraph.iter_succ g x (fun v ->
+            if not (Bitset.mem visited v) then begin
+              Bitset.add visited v;
+              next := v :: !next
+            end))
+      !frontier;
+    frontier := !next
+  done;
+  visited
+
+let bibfs_reaches g u v =
+  if u = v then true
+  else begin
+    let n = Digraph.n g in
+    let fwd = Bitset.create n and bwd = Bitset.create n in
+    Bitset.add fwd u;
+    Bitset.add bwd v;
+    let fq = ref [ u ] and bq = ref [ v ] in
+    let found = ref false in
+    let expand frontier visited other ~forward =
+      let next = ref [] in
+      List.iter
+        (fun x ->
+          let visit y =
+            if Bitset.mem other y then found := true
+            else if not (Bitset.mem visited y) then begin
+              Bitset.add visited y;
+              next := y :: !next
+            end
+          in
+          if forward then Digraph.iter_succ g x visit
+          else Digraph.iter_pred g x visit)
+        frontier;
+      !next
+    in
+    while (not !found) && (!fq <> [] || !bq <> []) do
+      (* Expand the smaller frontier first; an empty side means that search is
+         exhausted and only the other side can still make progress. *)
+      let flen = List.length !fq and blen = List.length !bq in
+      if flen = 0 && blen = 0 then ()
+      else if blen = 0 || (flen <= blen && flen > 0) then
+        fq := expand !fq fwd bwd ~forward:true
+      else bq := expand !bq bwd fwd ~forward:false;
+      if !fq = [] && !bq = [] then ()
+    done;
+    !found
+  end
+
+let dfs_reaches g u v =
+  if u = v then true
+  else begin
+    let visited = Bitset.create (Digraph.n g) in
+    let stack = ref [ u ] in
+    Bitset.add visited u;
+    let found = ref false in
+    while (not !found) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          Digraph.iter_succ g x (fun w ->
+              if w = v then found := true
+              else if not (Bitset.mem visited w) then begin
+                Bitset.add visited w;
+                stack := w :: !stack
+              end)
+    done;
+    !found
+  end
+
+let bfs_order g roots =
+  let visited = Bitset.create (Digraph.n g) in
+  let order = ref [] in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      if not (Bitset.mem visited r) then begin
+        Bitset.add visited r;
+        Queue.add r q
+      end)
+    roots;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    Digraph.iter_succ g u (fun v ->
+        if not (Bitset.mem visited v) then begin
+          Bitset.add visited v;
+          Queue.add v q
+        end)
+  done;
+  List.rev !order
+
+let budgeted_reaches g u v ~budget =
+  let visited = Bitset.create (Digraph.n g) in
+  let q = Queue.create () in
+  Queue.add u q;
+  let expanded = ref 0 in
+  let result = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       let x = Queue.pop q in
+       incr expanded;
+       if !expanded > budget then raise Exit;
+       Digraph.iter_succ g x (fun w ->
+           if w = v then begin
+             result := Some true;
+             raise Exit
+           end;
+           if not (Bitset.mem visited w) then begin
+             Bitset.add visited w;
+             Queue.add w q
+           end)
+     done;
+     (* Frontier exhausted: v is definitely unreachable by a nonempty path. *)
+     result := Some false
+   with Exit -> ());
+  !result
+
+let distance g u v =
+  if u = v then Some 0
+  else begin
+    let n = Digraph.n g in
+    let dist = Array.make n (-1) in
+    dist.(u) <- 0;
+    let q = Queue.create () in
+    Queue.add u q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let x = Queue.pop q in
+      Digraph.iter_succ g x (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(x) + 1;
+            if w = v then result := Some dist.(w);
+            Queue.add w q
+          end)
+    done;
+    !result
+  end

@@ -1,0 +1,48 @@
+(** Graph traversals: BFS, DFS, bidirectional BFS.
+
+    These are the stock algorithms the paper runs unmodified on both the
+    original graph [G] and the compressed graph [Gr] (Exp-2): query preserving
+    compression promises that any evaluation algorithm works on [Gr] as is. *)
+
+(** [bfs_reaches g u v] is [true] iff there is a path (possibly empty) from
+    [u] to [v]: reflexive reachability via forward breadth-first search. *)
+val bfs_reaches : Digraph.t -> int -> int -> bool
+
+(** [bfs_reaches_nonempty g u v] is [true] iff there is a {e nonempty} path
+    from [u] to [v]; differs from {!bfs_reaches} only when [u = v], where it
+    requires a cycle through [u]. *)
+val bfs_reaches_nonempty : Digraph.t -> int -> int -> bool
+
+(** [bibfs_reaches g u v] is reflexive reachability via bidirectional BFS,
+    alternating frontier expansion from [u] forwards and [v] backwards;
+    functionally identical to {!bfs_reaches}. *)
+val bibfs_reaches : Digraph.t -> int -> int -> bool
+
+(** [dfs_reaches g u v] is reflexive reachability via iterative DFS. *)
+val dfs_reaches : Digraph.t -> int -> int -> bool
+
+(** [descendants g u] is the set of nodes reachable from [u] by a nonempty
+    path. *)
+val descendants : Digraph.t -> int -> Bitset.t
+
+(** [ancestors g u] is the set of nodes that reach [u] by a nonempty path. *)
+val ancestors : Digraph.t -> int -> Bitset.t
+
+(** [bounded_descendants g u k] is the set of nodes reachable from [u] by a
+    nonempty path of length at most [k].
+    @raise Invalid_argument if [k < 0]. *)
+val bounded_descendants : Digraph.t -> int -> int -> Bitset.t
+
+(** [bfs_order g roots] is all nodes reachable from [roots] (inclusive) in
+    BFS discovery order. *)
+val bfs_order : Digraph.t -> int list -> int list
+
+(** [distance g u v] is the length of the shortest path from [u] to [v]
+    ([Some 0] when [u = v]), or [None] if unreachable. *)
+val distance : Digraph.t -> int -> int -> int option
+
+(** [budgeted_reaches g u v ~budget] decides nonempty-path reachability
+    while expanding at most [budget] nodes: [Some r] when the search settled
+    the answer within budget, [None] when it ran out.  Used by incremental
+    compression to detect redundant updates cheaply. *)
+val budgeted_reaches : Digraph.t -> int -> int -> budget:int -> bool option

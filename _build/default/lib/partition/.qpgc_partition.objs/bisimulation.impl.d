@@ -1,0 +1,1 @@
+lib/partition/bisimulation.ml: Array Digraph Fun Hashtbl List Paige_tarjan Partition Scc Topo_rank

@@ -1,0 +1,1 @@
+lib/partition/kbisim.ml: Array Bisimulation Digraph Hashtbl Partition

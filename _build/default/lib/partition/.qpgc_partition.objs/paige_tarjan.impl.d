@@ -1,0 +1,1 @@
+lib/partition/paige_tarjan.ml: Array Digraph Fun Hashtbl List Partition Queue

@@ -1,0 +1,1 @@
+lib/partition/paige_tarjan.mli: Digraph

@@ -1,0 +1,149 @@
+let max_bisimulation g =
+  Paige_tarjan.coarsest_stable_refinement g ~initial:(Digraph.labels g)
+
+(* Signature refinement: re-key every node by (current block, sorted set of
+   successor blocks) until the block count stops growing. *)
+let refine_step g cur =
+  let n = Digraph.n g in
+  let tbl = Hashtbl.create (2 * n + 1) in
+  let next = Array.make n 0 in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let succs =
+      Digraph.fold_succ g v (fun acc w -> cur.(w) :: acc) []
+      |> List.sort_uniq compare
+    in
+    let key = (cur.(v), succs) in
+    let b =
+      match Hashtbl.find_opt tbl key with
+      | Some b -> b
+      | None ->
+          let b = !count in
+          incr count;
+          Hashtbl.replace tbl key b;
+          b
+    in
+    next.(v) <- b
+  done;
+  (next, !count)
+
+let block_count a =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun b -> Hashtbl.replace seen b ()) a;
+  Hashtbl.length seen
+
+let refine_once g cur = fst (refine_step g cur)
+
+let max_bisimulation_naive g =
+  let rec go cur k =
+    let next, k' = refine_step g cur in
+    if k' = k then Partition.normalize_assignment next else go next k'
+  in
+  let init = Partition.normalize_assignment (Array.copy (Digraph.labels g)) in
+  if Digraph.n g = 0 then [||] else go init (block_count init)
+
+(* Dovier-Piazza-Policriti: stratify by bisimulation rank, refine each
+   stratum against the settled lower strata.  A stratum's nodes can depend
+   on each other (cycles share a rank), so each stratum runs Paige-Tarjan on
+   an auxiliary graph in which every settled lower block appears as a single
+   inert node with a unique synthetic label. *)
+let max_bisimulation_ranked g =
+  let n = Digraph.n g in
+  if n = 0 then [||]
+  else begin
+    let scc = Scc.compute g in
+    let rb = Topo_rank.bisim_ranks g scc in
+    (* strata in ascending rank order, -inf first *)
+    let ranks =
+      Array.to_list rb |> List.sort_uniq compare
+    in
+    let block_of = Array.make n (-1) in
+    let next_block = ref 0 in
+    let label_count = Digraph.label_count g in
+    List.iter
+      (fun rank ->
+        let members =
+          List.filter (fun v -> rb.(v) = rank) (List.init n Fun.id)
+        in
+        (* auxiliary graph: stratum members plus one node per lower block
+           referenced by their children *)
+        let lower_blocks = Hashtbl.create 16 in
+        List.iter
+          (fun v ->
+            Digraph.iter_succ g v (fun w ->
+                if rb.(w) <> rank then begin
+                  assert (block_of.(w) >= 0);
+                  if not (Hashtbl.mem lower_blocks block_of.(w)) then
+                    Hashtbl.replace lower_blocks block_of.(w)
+                      (Hashtbl.length lower_blocks)
+                end))
+          members;
+        let k = List.length members in
+        let aux_n = k + Hashtbl.length lower_blocks in
+        let index_of = Hashtbl.create (2 * k + 1) in
+        List.iteri (fun i v -> Hashtbl.replace index_of v i) members;
+        let labels = Array.make (max 1 aux_n) 0 in
+        List.iteri (fun i v -> labels.(i) <- Digraph.label g v) members;
+        Hashtbl.iter
+          (fun blk slot -> labels.(k + slot) <- label_count + blk)
+          lower_blocks;
+        let edges = ref [] in
+        List.iteri
+          (fun i v ->
+            Digraph.iter_succ g v (fun w ->
+                if rb.(w) = rank then
+                  edges := (i, Hashtbl.find index_of w) :: !edges
+                else
+                  edges :=
+                    (i, k + Hashtbl.find lower_blocks block_of.(w)) :: !edges))
+          members;
+        let aux =
+          Digraph.make ~n:aux_n ~labels:(Array.sub labels 0 aux_n) !edges
+        in
+        let assignment =
+          Paige_tarjan.coarsest_stable_refinement aux
+            ~initial:(Digraph.labels aux)
+        in
+        (* commit the stratum's blocks with globally fresh ids *)
+        let fresh = Hashtbl.create 16 in
+        List.iteri
+          (fun i v ->
+            let b = assignment.(i) in
+            let id =
+              match Hashtbl.find_opt fresh b with
+              | Some id -> id
+              | None ->
+                  let id = !next_block in
+                  incr next_block;
+                  Hashtbl.replace fresh b id;
+                  id
+            in
+            block_of.(v) <- id)
+          members)
+      ranks;
+    Partition.normalize_assignment block_of
+  end
+
+let is_stable_partition g assignment =
+  let n = Digraph.n g in
+  if Array.length assignment <> n then false
+  else begin
+    let sig_of v =
+      Digraph.fold_succ g v (fun acc w -> assignment.(w) :: acc) []
+      |> List.sort_uniq compare
+    in
+    let repr : (int, int * int list) Hashtbl.t = Hashtbl.create 64 in
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if !ok then
+        match Hashtbl.find_opt repr assignment.(v) with
+        | None -> Hashtbl.replace repr assignment.(v) (Digraph.label g v, sig_of v)
+        | Some (l, s) ->
+            if l <> Digraph.label g v || s <> sig_of v then ok := false
+    done;
+    !ok
+  end
+
+let bisimilar g u v =
+  let a = max_bisimulation g in
+  a.(u) = a.(v)

@@ -1,0 +1,56 @@
+let compute g ~k =
+  if k < 0 then invalid_arg "Kbisim.compute: negative k";
+  let cur = ref (Partition.normalize_assignment (Array.copy (Digraph.labels g))) in
+  for _ = 1 to k do
+    cur := Bisimulation.refine_once g !cur
+  done;
+  Partition.normalize_assignment !cur
+
+let compute_backward g ~k = compute (Digraph.reverse g) ~k
+
+let quotient_of g assignment =
+  let blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 1 assignment in
+  let labels = Array.make blocks 0 in
+  Array.iteri (fun v b -> labels.(b) <- Digraph.label g v) assignment;
+  let edges = ref [] in
+  Digraph.iter_edges g (fun u v ->
+      edges := (assignment.(u), assignment.(v)) :: !edges);
+  (Digraph.make ~n:blocks ~labels !edges, assignment)
+
+let index_graph g ~k = quotient_of g (compute g ~k)
+let index_graph_backward g ~k = quotient_of g (compute_backward g ~k)
+
+let compute_dk g ~k_of =
+  let n = Digraph.n g in
+  let ks = Array.init n k_of in
+  Array.iter
+    (fun k -> if k < 0 then invalid_arg "Kbisim.compute_dk: negative k")
+    ks;
+  if n = 0 then [||]
+  else begin
+    let kmax = Array.fold_left max 0 ks in
+    (* backward k-bisimulation for every depth up to kmax, reusing each
+       round: partitions.(k) is the backward k-bisimilarity assignment *)
+    let rev = Digraph.reverse g in
+    let partitions = Array.make (kmax + 1) [||] in
+    partitions.(0) <- Partition.normalize_assignment (Array.copy (Digraph.labels g));
+    for k = 1 to kmax do
+      partitions.(k) <- Bisimulation.refine_once rev partitions.(k - 1)
+    done;
+    (* group by the pair (own k, class at that k) *)
+    let tbl = Hashtbl.create (2 * n + 1) in
+    let next = ref 0 in
+    Array.init n (fun v ->
+        let key = (ks.(v), partitions.(ks.(v)).(v)) in
+        match Hashtbl.find_opt tbl key with
+        | Some b -> b
+        | None ->
+            let b = !next in
+            incr next;
+            Hashtbl.replace tbl key b;
+            b)
+    |> Partition.normalize_assignment
+  end
+
+let one_index g =
+  quotient_of g (Bisimulation.max_bisimulation (Digraph.reverse g))

@@ -1,0 +1,43 @@
+(** k-bisimulation: the A(k)-index partition [15] (paper related work and the
+    Sec 4.1 counter-example).
+
+    Nodes are k-bisimilar when they have equal labels (k = 0) and, for k > 0,
+    every child of one is (k-1)-bisimilar to some child of the other and vice
+    versa.  As k → ∞ this converges to the maximum bisimulation; for finite k
+    it is generally coarser, which is exactly why the A(k)-index does {e not}
+    preserve graph pattern queries (Fig 6, [G'2r]). *)
+
+(** [compute g ~k] is the k-bisimulation partition (dense block ids).
+    @raise Invalid_argument if [k < 0]. *)
+val compute : Digraph.t -> k:int -> int array
+
+(** [index_graph g ~k] is the quotient of [g] by forward k-bisimulation,
+    with block labels and block-level edges. *)
+val index_graph : Digraph.t -> k:int -> Digraph.t * int array
+
+(** [compute_backward g ~k] groups nodes by {e incoming} k-bisimilarity —
+    equal labels and, recursively, matching parents.  This is the actual
+    A(k)-index construction [15]: it summarises the label paths that lead
+    into a node, which is what XML path indexes need.  The paper's Sec 4.1
+    counter-example relies on this orientation: all three [A] nodes of
+    Fig 6's G1 share incoming structure, so their [B] children collapse
+    into one index node and the index overmatches pattern queries. *)
+val compute_backward : Digraph.t -> k:int -> int array
+
+(** [index_graph_backward g ~k] is the A(k)-index graph proper: the
+    quotient of [g] by {!compute_backward}. *)
+val index_graph_backward : Digraph.t -> k:int -> Digraph.t * int array
+
+(** [compute_dk g ~k_of] is the D(k)-index partition [26]: each node [v]
+    carries its own locality parameter [k_of v], and nodes group iff they
+    share the parameter and are incoming-[k]-bisimilar at that depth.  The
+    adaptive parameter is how D(k) trades index size against the path
+    lengths of the expected query load; with a constant [k_of] this is
+    exactly {!compute_backward}.
+    @raise Invalid_argument if some [k_of v] is negative. *)
+val compute_dk : Digraph.t -> k_of:(int -> int) -> int array
+
+(** [one_index g] is the 1-index of Milo & Suciu [19]: the quotient by
+    {e maximum} incoming bisimilarity — the k → ∞ limit of the A(k)
+    family. *)
+val one_index : Digraph.t -> Digraph.t * int array

@@ -1,0 +1,109 @@
+(* X-blocks group P-blocks; the worklist holds (potentially) compound
+   X-blocks.  Lazy deletion: an X-block popped with fewer than two P-blocks is
+   skipped. *)
+
+type xblock = { mutable pblocks : int list; mutable queued : bool }
+
+let coarsest_stable_refinement g ~initial =
+  let n = Digraph.n g in
+  if Array.length initial <> n then
+    invalid_arg "Paige_tarjan: initial partition length mismatch";
+  (* Pre-split every initial class on "has a successor", which makes the
+     partition stable w.r.t. the universe block. *)
+  let keys =
+    Array.init n (fun v ->
+        (initial.(v) * 2) + if Digraph.out_degree g v > 0 then 1 else 0)
+  in
+  let p = Partition.create_with keys in
+  (* Growable structures for X-blocks. *)
+  let xblocks = ref (Array.init 4 (fun _ -> { pblocks = []; queued = false })) in
+  let x_count = ref 0 in
+  let new_xblock pbs =
+    if !x_count = Array.length !xblocks then begin
+      let bigger =
+        Array.init (2 * !x_count) (fun i ->
+            if i < !x_count then !xblocks.(i)
+            else { pblocks = []; queued = false })
+      in
+      xblocks := bigger
+    end;
+    let id = !x_count in
+    incr x_count;
+    !xblocks.(id) <- { pblocks = pbs; queued = false };
+    id
+  in
+  let p2x = ref (Array.make (max 4 (Partition.block_count p)) 0) in
+  let set_p2x b x =
+    if b >= Array.length !p2x then begin
+      let bigger = Array.make (2 * (b + 1)) 0 in
+      Array.blit !p2x 0 bigger 0 (Array.length !p2x);
+      p2x := bigger
+    end;
+    !p2x.(b) <- x
+  in
+  let all_pblocks = List.init (Partition.block_count p) Fun.id in
+  let x0 = new_xblock all_pblocks in
+  List.iter (fun b -> set_p2x b x0) all_pblocks;
+  (* count(u, x) = number of edges from u into X-block x. *)
+  let counts : (int * int, int) Hashtbl.t = Hashtbl.create (2 * n + 1) in
+  for u = 0 to n - 1 do
+    let d = Digraph.out_degree g u in
+    if d > 0 then Hashtbl.replace counts (u, x0) d
+  done;
+  let worklist = Queue.create () in
+  let enqueue x =
+    let xb = !xblocks.(x) in
+    if (not xb.queued) && List.length xb.pblocks >= 2 then begin
+      xb.queued <- true;
+      Queue.add x worklist
+    end
+  in
+  enqueue x0;
+  let attach_split ~old_block ~new_block =
+    let x = !p2x.(old_block) in
+    set_p2x new_block x;
+    let xb = !xblocks.(x) in
+    xb.pblocks <- new_block :: xb.pblocks;
+    enqueue x
+  in
+  while not (Queue.is_empty worklist) do
+    let xs = Queue.pop worklist in
+    let xb = !xblocks.(xs) in
+    xb.queued <- false;
+    match xb.pblocks with
+    | [] | [ _ ] -> () (* stale entry *)
+    | b1 :: b2 :: rest ->
+        (* Detach the smaller of the first two P-blocks as its own X-block. *)
+        let b, remaining =
+          if Partition.block_size p b1 <= Partition.block_size p b2 then
+            (b1, b2 :: rest)
+          else (b2, b1 :: rest)
+        in
+        xb.pblocks <- remaining;
+        let xn = new_xblock [ b ] in
+        set_p2x b xn;
+        enqueue xs;
+        (* Move edge counts from xs to xn, collecting E⁻¹(B). *)
+        let preds = ref [] in
+        Partition.iter_block p b (fun v ->
+            Digraph.iter_pred g v (fun u ->
+                (match Hashtbl.find_opt counts (u, xs) with
+                | Some 1 -> Hashtbl.remove counts (u, xs)
+                | Some c -> Hashtbl.replace counts (u, xs) (c - 1)
+                | None -> assert false);
+                (match Hashtbl.find_opt counts (u, xn) with
+                | Some c -> Hashtbl.replace counts (u, xn) (c + 1)
+                | None ->
+                    Hashtbl.replace counts (u, xn) 1;
+                    preds := u :: !preds)));
+        (* Three-way split: first on membership in E⁻¹(B)... *)
+        List.iter (fun u -> Partition.mark p u) !preds;
+        Partition.split_marked p attach_split;
+        (* ... then, within E⁻¹(B), on having no edge left into S \ B. *)
+        List.iter
+          (fun u ->
+            if not (Hashtbl.mem counts (u, xs)) then Partition.mark p u)
+          !preds;
+        Partition.split_marked p attach_split
+  done;
+  Partition.normalize_assignment (Partition.assignment p)

@@ -1,0 +1,16 @@
+(** The Paige–Tarjan relational coarsest partition algorithm, O(|E| log |V|).
+
+    Given a digraph and an initial partition, computes the coarsest
+    refinement [P] that is stable with respect to the edge relation: for all
+    blocks [B, S] of [P], either [B ⊆ E⁻¹(S)] or [B ∩ E⁻¹(S) = ∅].  With the
+    initial partition given by node labels this is exactly the maximum
+    bisimulation equivalence relation (paper Sec 4.1, [8, 24]).
+
+    Uses the classic three-way split with per-(node, splitter) edge counts so
+    each refinement step charges the smaller half. *)
+
+(** [coarsest_stable_refinement g ~initial] returns the block id per node.
+    [initial.(v)] is any integer key; nodes with different keys are never
+    merged.  Block ids are dense.
+    @raise Invalid_argument if [initial] has the wrong length. *)
+val coarsest_stable_refinement : Digraph.t -> initial:int array -> int array

@@ -1,0 +1,159 @@
+type t = {
+  n : int;
+  elems : int array; (* permutation of 0..n-1, grouped by block *)
+  pos : int array; (* pos.(v) = index of v in elems *)
+  node_blk : int array;
+  mutable first : int array; (* first.(b) = start of block b in elems *)
+  mutable size : int array;
+  mutable marked : int array; (* number of marked members, at block front *)
+  mutable count : int; (* number of blocks *)
+  mutable touched : int list; (* blocks with >= 1 mark *)
+}
+
+let ensure_capacity p =
+  if p.count = Array.length p.first then begin
+    let grow a = Array.append a (Array.make (max 4 (Array.length a)) 0) in
+    p.first <- grow p.first;
+    p.size <- grow p.size;
+    p.marked <- grow p.marked
+  end
+
+let create n =
+  if n < 0 then invalid_arg "Partition.create: negative size";
+  {
+    n;
+    elems = Array.init n Fun.id;
+    pos = Array.init n Fun.id;
+    node_blk = Array.make n 0;
+    first = [| 0 |];
+    size = [| n |];
+    marked = [| 0 |];
+    count = 1;
+    touched = [];
+  }
+
+let create_with keys =
+  let n = Array.length keys in
+  (* Dense block id per distinct key, ordered by first appearance. *)
+  let tbl = Hashtbl.create (2 * n + 1) in
+  let node_blk = Array.make n 0 in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let b =
+      match Hashtbl.find_opt tbl keys.(v) with
+      | Some b -> b
+      | None ->
+          let b = !count in
+          incr count;
+          Hashtbl.replace tbl keys.(v) b;
+          b
+    in
+    node_blk.(v) <- b
+  done;
+  let count = max 1 !count in
+  let size = Array.make count 0 in
+  Array.iter (fun b -> size.(b) <- size.(b) + 1) node_blk;
+  let first = Array.make count 0 in
+  for b = 1 to count - 1 do
+    first.(b) <- first.(b - 1) + size.(b - 1)
+  done;
+  let fill = Array.copy first in
+  let elems = Array.make n 0 and pos = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let b = node_blk.(v) in
+    elems.(fill.(b)) <- v;
+    pos.(v) <- fill.(b);
+    fill.(b) <- fill.(b) + 1
+  done;
+  {
+    n;
+    elems;
+    pos;
+    node_blk;
+    first;
+    size;
+    marked = Array.make count 0;
+    count;
+    touched = [];
+  }
+
+let universe_size p = p.n
+let block_count p = p.count
+let block_of p v = p.node_blk.(v)
+let block_size p b = p.size.(b)
+
+let iter_block p b f =
+  let fst = p.first.(b) in
+  for i = fst to fst + p.size.(b) - 1 do
+    f p.elems.(i)
+  done
+
+let members p b =
+  let acc = ref [] in
+  iter_block p b (fun v -> acc := v :: !acc);
+  List.sort compare !acc
+
+let swap p i j =
+  if i <> j then begin
+    let a = p.elems.(i) and b = p.elems.(j) in
+    p.elems.(i) <- b;
+    p.elems.(j) <- a;
+    p.pos.(a) <- j;
+    p.pos.(b) <- i
+  end
+
+let mark p v =
+  let b = p.node_blk.(v) in
+  let mark_end = p.first.(b) + p.marked.(b) in
+  if p.pos.(v) >= mark_end then begin
+    (* Not yet marked: swap into the marked prefix. *)
+    if p.marked.(b) = 0 then p.touched <- b :: p.touched;
+    swap p p.pos.(v) mark_end;
+    p.marked.(b) <- p.marked.(b) + 1
+  end
+
+let marked_size p b = p.marked.(b)
+
+let split_marked p f =
+  let splits = ref [] in
+  List.iter
+    (fun b ->
+      let mk = p.marked.(b) in
+      p.marked.(b) <- 0;
+      if mk > 0 && mk < p.size.(b) then begin
+        ensure_capacity p;
+        let nb = p.count in
+        p.count <- p.count + 1;
+        p.first.(nb) <- p.first.(b);
+        p.size.(nb) <- mk;
+        p.marked.(nb) <- 0;
+        p.first.(b) <- p.first.(b) + mk;
+        p.size.(b) <- p.size.(b) - mk;
+        for i = p.first.(nb) to p.first.(nb) + mk - 1 do
+          p.node_blk.(p.elems.(i)) <- nb
+        done;
+        splits := (b, nb) :: !splits
+      end)
+    p.touched;
+  p.touched <- [];
+  List.iter (fun (b, nb) -> f ~old_block:b ~new_block:nb) !splits
+
+let assignment p = Array.copy p.node_blk
+
+let normalize_assignment a =
+  let tbl = Hashtbl.create (2 * Array.length a + 1) in
+  let next = ref 0 in
+  Array.map
+    (fun b ->
+      match Hashtbl.find_opt tbl b with
+      | Some d -> d
+      | None ->
+          let d = !next in
+          incr next;
+          Hashtbl.replace tbl b d;
+          d)
+    a
+
+let equivalent a b =
+  Array.length a = Array.length b
+  && normalize_assignment a = normalize_assignment b

@@ -1,0 +1,62 @@
+(** Refinable partitions of the integer universe [0 .. n-1].
+
+    The classic mark-and-split structure backing partition refinement
+    (Paige–Tarjan, bisimulation, k-bisimulation): nodes live in a permutation
+    array grouped by block; marking swaps a node to the marked prefix of its
+    block; splitting turns each marked prefix into a fresh block in O(marked).
+
+    Blocks are dense ids [0 .. block_count-1].  Splitting never renames the
+    unmarked remainder: the marked part receives the new id. *)
+
+type t
+
+(** [create n] is the single-block partition of [0 .. n-1] (block 0).
+    [n = 0] yields an empty partition with one empty block. *)
+val create : int -> t
+
+(** [create_with keys] groups positions by key: nodes with equal [keys.(v)]
+    start in the same block.  Block ids are assigned in order of first
+    appearance of each key. *)
+val create_with : int array -> t
+
+(** [universe_size p] is [n]. *)
+val universe_size : t -> int
+
+(** [block_count p] is the current number of blocks. *)
+val block_count : t -> int
+
+(** [block_of p v] is the block currently containing [v]. *)
+val block_of : t -> int -> int
+
+(** [block_size p b] is the number of members of block [b]. *)
+val block_size : t -> int -> int
+
+(** [iter_block p b f] applies [f] to each member of [b] (unspecified
+    order). *)
+val iter_block : t -> int -> (int -> unit) -> unit
+
+(** [members p b] lists the members of [b] in ascending order. *)
+val members : t -> int -> int list
+
+(** [mark p v] marks [v] for the next {!split_marked}.  Marking twice is a
+    no-op. *)
+val mark : t -> int -> unit
+
+(** [marked_size p b] is the number of currently marked members of [b]. *)
+val marked_size : t -> int -> int
+
+(** [split_marked p f] splits every block containing both marked and
+    unmarked nodes: the marked members move to a fresh block [nb] and
+    [f ~old_block ~new_block] is called once per such split.  Fully marked
+    blocks are left intact.  All marks are cleared. *)
+val split_marked : t -> (old_block:int -> new_block:int -> unit) -> unit
+
+(** [assignment p] is the block id per node (a fresh array). *)
+val assignment : t -> int array
+
+(** [normalize_assignment a] renumbers an arbitrary block-id array to dense
+    ids in order of first appearance, so partitions compare structurally. *)
+val normalize_assignment : int array -> int array
+
+(** [equivalent a b] whether two assignments induce the same partition. *)
+val equivalent : int array -> int array -> bool

@@ -1,0 +1,1 @@
+lib/query/bounded_sim.ml: Array Bitset Digraph Hashtbl List Pattern Queue Transitive Traversal

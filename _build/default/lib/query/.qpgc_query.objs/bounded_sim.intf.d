@@ -1,0 +1,1 @@
+lib/query/bounded_sim.mli: Bitset Digraph Pattern

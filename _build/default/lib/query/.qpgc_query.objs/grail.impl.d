@@ -1,0 +1,1 @@
+lib/query/grail.ml: Array Bitset Digraph Fun Random Scc Stack

@@ -1,0 +1,1 @@
+lib/query/grail.mli: Digraph

@@ -1,0 +1,1 @@
+lib/query/inc_match.ml: Array Bitset Bounded_sim Digraph Edge_update List Pattern Queue Traversal

@@ -1,0 +1,1 @@
+lib/query/inc_match.mli: Digraph Edge_update Pattern

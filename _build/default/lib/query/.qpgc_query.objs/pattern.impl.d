@@ -1,0 +1,1 @@
+lib/query/pattern.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/query/pattern_gen.ml: Array Digraph Hashtbl List Pattern Queue Random Traversal

@@ -1,0 +1,1 @@
+lib/query/pattern_gen.mli: Digraph Pattern Random

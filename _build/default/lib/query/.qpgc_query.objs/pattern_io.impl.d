@@ -1,0 +1,1 @@
+lib/query/pattern_io.ml: Array Buffer Format Fun In_channel List Pattern Printf String

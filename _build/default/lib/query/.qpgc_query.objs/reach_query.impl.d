@@ -1,0 +1,1 @@
+lib/query/reach_query.ml: Array Digraph Random Traversal

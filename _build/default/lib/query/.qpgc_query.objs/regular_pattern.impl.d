@@ -1,0 +1,1 @@
+lib/query/regular_pattern.ml: Array Bitset Digraph Format Hashtbl List Pattern Queue Rpq

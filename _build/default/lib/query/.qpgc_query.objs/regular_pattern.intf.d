@@ -1,0 +1,1 @@
+lib/query/regular_pattern.mli: Digraph Format Pattern Rpq

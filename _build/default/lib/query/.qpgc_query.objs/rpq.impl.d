@@ -1,0 +1,1 @@
+lib/query/rpq.ml: Array Bitset Digraph Format Hashtbl List Printf Queue String

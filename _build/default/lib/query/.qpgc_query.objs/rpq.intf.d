@@ -1,0 +1,1 @@
+lib/query/rpq.mli: Bitset Digraph Format

@@ -1,0 +1,1 @@
+lib/query/simulation.ml: Array Bitset Digraph List Pattern Queue

@@ -1,0 +1,1 @@
+lib/query/simulation.mli: Digraph Pattern

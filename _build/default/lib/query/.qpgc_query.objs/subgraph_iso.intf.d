@@ -1,0 +1,1 @@
+lib/query/subgraph_iso.mli: Digraph

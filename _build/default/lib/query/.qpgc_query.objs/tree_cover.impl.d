@@ -1,0 +1,1 @@
+lib/query/tree_cover.ml: Array Digraph List Scc Stack

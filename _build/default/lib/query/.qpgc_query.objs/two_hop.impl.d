@@ -1,0 +1,1 @@
+lib/query/two_hop.ml: Array Bitset Digraph Fun List Queue

@@ -1,0 +1,1 @@
+lib/query/two_hop.mli: Digraph

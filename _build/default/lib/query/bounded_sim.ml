@@ -1,0 +1,145 @@
+type cache = {
+  graph : Digraph.t;
+  (* bound -> per-node descendant bitsets; key -1 stands for [*]. *)
+  by_bound : (int, Bitset.t array) Hashtbl.t;
+}
+
+let make_cache g = { graph = g; by_bound = Hashtbl.create 4 }
+
+let descendants_for cache key =
+  match Hashtbl.find_opt cache.by_bound key with
+  | Some sets -> sets
+  | None ->
+      let g = cache.graph in
+      let sets =
+        if key = -1 then Transitive.descendant_sets g
+        else
+          Array.init (Digraph.n g) (fun v -> Traversal.bounded_descendants g v key)
+      in
+      Hashtbl.replace cache.by_bound key sets;
+      sets
+
+let check_cache g = function
+  | Some c ->
+      if c.graph != g then
+        invalid_arg "Bounded_sim: cache built on a different graph";
+      c
+  | None -> make_cache g
+
+let refine ?cache p g ~cand =
+  let cache = check_cache g cache in
+  let np = Pattern.node_count p in
+  if Array.length cand <> np then
+    invalid_arg "Bounded_sim.refine: candidate array length mismatch";
+  if np = 0 then Some [||]
+  else begin
+    (* witness v b u' : some node within reach of v under b lies in cand(u'). *)
+    let witness v b u' =
+      match b with
+      | Pattern.Bounded 1 ->
+          Digraph.fold_succ g v
+            (fun acc w -> acc || Bitset.mem cand.(u') w)
+            false
+      | Pattern.Bounded k ->
+          not (Bitset.disjoint (descendants_for cache k).(v) cand.(u'))
+      | Pattern.Unbounded ->
+          not (Bitset.disjoint (descendants_for cache (-1)).(v) cand.(u'))
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to np - 1 do
+        let outs = Pattern.out_edges p u in
+        if outs <> [] then begin
+          let to_remove = ref [] in
+          Bitset.iter
+            (fun v ->
+              if not (List.for_all (fun (u', b) -> witness v b u') outs) then
+                to_remove := v :: !to_remove)
+            cand.(u);
+          if !to_remove <> [] then begin
+            changed := true;
+            List.iter (Bitset.remove cand.(u)) !to_remove
+          end
+        end
+      done
+    done;
+    if Array.exists Bitset.is_empty cand then None
+    else Some (Array.map (fun s -> Array.of_list (Bitset.to_list s)) cand)
+  end
+
+let label_candidates p g =
+  let np = Pattern.node_count p and n = Digraph.n g in
+  let cand = Array.init np (fun _ -> Bitset.create n) in
+  for v = 0 to n - 1 do
+    for u = 0 to np - 1 do
+      if Pattern.label p u = Digraph.label g v then Bitset.add cand.(u) v
+    done
+  done;
+  cand
+
+let eval ?cache p g = refine ?cache p g ~cand:(label_candidates p g)
+
+(* The cubic formulation: materialise nonempty-path shortest distances with
+   one BFS per source, then run the same greatest-fixpoint removal with
+   constant-time distance lookups. *)
+let eval_matrix p g =
+  let np = Pattern.node_count p and n = Digraph.n g in
+  if np = 0 then Some [||]
+  else begin
+    let dist = Array.make_matrix (max 1 n) (max 1 n) max_int in
+    for s = 0 to n - 1 do
+      (* nonempty-path distances: seed with successors at distance 1 *)
+      let row = dist.(s) in
+      let q = Queue.create () in
+      Digraph.iter_succ g s (fun w ->
+          if row.(w) = max_int then begin
+            row.(w) <- 1;
+            Queue.add w q
+          end);
+      while not (Queue.is_empty q) do
+        let x = Queue.pop q in
+        Digraph.iter_succ g x (fun w ->
+            if row.(w) = max_int then begin
+              row.(w) <- row.(x) + 1;
+              Queue.add w q
+            end)
+      done
+    done;
+    let cand = label_candidates p g in
+    let within v v' = function
+      | Pattern.Bounded k -> dist.(v).(v') <= k
+      | Pattern.Unbounded -> dist.(v).(v') < max_int
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to np - 1 do
+        let outs = Pattern.out_edges p u in
+        if outs <> [] then begin
+          let to_remove = ref [] in
+          Bitset.iter
+            (fun v ->
+              let supported =
+                List.for_all
+                  (fun (u', b) ->
+                    Bitset.fold
+                      (fun v' acc -> acc || within v v' b)
+                      cand.(u') false)
+                  outs
+              in
+              if not supported then to_remove := v :: !to_remove)
+            cand.(u);
+          if !to_remove <> [] then begin
+            changed := true;
+            List.iter (Bitset.remove cand.(u)) !to_remove
+          end
+        end
+      done
+    done;
+    if Array.exists Bitset.is_empty cand then None
+    else Some (Array.map (fun s -> Array.of_list (Bitset.to_list s)) cand)
+  end
+
+let eval_boolean ?cache p g =
+  match eval ?cache p g with Some _ -> true | None -> false

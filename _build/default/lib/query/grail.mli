@@ -1,0 +1,33 @@
+(** GRAIL reachability index (Yildirim, Chaoji & Zaki [34]) — one of the
+    index baselines the paper's related-work section positions query
+    preserving compression against.
+
+    Each node gets [k] interval labels from [k] randomized post-order
+    traversals of the condensation DAG: the label of [v] in traversal [i]
+    is [\[low_i(v), post_i(v)\]] where [low_i] is the minimum post rank in
+    [v]'s reachable set.  [u ⇝ v] implies containment in every traversal;
+    containment without reachability is possible, so a positive test falls
+    back to a pruned DFS.  Construction is O(k·(|V| + |E|)), storage
+    O(k·|V|) — the "quadratic or worse" costs of 2-hop/PathTree are what
+    GRAIL (and compression) avoid.
+
+    Like every evaluator here, GRAIL runs on compressed graphs unchanged —
+    compression and indexing compose. *)
+
+type t
+
+(** [build ?traversals ?seed g] constructs the index ([traversals]
+    defaults to 3). *)
+val build : ?traversals:int -> ?seed:int -> Digraph.t -> t
+
+(** [query t u v] answers [QR(u, v)] (reflexive). *)
+val query : t -> int -> int -> bool
+
+(** [memory_bytes t] estimates the index size: 2·k ints per node plus the
+    SCC map. *)
+val memory_bytes : t -> int
+
+(** [fallbacks t] counts queries so far that could not be answered from
+    intervals alone and needed the DFS fallback; exposed so benchmarks can
+    report the pruning power. *)
+val fallbacks : t -> int

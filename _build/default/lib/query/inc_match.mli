@@ -1,0 +1,25 @@
+(** Incremental bounded simulation: [IncBMatch] of [9], the baseline of
+    Fig 12(h).
+
+    Maintains the maximum match of one pattern over an evolving graph.
+    Deletions shrink the maximum match, so the previous match is a valid
+    upper bound and the removal fixpoint restarts from it.  Insertions grow
+    it; only nodes with a bounded path to an inserted edge's source can gain
+    membership (support chains must cross an inserted edge), so those are
+    re-admitted as candidates before re-running the fixpoint.  Work is
+    proportional to the affected region rather than a from-scratch
+    evaluation when updates are small. *)
+
+type t
+
+(** [create p g] evaluates [p] on [g] and starts tracking. *)
+val create : Pattern.t -> Digraph.t -> t
+
+(** [graph t] is the current graph (all applied updates included). *)
+val graph : t -> Digraph.t
+
+(** [result t] is the current maximum match. *)
+val result : t -> Pattern.result
+
+(** [apply t updates] applies the batch and returns the refreshed match. *)
+val apply : t -> Edge_update.t list -> Pattern.result

@@ -1,0 +1,37 @@
+(** Random pattern query generator (paper Sec 6, "pattern generator"),
+    controlled by the number of query nodes [Vp], edges [Ep], the label set,
+    and an upper bound [k] for edge constraints.
+
+    Two modes:
+    - {!random}: labels drawn from the data graph's label frequency; the
+      structure is a random spanning tree plus extra edges.  Matches may or
+      may not exist, like the paper's uniform workload.
+    - {!anchored}: the pattern mirrors an actual subtree of the data graph,
+      so a match is guaranteed to exist; used where a bench needs non-empty
+      results. *)
+
+(** [random rng g ~nodes ~edges ~max_bound ~unbounded_prob] draws a pattern.
+    [edges] is clamped to at least [nodes - 1] (spanning tree) and at most
+    [nodes²].  Each bound is uniform on [1 .. max_bound], replaced by [*]
+    with probability [unbounded_prob].
+    @raise Invalid_argument if [nodes < 1] or the data graph is empty. *)
+val random :
+  Random.State.t ->
+  Digraph.t ->
+  nodes:int ->
+  edges:int ->
+  max_bound:int ->
+  unbounded_prob:float ->
+  Pattern.t
+
+(** [anchored rng g ~nodes ~edges ~max_bound] samples a BFS subtree of [g]
+    rooted at a random node, labels the pattern accordingly and adds extra
+    edges only where the data nodes are within [max_bound] hops, so the
+    sampled nodes themselves form a match. *)
+val anchored :
+  Random.State.t ->
+  Digraph.t ->
+  nodes:int ->
+  edges:int ->
+  max_bound:int ->
+  Pattern.t

@@ -1,0 +1,21 @@
+(** Text serialisation of pattern queries, mirroring {!Graph_io}'s format.
+
+    {v
+    n <node-count>
+    l <node-id> <label-id>       # fv; defaults to 0
+    e <src> <dst> <bound>        # fe; <bound> is a positive integer or *
+    v} *)
+
+(** Raised with a 1-based line number and message. *)
+exception Parse_error of int * string
+
+(** [of_string s] parses a pattern.  @raise Parse_error on bad input. *)
+val of_string : string -> Pattern.t
+
+(** [to_string p] prints a pattern in the format above. *)
+val to_string : Pattern.t -> string
+
+(** [load path] / [save path p] are the file variants. *)
+val load : string -> Pattern.t
+
+val save : string -> Pattern.t -> unit

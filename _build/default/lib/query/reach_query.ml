@@ -1,0 +1,25 @@
+type algorithm = Bfs | Bibfs | Dfs
+
+let all_algorithms = [ Bfs; Bibfs; Dfs ]
+
+let algorithm_name = function
+  | Bfs -> "BFS"
+  | Bibfs -> "BiBFS"
+  | Dfs -> "DFS"
+
+let eval algo g ~source ~target =
+  match algo with
+  | Bfs -> Traversal.bfs_reaches g source target
+  | Bibfs -> Traversal.bibfs_reaches g source target
+  | Dfs -> Traversal.dfs_reaches g source target
+
+let eval_nonempty algo g ~source ~target =
+  if source <> target then eval algo g ~source ~target
+  else Traversal.bfs_reaches_nonempty g source target
+
+let random_pairs rng g ~count =
+  let n = Digraph.n g in
+  if n = 0 && count > 0 then
+    invalid_arg "Reach_query.random_pairs: empty graph";
+  Array.init count (fun _ ->
+      (Random.State.int rng n, Random.State.int rng n))

@@ -1,0 +1,29 @@
+(** Reachability queries [QR(v, w)] (paper Sec 2.1) and their stock
+    evaluation algorithms.
+
+    A reachability query asks whether [v] can reach [w].  Following the
+    standard convention the paper's experiments use, [QR(v, v)] is [true];
+    queries between {e distinct} nodes need an actual path.  The compressed
+    form additionally distinguishes distinct equivalent nodes mapped to the
+    same hypernode, which {!Compress_reach} resolves with the hypernode's
+    self-loop — still by running one of these evaluators on [Gr]. *)
+
+type algorithm =
+  | Bfs  (** forward breadth-first search *)
+  | Bibfs  (** bidirectional BFS *)
+  | Dfs  (** iterative depth-first search *)
+
+val all_algorithms : algorithm list
+
+val algorithm_name : algorithm -> string
+
+(** [eval algo g ~source ~target] answers [QR(source, target)] on [g]. *)
+val eval : algorithm -> Digraph.t -> source:int -> target:int -> bool
+
+(** [eval_nonempty algo g ~source ~target] requires a nonempty path; it
+    differs from {!eval} only when [source = target]. *)
+val eval_nonempty : algorithm -> Digraph.t -> source:int -> target:int -> bool
+
+(** [random_pairs rng g ~count] draws query node pairs uniformly (the Exp-2
+    workload).  @raise Invalid_argument on an empty graph with [count > 0]. *)
+val random_pairs : Random.State.t -> Digraph.t -> count:int -> (int * int) array

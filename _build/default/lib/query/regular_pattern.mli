@@ -1,0 +1,42 @@
+(** Graph pattern queries with embedded regular expressions — the other
+    query class the paper names in Sec 7 ("compression methods for other
+    queries, e.g., pattern queries with embedded regular expressions"),
+    following the shape of the authors' regular-expression pattern queries
+    (Fan et al., ICDE 2011).
+
+    A regular pattern is a pattern graph whose edges carry a regular
+    expression ({!Rpq.t}) over node labels: edge [(u, u')] with expression
+    [r] maps to a nonempty data path [v = x₀ → x₁ → … → xₘ = v'] whose
+    {e intermediate} nodes [x₁ … xₘ₋₁] spell a word in [L(r)] (a direct
+    edge spells the empty word).  Bounded-simulation edges are the special
+    case [r = .{0,k-1}] (at most k-1 intermediates); [*]-edges are
+    [r = .*] — {!of_pattern} performs that embedding, and the test suite
+    pins {!eval} to {!Bounded_sim.eval} through it.
+
+    The answer is the unique maximum match, like bounded simulation, and
+    the pattern preserving compression of Sec 4 preserves it: the witness
+    condition only consults label paths, which bisimulation quotients
+    preserve exactly ({!Compress_bisim}-style evaluation is
+    [eval] on [Gr] + hypernode expansion; see the tests). *)
+
+type t
+
+(** [make ~n ~labels ~edges] builds a regular pattern.
+    @raise Invalid_argument on out-of-range endpoints or label mismatch. *)
+val make : n:int -> labels:int array -> edges:(int * int * Rpq.t) list -> t
+
+val node_count : t -> int
+val edge_count : t -> int
+val label : t -> int -> int
+val edges : t -> (int * int * Rpq.t) list
+
+(** [of_pattern p] embeds a bounded-simulation pattern: bound [k] becomes
+    [k-1] optional wildcards, [*] becomes [.*]. *)
+val of_pattern : Pattern.t -> t
+
+(** [eval p g] is the maximum match ([None] when some pattern node matches
+    nothing), in the same result shape as {!Bounded_sim.eval}.  Evaluation
+    on a compressed graph lives in [Compress_bisim.answer_regular]. *)
+val eval : t -> Digraph.t -> Pattern.result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Graph simulation (Henzinger, Henzinger & Kopke [12]): the special case
+    of pattern matching where every pattern edge maps to a single data edge
+    (all bounds 1, paper Sec 2.1).
+
+    Implemented with the counter-based refinement: maintain per pattern edge
+    [(u,u')] and data node [v] the number of successors of [v] still matching
+    [u']; when it hits zero, [v] stops matching [u] and the removal cascades
+    through predecessors.  O(|Ep|·(|V| + |E|)). *)
+
+(** [eval p g] is the unique maximum simulation match of [p] in [g]:
+    [Some matches] with sorted arrays per pattern node, or [None] when some
+    pattern node matches nothing.
+    @raise Invalid_argument if [p] has an edge with a bound other than 1. *)
+val eval : Pattern.t -> Digraph.t -> Pattern.result

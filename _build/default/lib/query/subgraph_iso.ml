@@ -1,0 +1,104 @@
+(* VF2-style backtracking: assign pattern nodes in a static order that
+   keeps the assigned prefix connected where possible; prune candidates by
+   label, degree, and adjacency consistency with the assigned prefix. *)
+
+let matching_order pattern =
+  let np = Digraph.n pattern in
+  let order = Array.make np (-1) in
+  let placed = Array.make np false in
+  let degree v = Digraph.out_degree pattern v + Digraph.in_degree pattern v in
+  let next_connected () =
+    (* prefer an unplaced node adjacent to the placed prefix, max degree *)
+    let best = ref (-1) in
+    for v = 0 to np - 1 do
+      if not placed.(v) then begin
+        let adjacent =
+          Digraph.fold_succ pattern v (fun acc w -> acc || placed.(w)) false
+          || Array.exists (fun w -> placed.(w)) (Digraph.pred pattern v)
+        in
+        if adjacent && (!best = -1 || degree v > degree !best) then best := v
+      end
+    done;
+    if !best >= 0 then !best
+    else begin
+      (* new component: any unplaced node of max degree *)
+      let b = ref (-1) in
+      for v = 0 to np - 1 do
+        if (not placed.(v)) && (!b = -1 || degree v > degree !b) then b := v
+      done;
+      !b
+    end
+  in
+  for i = 0 to np - 1 do
+    let v = next_connected () in
+    order.(i) <- v;
+    placed.(v) <- true
+  done;
+  order
+
+let search ?limit ~pattern g ~on_found =
+  let np = Digraph.n pattern and n = Digraph.n g in
+  if np = 0 then on_found [||]
+  else if np > n then ()
+  else begin
+    let order = matching_order pattern in
+    let assignment = Array.make np (-1) in
+    let used = Array.make n false in
+    let found = ref 0 in
+    let stop () = match limit with Some l -> !found >= l | None -> false in
+    let feasible u v =
+      Digraph.label pattern u = Digraph.label g v
+      && (not used.(v))
+      && Digraph.out_degree g v >= Digraph.out_degree pattern u
+      && Digraph.in_degree g v >= Digraph.in_degree pattern u
+      (* every already-assigned neighbour must map to a real edge; a
+         pattern self-loop constrains v itself *)
+      && Array.for_all
+           (fun u' ->
+             if u' = u then Digraph.mem_edge g v v
+             else assignment.(u') < 0 || Digraph.mem_edge g v assignment.(u'))
+           (Digraph.succ pattern u)
+      && Array.for_all
+           (fun u' ->
+             if u' = u then Digraph.mem_edge g v v
+             else assignment.(u') < 0 || Digraph.mem_edge g assignment.(u') v)
+           (Digraph.pred pattern u)
+    in
+    let rec go i =
+      if not (stop ()) then
+        if i = np then begin
+          incr found;
+          on_found (Array.copy assignment)
+        end
+        else begin
+          let u = order.(i) in
+          for v = 0 to n - 1 do
+            if (not (stop ())) && feasible u v then begin
+              assignment.(u) <- v;
+              used.(v) <- true;
+              go (i + 1);
+              assignment.(u) <- -1;
+              used.(v) <- false
+            end
+          done
+        end
+    in
+    go 0
+  end
+
+exception Found of int array
+
+let find ~pattern g =
+  try
+    search ~limit:1 ~pattern g ~on_found:(fun m -> raise (Found m));
+    None
+  with Found m -> Some m
+
+let embeds ~pattern g = find ~pattern g <> None
+
+let find_all ?(limit = 1000) ~pattern g =
+  let acc = ref [] in
+  search ~limit ~pattern g ~on_found:(fun m -> acc := m :: !acc);
+  List.sort compare (List.rev !acc)
+
+let count ?limit ~pattern g = List.length (find_all ?limit ~pattern g)

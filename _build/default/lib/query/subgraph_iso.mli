@@ -1,0 +1,34 @@
+(** Subgraph isomorphism, the matching semantics the paper contrasts with
+    (bounded) simulation in Sec 1: NP-complete, and — unlike simulation —
+    {e not} preserved by the bisimulation-based compression.
+
+    An embedding of pattern [p] into [g] is an injective node map that
+    preserves labels and maps every pattern edge to a data edge.  Both
+    failure directions occur on compressed graphs, and the test suite pins
+    them down:
+    - {e under-reporting}: two bisimilar data nodes collapse into one
+      hypernode, so a pattern needing two distinct same-behaviour nodes
+      matches [G] but not [Gr];
+    - {e over-reporting}: an edge between two bisimilar nodes becomes a
+      hypernode self-loop, so a pattern with a self-loop matches [Gr] but
+      not [G].
+
+    This is exactly why query preserving compression is defined {e relative
+    to a query class}: [Gr] serves the class it was built for.
+
+    The matcher is a VF2-style backtracking search with label/degree
+    pruning — exponential worst case, as it must be. *)
+
+(** [embeds ~pattern g] decides whether an embedding exists. *)
+val embeds : pattern:Digraph.t -> Digraph.t -> bool
+
+(** [find ~pattern g] returns one embedding: [m.(u)] is the data node for
+    pattern node [u].  [None] if none exists. *)
+val find : pattern:Digraph.t -> Digraph.t -> int array option
+
+(** [find_all ?limit ~pattern g] enumerates embeddings (up to [limit],
+    default 1000), in lexicographic order of the mapping array. *)
+val find_all : ?limit:int -> pattern:Digraph.t -> Digraph.t -> int array list
+
+(** [count ?limit ~pattern g] is [List.length (find_all ?limit ~pattern g)]. *)
+val count : ?limit:int -> pattern:Digraph.t -> Digraph.t -> int

@@ -1,0 +1,28 @@
+(** Tree-cover reachability index (Agrawal, Borgida & Jagadish) — the
+    classic interval-labeling scheme behind PathTree-style indexes the
+    paper's related work discusses.
+
+    Over the condensation DAG, a spanning forest gets post-order intervals;
+    each node then holds a minimal set of intervals covering everything it
+    reaches: its own tree interval merged with its successors' sets,
+    propagated in reverse topological order.  [u ⇝ v] iff [v]'s post rank
+    falls inside one of [u]'s intervals — a binary search, no fallback.
+
+    Exact, O(log) query time; worst-case index size O(|V|²) (dense DAGs),
+    which is precisely the cost profile that makes compression attractive:
+    build the same index over [Gr] instead and both the size and the build
+    time shrink with it. *)
+
+type t
+
+(** [build g] constructs the index. *)
+val build : Digraph.t -> t
+
+(** [query t u v] answers [QR(u, v)] (reflexive). *)
+val query : t -> int -> int -> bool
+
+(** [interval_count t] is the total number of stored intervals. *)
+val interval_count : t -> int
+
+(** [memory_bytes t] estimates the index footprint. *)
+val memory_bytes : t -> int

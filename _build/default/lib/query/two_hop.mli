@@ -1,0 +1,27 @@
+(** 2-hop reachability labeling (Cohen et al. [6]; paper Exp-2, Fig 12(d)).
+
+    Every node [v] carries two hop sets: [Lout(v)] (hops reachable from [v])
+    and [Lin(v)] (hops reaching [v]); then [u] reaches [w] iff
+    [Lout(u) ∩ Lin(w) ≠ ∅] (both sets implicitly contain the node itself).
+    Built with pruned landmark labeling in descending-degree order, the
+    standard practical construction of a 2-hop cover.
+
+    The paper's point, which Fig 12(d) reproduces: this index is far larger
+    than the compressed graph [Gr], and building it on [Gr] instead of [G] is
+    both feasible and much cheaper — compression composes with indexing. *)
+
+type t
+
+(** [build g] constructs the labeling.  Worst case O(|V|·(|V|+|E|)); the
+    pruning keeps practical label sizes near linear. *)
+val build : Digraph.t -> t
+
+(** [query t u w] answers [QR(u, w)] (reflexively true when [u = w]). *)
+val query : t -> int -> int -> bool
+
+(** [entry_count t] is the total number of hop entries across all labels. *)
+val entry_count : t -> int
+
+(** [memory_bytes t] estimates the resident size of the labeling (8 bytes
+    per entry plus per-node array overhead), the Fig 12(d) metric. *)
+val memory_bytes : t -> int

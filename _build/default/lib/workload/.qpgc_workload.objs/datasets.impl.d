@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Array Digraph Generators Hashtbl List Random

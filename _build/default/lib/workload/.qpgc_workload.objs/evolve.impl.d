@@ -1,0 +1,1 @@
+lib/workload/evolve.ml: Digraph Edge_update Generators List Random Update_gen

@@ -1,0 +1,1 @@
+lib/workload/evolve.mli: Digraph

@@ -1,0 +1,1 @@
+lib/workload/update_gen.ml: Array Digraph Edge_update Fun Hashtbl List Random

@@ -1,0 +1,32 @@
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render ~header rows =
+  let width = List.length header in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    if List.length row <> width then
+      invalid_arg "Csv.render: ragged row";
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let float f = Printf.sprintf "%.6g" f
+let pct f = Printf.sprintf "%.4g" (100. *. f)

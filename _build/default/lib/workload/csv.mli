@@ -1,0 +1,13 @@
+(** Minimal CSV rendering for the experiment runners: RFC-4180-style
+    quoting, one [render] helper shared by every experiment's [csv]
+    function, so results feed straight into plotting scripts. *)
+
+(** [render ~header rows] builds a CSV document; every row must have the
+    header's arity.  @raise Invalid_argument on ragged rows. *)
+val render : header:string list -> string list list -> string
+
+(** [float f] formats a float compactly ("%.6g"). *)
+val float : float -> string
+
+(** [pct f] formats a fraction as a percentage with 4 significant digits. *)
+val pct : float -> string

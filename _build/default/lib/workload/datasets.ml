@@ -1,0 +1,429 @@
+type family =
+  | Social of {
+      core_frac : float;  (** fraction of nodes in the dense SCC core *)
+      both_frac : float;  (** periphery fraction linked both ways to core *)
+      chain_frac : float;
+          (** periphery fraction forming follower chains (tree-like tails
+              that resist merging and keep the compression ratio honest) *)
+      copy_prob : float;  (** probability a periphery node clones another *)
+    }
+  | Web of { hosts : int; copy_prob : float; root_link : float }
+  | Citation of {
+      copy_prob : float;  (** bibliography copying *)
+      mutual_prob : float;  (** same-batch mutual citations (small SCCs) *)
+    }
+  | P2p of { leaf_frac : float }
+      (** two-tier overlay: ultrapeers know each other and their leaves;
+          leaves have no out-links *)
+  | Internet
+  | Duplicated of { base : family; frac : float }
+      (** rewire [frac] of the nodes to clone another node's out-links and
+          label — manufactures bisimilar pairs on any base topology *)
+
+type spec = {
+  name : string;
+  family : family;
+  nodes : int;
+  edges : int;
+  labels : int;
+  paper_nodes : int;
+  paper_edges : int;
+  paper_rc_aho : float option;
+  paper_rc_scc : float option;
+  paper_rc : float option;
+  paper_pc : float option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generators.  Each returns the edge list; labels are assigned after,
+   then copy-model duplicates inherit the label of their template so the
+   duplication creates genuinely bisimilar pairs. *)
+
+let zipf_label rng labels =
+  (* Zipf(1) over [0, labels): realistic skew for categories. *)
+  if labels <= 1 then 0
+  else begin
+    let total = ref 0.0 in
+    for i = 1 to labels do
+      total := !total +. (1.0 /. float_of_int i)
+    done;
+    let x = Random.State.float rng !total in
+    let rec go i acc =
+      if i >= labels - 1 then labels - 1
+      else begin
+        let acc = acc +. (1.0 /. float_of_int (i + 1)) in
+        if x < acc then i else go (i + 1) acc
+      end
+    in
+    go 0 0.0
+  end
+
+let social rng ~n ~m ~labels ~core_frac ~both_frac ~chain_frac ~copy_prob =
+  let n = max 4 n in
+  let core_n = max 2 (int_of_float (core_frac *. float_of_int n)) in
+  let label_of = Array.init n (fun _ -> zipf_label rng labels) in
+  let edges = ref [] in
+  let count = ref 0 in
+  let add u v =
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      incr count
+    end
+  in
+  (* Dense strongly connected core: a cycle plus random chords. *)
+  for v = 0 to core_n - 1 do
+    add v ((v + 1) mod core_n)
+  done;
+  let core_budget = m / 3 in
+  while !count < core_budget do
+    add (Random.State.int rng core_n) (Random.State.int rng core_n)
+  done;
+  (* Periphery roles.  Chains hang node-off-node (each link distinct, the
+     incompressible tail); the rest attach straight to the core and merge
+     readily.  Copying clones a template's out-list and label, producing
+     exact twins. *)
+  let out_of = Array.make n [] in
+  let periphery = n - core_n in
+  let per_node =
+    if periphery = 0 then 1 else max 1 ((m - !count) / max 1 periphery)
+  in
+  for v = core_n to n - 1 do
+    let copied =
+      v > core_n + 1
+      && Random.State.float rng 1.0 < copy_prob
+      &&
+      let t = core_n + Random.State.int rng (v - core_n) in
+      out_of.(t) <> []
+      && begin
+           label_of.(v) <- label_of.(t);
+           out_of.(v) <- out_of.(t);
+           List.iter (fun w -> add v w) out_of.(t);
+           true
+         end
+    in
+    if not copied then begin
+      let roll = Random.State.float rng 1.0 in
+      if roll < chain_frac && v > core_n then begin
+        (* Follower chain: link to a random earlier periphery node. *)
+        let p = core_n + Random.State.int rng (v - core_n) in
+        add v p;
+        out_of.(v) <- [ p ];
+        if Random.State.float rng 1.0 < 0.3 then begin
+          let c = Random.State.int rng core_n in
+          add v c;
+          out_of.(v) <- c :: out_of.(v)
+        end
+      end
+      else if roll < chain_frac +. both_frac then begin
+        let d = 1 + Random.State.int rng (max 1 per_node) in
+        for _ = 1 to max 1 (d / 2) do
+          let c = Random.State.int rng core_n in
+          add v c;
+          out_of.(v) <- c :: out_of.(v)
+        done;
+        add (Random.State.int rng core_n) v
+      end
+      else if Random.State.bool rng then begin
+        let d = 1 + Random.State.int rng (max 1 per_node) in
+        for _ = 1 to d do
+          let c = Random.State.int rng core_n in
+          add v c;
+          out_of.(v) <- c :: out_of.(v)
+        done
+      end
+      else begin
+        let d = 1 + Random.State.int rng (max 1 per_node) in
+        for _ = 1 to d do
+          add (Random.State.int rng core_n) v
+        done
+      end
+    end
+  done;
+  (* Top up to the edge budget with core-to-periphery noise (keeps chains
+     intact so the ratio calibration is stable). *)
+  while !count < m && periphery > 0 do
+    let v = core_n + Random.State.int rng periphery in
+    add (Random.State.int rng core_n) v
+  done;
+  Digraph.make ~n ~labels:label_of !edges
+
+let web rng ~n ~m ~labels ~hosts ~copy_prob ~root_link =
+  let n = max 4 n in
+  let hosts = max 1 (min hosts n) in
+  let per_host = n / hosts in
+  let host_of v = min (hosts - 1) (v / max 1 per_host) in
+  let root_of h = h * per_host in
+  let label_of = Array.make n 0 in
+  (* Pages of one host share the host's domain label. *)
+  let host_label = Array.init hosts (fun _ -> zipf_label rng labels) in
+  for v = 0 to n - 1 do
+    label_of.(v) <- host_label.(host_of v)
+  done;
+  let edges = ref [] in
+  let count = ref 0 in
+  let add u v =
+    if u <> v then begin
+      edges := (u, v) :: !edges;
+      incr count
+    end
+  in
+  let out_of = Array.make n [] in
+  for v = 0 to n - 1 do
+    let h = host_of v in
+    let base = root_of h in
+    if v > base then begin
+      if Random.State.float rng 1.0 < copy_prob && v > base + 1 then begin
+        (* Copy a sibling page's links (template pages, nav bars). *)
+        let t = base + 1 + Random.State.int rng (v - base - 1) in
+        out_of.(v) <- out_of.(t);
+        List.iter (fun w -> add v w) out_of.(t);
+        add (base + Random.State.int rng (v - base)) v
+      end
+      else begin
+        let parent = base + Random.State.int rng (v - base) in
+        add parent v;
+        (* Navigation back to the host root. *)
+        if Random.State.float rng 1.0 < root_link then begin
+          add v base;
+          out_of.(v) <- base :: out_of.(v)
+        end
+      end
+    end
+  done;
+  (* Cross-host links: mostly hub-to-hub (root pages linking each other),
+     some deep links; ordinary pages rarely link out of their host, which
+     keeps the giant SCC confined to the hub layer. *)
+  while !count < m do
+    let src =
+      if Random.State.float rng 1.0 < 0.75 then root_of (Random.State.int rng hosts)
+      else Random.State.int rng n
+    in
+    let h = Random.State.int rng hosts in
+    let target =
+      if Random.State.float rng 1.0 < 0.5 then root_of h
+      else root_of h + Random.State.int rng (max 1 per_host)
+    in
+    add src target
+  done;
+  Digraph.make ~n ~labels:label_of !edges
+
+let citation rng ~n ~m ~labels ~copy_prob ~mutual_prob =
+  let n = max 2 n in
+  let label_of = Array.init n (fun _ -> zipf_label rng labels) in
+  let edges = ref [] in
+  let count = ref 0 in
+  let out_of = Array.make n [] in
+  let per_node = max 1 (m / n) in
+  (* Citations stay within a sliding recency window, so papers that are not
+     picked up inside their window are never cited at all; copied
+     bibliographies concentrate the citations further.  Never-cited papers
+     with a shared bibliography are exact reachability twins. *)
+  let window = max 2 (n / 4) in
+  for v = 1 to n - 1 do
+    let lo = max 0 (v - window) in
+    let span = v - lo in
+    if Random.State.float rng 1.0 < copy_prob && span > 1 then begin
+      let t = lo + 1 + Random.State.int rng (span - 1) in
+      label_of.(v) <- label_of.(t);
+      out_of.(v) <- out_of.(t);
+      List.iter
+        (fun w ->
+          edges := (v, w) :: !edges;
+          incr count)
+        out_of.(t)
+    end
+    else begin
+      let d = 1 + Random.State.int rng (2 * per_node) in
+      for _ = 1 to d do
+        let w = lo + Random.State.int rng (max 1 span) in
+        if w < v then begin
+          edges := (v, w) :: !edges;
+          incr count;
+          out_of.(v) <- w :: out_of.(v)
+        end
+      done;
+      (* Same-batch mutual citation: a back edge closing a 2-cycle. *)
+      if Random.State.float rng 1.0 < mutual_prob then
+        match out_of.(v) with
+        | w :: _ when w < v ->
+            edges := (w, v) :: !edges;
+            incr count
+        | _ -> ()
+    end
+  done;
+  Digraph.make ~n ~labels:label_of !edges
+
+let p2p rng ~n ~m ~labels ~leaf_frac =
+  (* Gnutella-style: ultrapeers form a sparse random overlay (moderate
+     SCCs); leaf peers only receive links from ultrapeers. *)
+  let n = max 4 n in
+  let ultra_n = max 2 (int_of_float ((1.0 -. leaf_frac) *. float_of_int n)) in
+  let leaves = n - ultra_n in
+  let leaf_edges = min (max 0 (m - ultra_n)) (3 * leaves) in
+  let overlay = Generators.erdos_renyi rng ~n:ultra_n ~m:(max 0 (m - leaf_edges)) in
+  let edges = ref (Digraph.edges overlay) in
+  for v = ultra_n to n - 1 do
+    let d = 1 + Random.State.int rng 2 in
+    for _ = 1 to d do
+      edges := (Random.State.int rng ultra_n, v) :: !edges
+    done
+  done;
+  let label_of = Array.init n (fun _ -> zipf_label rng labels) in
+  Digraph.make ~n ~labels:label_of !edges
+
+(* Rewire [frac] of the nodes to clone a random other node's out-links and
+   label: manufactured bisimilar twins on top of any topology. *)
+let duplicate_out rng g ~frac =
+  let n = Digraph.n g in
+  if n < 2 then g
+  else begin
+    let labels = Array.copy (Digraph.labels g) in
+    let out = Array.init n (fun v -> Array.to_list (Digraph.succ g v)) in
+    let k = int_of_float (frac *. float_of_int n) in
+    for _ = 1 to k do
+      let v = Random.State.int rng n in
+      let t = Random.State.int rng n in
+      if t <> v then begin
+        labels.(v) <- labels.(t);
+        out.(v) <- out.(t)
+      end
+    done;
+    let edges = ref [] in
+    Array.iteri
+      (fun v succs -> List.iter (fun w -> edges := (v, w) :: !edges) succs)
+      out;
+    Digraph.make ~n ~labels !edges
+  end
+
+let internet rng ~n ~m ~labels =
+  let g = Generators.tree_with_shortcuts rng ~n ~extra:(max 0 (m - (n - 1))) in
+  if labels <= 1 then g else Generators.with_zipf_labels rng g ~label_count:labels
+
+(* ------------------------------------------------------------------ *)
+
+let mk ?(labels = 1) ?rc_aho ?rc_scc ?rc ?pc name family ~nodes ~edges
+    ~paper_nodes ~paper_edges =
+  {
+    name;
+    family;
+    nodes;
+    edges;
+    labels;
+    paper_nodes;
+    paper_edges;
+    paper_rc_aho = rc_aho;
+    paper_rc_scc = rc_scc;
+    paper_rc = rc;
+    paper_pc = pc;
+  }
+
+let reach_datasets =
+  [
+    mk "facebook"
+      (Social
+         { core_frac = 0.30; both_frac = 0.45; chain_frac = 0.02; copy_prob = 0.35 })
+      ~nodes:6400 ~edges:120000 ~paper_nodes:64000 ~paper_edges:1_500_000
+      ~rc_aho:0.1319 ~rc_scc:0.0589 ~rc:0.00028;
+    mk "amazon"
+      (Social
+         { core_frac = 0.30; both_frac = 0.20; chain_frac = 0.08; copy_prob = 0.35 })
+      ~nodes:8192 ~edges:37500 ~paper_nodes:262000 ~paper_edges:1_200_000
+      ~rc_aho:0.3509 ~rc_scc:0.1894 ~rc:0.0018;
+    mk "Youtube"
+      (Social
+         { core_frac = 0.22; both_frac = 0.15; chain_frac = 0.45; copy_prob = 0.1 })
+      ~nodes:9700 ~edges:49800 ~paper_nodes:155000 ~paper_edges:796000
+      ~rc_aho:0.4160 ~rc_scc:0.1702 ~rc:0.0177;
+    mk "wikiVote"
+      (Social
+         { core_frac = 0.18; both_frac = 0.25; chain_frac = 0.42; copy_prob = 0.1 })
+      ~nodes:7000 ~edges:104000 ~paper_nodes:7000 ~paper_edges:104000
+      ~rc_aho:0.6556 ~rc_scc:0.0833 ~rc:0.0191;
+    mk "wikiTalk"
+      (Social
+         { core_frac = 0.12; both_frac = 0.15; chain_frac = 0.12; copy_prob = 0.2 })
+      ~nodes:16000 ~edges:33300 ~paper_nodes:2_400_000 ~paper_edges:5_000_000
+      ~rc_aho:0.4821 ~rc_scc:0.1682 ~rc:0.0327;
+    mk "socEpinions"
+      (Social
+         { core_frac = 0.25; both_frac = 0.15; chain_frac = 0.45; copy_prob = 0.1 })
+      ~nodes:8000 ~edges:53600 ~paper_nodes:76000 ~paper_edges:509000
+      ~rc_aho:0.2953 ~rc_scc:0.1959 ~rc:0.0288;
+    mk "NotreDame"
+      (Web { hosts = 420; copy_prob = 0.15; root_link = 0.08 })
+      ~nodes:10000 ~edges:46000 ~paper_nodes:326000 ~paper_edges:1_500_000
+      ~rc_aho:0.4327 ~rc_scc:0.1075 ~rc:0.0261;
+    mk "P2P"
+      (P2p { leaf_frac = 0.30 })
+      ~nodes:6300 ~edges:20800 ~paper_nodes:6000 ~paper_edges:21000
+      ~rc_aho:0.7324 ~rc_scc:0.1702 ~rc:0.0597;
+    mk "Internet" Internet ~nodes:6500 ~edges:13000 ~paper_nodes:52000
+      ~paper_edges:103000 ~rc_aho:0.8832 ~rc_scc:0.2889 ~rc:0.1608;
+    mk "citHepTh"
+      (Citation { copy_prob = 0.33; mutual_prob = 0.02 })
+      ~nodes:5600 ~edges:70500 ~paper_nodes:28000 ~paper_edges:353000
+      ~rc_aho:0.7132 ~rc_scc:0.3715 ~rc:0.1470;
+  ]
+
+let pattern_datasets =
+  [
+    mk "California"
+      (Duplicated
+         { base = Web { hosts = 650; copy_prob = 0.3; root_link = 0.4 };
+           frac = 0.62 })
+      ~labels:48 ~nodes:10000 ~edges:16000 ~paper_nodes:10000
+      ~paper_edges:16000 ~pc:0.459;
+    mk "Internet-l"
+      (Duplicated { base = Internet; frac = 1.3 })
+      ~labels:8 ~nodes:6500 ~edges:13000 ~paper_nodes:52000
+      ~paper_edges:103000 ~pc:0.298;
+    mk "Youtube-l"
+      (Duplicated
+         { base =
+             Social
+               { core_frac = 0.22; both_frac = 0.15; chain_frac = 0.45;
+                 copy_prob = 0.1 };
+           frac = 1.0 })
+      ~labels:16 ~nodes:9700 ~edges:49800 ~paper_nodes:155000
+      ~paper_edges:796000 ~pc:0.413;
+    mk "Citation"
+      (Citation { copy_prob = 0.5; mutual_prob = 0.05 })
+      ~labels:24 ~nodes:9800 ~edges:9900 ~paper_nodes:630000
+      ~paper_edges:633000 ~pc:0.482;
+    mk "P2P-l"
+      (Duplicated { base = P2p { leaf_frac = 0.30 }; frac = 0.70 })
+      ~labels:1 ~nodes:6300 ~edges:20800 ~paper_nodes:6000 ~paper_edges:21000
+      ~pc:0.493;
+  ]
+
+let find name =
+  let all = reach_datasets @ pattern_datasets in
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+let generate_scaled ?(seed = 0xC0FFEE) spec ~nodes ~edges =
+  let rng = Random.State.make [| seed; Hashtbl.hash spec.name |] in
+  let rec gen family ~nodes ~edges =
+    match family with
+    | Social { core_frac; both_frac; chain_frac; copy_prob } ->
+        social rng ~n:nodes ~m:edges ~labels:spec.labels ~core_frac
+          ~both_frac ~chain_frac ~copy_prob
+    | Web { hosts; copy_prob; root_link } ->
+        (* Hold pages-per-host steady when scaling. *)
+        let hosts = max 1 (hosts * nodes / max 1 spec.nodes) in
+        web rng ~n:nodes ~m:edges ~labels:spec.labels ~hosts ~copy_prob
+          ~root_link
+    | Citation { copy_prob; mutual_prob } ->
+        citation rng ~n:nodes ~m:edges ~labels:spec.labels ~copy_prob
+          ~mutual_prob
+    | P2p { leaf_frac } ->
+        p2p rng ~n:nodes ~m:edges ~labels:spec.labels ~leaf_frac
+    | Internet -> internet rng ~n:nodes ~m:edges ~labels:spec.labels
+    | Duplicated { base; frac } ->
+        duplicate_out rng (gen base ~nodes ~edges) ~frac
+  in
+  gen spec.family ~nodes ~edges
+
+let generate ?seed spec =
+  generate_scaled ?seed spec ~nodes:spec.nodes ~edges:spec.edges

@@ -1,0 +1,73 @@
+(** Synthetic stand-ins for the paper's real-life datasets (Sec 6,
+    Tables 1–2).
+
+    The original downloads (SNAP, CAIDA, ArnetMiner, …) are not available in
+    this offline environment, so each dataset is replaced by a generator
+    calibrated to (a) the paper's |V| : |E| ratio at a ~16–64× smaller scale,
+    (b) the label alphabet size of Table 2 where applicable, and (c) the
+    {e structural driver} the paper credits for that dataset's compression
+    behaviour:
+
+    - social networks: a dense strongly-connected core plus a periphery of
+      follower/followed nodes whose ancestor/descendant sets collapse onto
+      the core — the paper's "higher connectivity" that makes social graphs
+      compress best for reachability;
+    - web graphs: host hierarchies with navigational back-links and cross
+      links (NotreDame-style), giving mid-range reachability compression and
+      good bisimulation sharing;
+    - citation graphs: DAGs grown with a copy model (new papers copy part of
+      an earlier paper's bibliography), the worst reachability compressors;
+    - P2P / Internet: sparse overlay and provider-tree topologies.
+
+    Copy-model duplication also creates genuinely bisimilar nodes, which is
+    what drives the Table 2 pattern-compression ratios. *)
+
+type family =
+  | Social of {
+      core_frac : float;
+      both_frac : float;
+      chain_frac : float;
+      copy_prob : float;
+    }
+      (** dense SCC core; periphery members are pure followers, pure
+          followed, both (the "both" fraction joins the giant SCC), or
+          follower {e chains} (the incompressible tail); [copy_prob]
+          duplicates an existing periphery node's out-neighbourhood *)
+  | Web of { hosts : int; copy_prob : float; root_link : float }
+  | Citation of { copy_prob : float; mutual_prob : float }
+  | P2p of { leaf_frac : float }
+  | Internet
+  | Duplicated of { base : family; frac : float }
+      (** rewires [frac] of the base graph's nodes to clone another node's
+          out-links and label, manufacturing bisimilar twins *)
+
+type spec = {
+  name : string;
+  family : family;
+  nodes : int;  (** scaled node count *)
+  edges : int;  (** scaled target edge count *)
+  labels : int;  (** label alphabet (1 when labels are irrelevant) *)
+  paper_nodes : int;  (** the real dataset's |V|, for reporting *)
+  paper_edges : int;  (** the real dataset's |E| *)
+  paper_rc_aho : float option;  (** Table 1 RCaho, fraction *)
+  paper_rc_scc : float option;  (** Table 1 RCscc *)
+  paper_rc : float option;  (** Table 1 RCr *)
+  paper_pc : float option;  (** Table 2 PCr *)
+}
+
+(** The ten Table 1 datasets, in the paper's row order. *)
+val reach_datasets : spec list
+
+(** The five Table 2 datasets, in the paper's row order. *)
+val pattern_datasets : spec list
+
+(** [find name] looks a spec up in either table.  @raise Not_found. *)
+val find : string -> spec
+
+(** [generate ?seed spec] materialises the graph; deterministic per seed
+    (default 0xC0FFEE + a hash of the name). *)
+val generate : ?seed:int -> spec -> Digraph.t
+
+(** [generate_scaled ?seed spec ~nodes ~edges] same family and labels at a
+    different size (used by the evolution experiments). *)
+val generate_scaled : ?seed:int -> spec -> nodes:int -> edges:int -> Digraph.t

@@ -1,0 +1,25 @@
+let densification ?(seed = 17) ~alpha ~beta ~v0 ~steps ~labels () =
+  let rng = Random.State.make [| seed |] in
+  List.init steps (fun i ->
+      let v =
+        int_of_float (float_of_int v0 *. (beta ** float_of_int i))
+      in
+      let e = int_of_float (float_of_int v ** alpha) in
+      let g = Generators.erdos_renyi rng ~n:v ~m:e in
+      if labels <= 1 then g
+      else Generators.with_zipf_labels rng g ~label_count:labels)
+
+let power_law_growth ?(seed = 23) g ~steps ~rate ~hub_bias =
+  let rng = Random.State.make [| seed |] in
+  let rec go g i acc =
+    if i >= steps then List.rev acc
+    else begin
+      let count =
+        max 1 (int_of_float (rate *. float_of_int (Digraph.m g)))
+      in
+      let batch = Update_gen.hub_insertions rng g ~count ~hub_bias in
+      let g' = Edge_update.apply g batch in
+      go g' (i + 1) (g' :: acc)
+    end
+  in
+  go g 0 [ g ]

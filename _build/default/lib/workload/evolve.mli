@@ -1,0 +1,28 @@
+(** Graph evolution models for Exp-4 (Figs 12(i)–12(l)).
+
+    - Densification law (Leskovec et al. [17]): at iteration [i] the graph
+      has [|Vi|] nodes and [|Ei| = |Vi|^α] edges; each step multiplies the
+      node count by [β].  The paper uses α ∈ {1.05, 1.1}, β = 1.2, starting
+      from 1M nodes; we scale the start down.
+    - Power-law growth (Mislove et al. [20]): the edge count grows by a
+      fixed rate per step and new edges attach to high-degree nodes with
+      probability 0.8. *)
+
+(** [densification ?seed ~alpha ~beta ~v0 ~steps ~labels] materialises the
+    graph of each iteration [0 .. steps-1] (fresh Erdős–Rényi draw at every
+    size, labels Zipf over [labels]). *)
+val densification :
+  ?seed:int ->
+  alpha:float ->
+  beta:float ->
+  v0:int ->
+  steps:int ->
+  labels:int ->
+  unit ->
+  Digraph.t list
+
+(** [power_law_growth ?seed g ~steps ~rate ~hub_bias] grows [g] by
+    [rate·|E|] hub-biased insertions per step and returns the successive
+    graphs, the original first — [steps+1] graphs in total. *)
+val power_law_growth :
+  ?seed:int -> Digraph.t -> steps:int -> rate:float -> hub_bias:float -> Digraph.t list

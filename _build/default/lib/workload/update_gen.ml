@@ -1,0 +1,82 @@
+let insertions rng g ~count =
+  let n = Digraph.n g in
+  if n < 2 then []
+  else begin
+    let seen = Hashtbl.create (2 * count + 1) in
+    let acc = ref [] in
+    let got = ref 0 in
+    let attempts = ref 0 in
+    while !got < count && !attempts < 100 * count do
+      incr attempts;
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v && (not (Digraph.mem_edge g u v)) && not (Hashtbl.mem seen (u, v))
+      then begin
+        Hashtbl.replace seen (u, v) ();
+        acc := Edge_update.Insert (u, v) :: !acc;
+        incr got
+      end
+    done;
+    List.rev !acc
+  end
+
+let hub_insertions rng g ~count ~hub_bias =
+  let n = Digraph.n g in
+  if n < 2 then []
+  else begin
+    (* The top ~2% of nodes by total degree serve as hubs. *)
+    let order = Array.init n Fun.id in
+    let degree v = Digraph.out_degree g v + Digraph.in_degree g v in
+    Array.sort (fun a b -> compare (degree b) (degree a)) order;
+    let hubs = Array.sub order 0 (max 1 (n / 50)) in
+    let seen = Hashtbl.create (2 * count + 1) in
+    let acc = ref [] in
+    let got = ref 0 in
+    let attempts = ref 0 in
+    while !got < count && !attempts < 100 * count do
+      incr attempts;
+      let u = Random.State.int rng n in
+      let v =
+        if Random.State.float rng 1.0 < hub_bias then
+          hubs.(Random.State.int rng (Array.length hubs))
+        else Random.State.int rng n
+      in
+      if u <> v && (not (Digraph.mem_edge g u v)) && not (Hashtbl.mem seen (u, v))
+      then begin
+        Hashtbl.replace seen (u, v) ();
+        acc := Edge_update.Insert (u, v) :: !acc;
+        incr got
+      end
+    done;
+    List.rev !acc
+  end
+
+let deletions rng g ~count =
+  let m = Digraph.m g in
+  if m = 0 then []
+  else begin
+    (* Reservoir-free: materialise the edge list once and shuffle a prefix. *)
+    let edges = Array.of_list (Digraph.edges g) in
+    let len = Array.length edges in
+    let count = min count len in
+    for i = 0 to count - 1 do
+      let j = i + Random.State.int rng (len - i) in
+      let t = edges.(i) in
+      edges.(i) <- edges.(j);
+      edges.(j) <- t
+    done;
+    List.init count (fun i ->
+        let u, v = edges.(i) in
+        Edge_update.Delete (u, v))
+  end
+
+let mixed rng g ~count ~insert_frac =
+  let n_ins = int_of_float (insert_frac *. float_of_int count) in
+  let ins = insertions rng g ~count:n_ins in
+  let dels = deletions rng g ~count:(count - n_ins) in
+  (* Interleave deterministically to mix the batch. *)
+  let rec weave a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs, y :: ys -> weave xs ys (y :: x :: acc)
+  in
+  weave ins dels []

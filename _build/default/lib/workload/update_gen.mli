@@ -1,0 +1,19 @@
+(** Random batch-update workloads [∆G] for the incremental experiments
+    (paper Exp-3). *)
+
+(** [insertions rng g ~count] draws [count] distinct edges absent from [g]
+    (no self-loops), uniformly. *)
+val insertions : Random.State.t -> Digraph.t -> count:int -> Edge_update.t list
+
+(** [hub_insertions rng g ~count ~hub_bias] draws absent edges whose target
+    is, with probability [hub_bias], one of the high-degree nodes — the
+    power-law growth model of Exp-4 ([hub_bias] = 0.8 in the paper). *)
+val hub_insertions :
+  Random.State.t -> Digraph.t -> count:int -> hub_bias:float -> Edge_update.t list
+
+(** [deletions rng g ~count] samples [count] distinct existing edges. *)
+val deletions : Random.State.t -> Digraph.t -> count:int -> Edge_update.t list
+
+(** [mixed rng g ~count ~insert_frac] interleaves insertions and deletions. *)
+val mixed :
+  Random.State.t -> Digraph.t -> count:int -> insert_frac:float -> Edge_update.t list

@@ -1,0 +1,14 @@
+  $ qpgc generate -d P2P -n 300 -m 900 -o p2p.g --seed 7
+  $ qpgc stats p2p.g | head -3
+  $ qpgc query p2p.g 0 10 > /dev/null
+  $ qpgc compress p2p.g --mode reach -o gr.g --save p2p.qc | sed 's/in [0-9.]*s/in Xs/'
+  $ qpgc cquery p2p.qc 0 10 > /dev/null
+  $ printf 'n 2\nl 0 0\nl 1 0\ne 0 1 2\n' > pat.p
+  $ qpgc match p2p.g -p pat.p | head -1 | cut -c1-30
+  $ qpgc rpq p2p.g 'l0l0' | head -1 | cut -d' ' -f1-8
+  $ printf 'r 0 10\nr 5 250\nx l0+\n' > work.q
+  $ qpgc workload p2p.g -q work.q | sed 's/[0-9][0-9.]*s\b/Xs/g'
+  $ qpgc query p2p.g 0 9999
+  $ qpgc generate -d NoSuchSet -o x.g
+  $ printf 'garbage\n' > bad.g
+  $ qpgc stats bad.g

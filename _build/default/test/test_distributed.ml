@@ -1,0 +1,164 @@
+(* Distributed reachability by partial evaluation (the Sec 7 future-work
+   simulation): fragmentation invariants, distributed answers vs plain BFS,
+   and the composition with query preserving compression. *)
+
+let qtest = Testutil.qtest
+
+let strategies =
+  [
+    ("hash", Fragmentation.Hash);
+    ("contiguous", Fragmentation.Contiguous);
+    ("bfs", Fragmentation.Bfs);
+  ]
+
+let arb_gk =
+  ( (let open QCheck2.Gen in
+     let* g = Testutil.digraph_gen ~max_n:16 () in
+     let* k = int_range 1 5 in
+     pure (g, k)),
+    fun (g, k) -> Format.asprintf "k=%d@.%a" k Digraph.pp g )
+
+let fragmentation_props =
+  List.concat_map
+    (fun (name, strategy) ->
+      [
+        qtest
+          (Printf.sprintf "%s fragmentation is valid" name)
+          arb_gk
+          (fun (g, k) ->
+            let frag = Fragmentation.make g ~fragments:k ~strategy in
+            Fragmentation.validate frag ~original:g;
+            true);
+        qtest
+          (Printf.sprintf "%s distributed query equals BFS" name)
+          ~count:300 arb_gk
+          (fun (g, k) ->
+            let frag = Fragmentation.make g ~fragments:k ~strategy in
+            let d = Dist_reach.build frag in
+            let ok = ref true in
+            for u = 0 to Digraph.n g - 1 do
+              for v = 0 to Digraph.n g - 1 do
+                if Dist_reach.query d u v <> Traversal.bfs_reaches g u v then
+                  ok := false
+              done
+            done;
+            !ok);
+      ])
+    strategies
+
+let composition_props =
+  [
+    qtest ~count:200 "distribution composes with compression"
+      (Testutil.arbitrary_digraph ())
+      (fun g ->
+        (* fragment and distribute the COMPRESSED graph; answer original
+           queries through the rewriting — Gr is an ordinary graph, so the
+           distributed evaluator needs no changes *)
+        let c = Compress_reach.compress g in
+        let gr = Compressed.graph c in
+        let frag =
+          Fragmentation.make gr ~fragments:3 ~strategy:Fragmentation.Bfs
+        in
+        let d = Dist_reach.build frag in
+        let ok = ref true in
+        for u = 0 to Digraph.n g - 1 do
+          for v = 0 to Digraph.n g - 1 do
+            let s, t = Compress_reach.rewrite c ~source:u ~target:v in
+            let answer =
+              if u = v then true
+              else if s = t then Digraph.mem_edge gr s s
+              else Dist_reach.query d s t
+            in
+            if answer <> Traversal.bfs_reaches g u v then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let unit_two_fragments () =
+  (* 0 -> 1 | 2 -> 3 with a cross edge 1 -> 2 *)
+  let g = Digraph.make ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let frag =
+    Fragmentation.make g ~fragments:2 ~strategy:Fragmentation.Contiguous
+  in
+  Alcotest.(check int) "one cross edge" 1 (Fragmentation.edge_cut frag);
+  let d = Dist_reach.build frag in
+  Alcotest.(check bool) "across fragments" true (Dist_reach.query d 0 3);
+  Alcotest.(check bool) "no backward path" false (Dist_reach.query d 3 0);
+  Alcotest.(check bool) "local" true (Dist_reach.query d 0 1);
+  Alcotest.(check bool) "reflexive" true (Dist_reach.query d 2 2);
+  let boundary, _, cross = Dist_reach.stats d in
+  Alcotest.(check int) "two boundary nodes" 2 boundary;
+  Alcotest.(check int) "cross edges" 1 cross
+
+let unit_round_trip_path () =
+  (* a path that leaves a fragment and returns: 0 and 2 in fragment A,
+     1 in fragment B; 0 -> 1 -> 2 *)
+  let g = Digraph.make ~n:3 [ (0, 1); (1, 2) ] in
+  let frag = Fragmentation.make g ~fragments:2 ~strategy:Fragmentation.Hash in
+  (* hash: 0,2 -> fragment 0; 1 -> fragment 1 *)
+  let d = Dist_reach.build frag in
+  Alcotest.(check bool) "same-fragment via another site" true
+    (Dist_reach.query d 0 2)
+
+let unit_single_fragment () =
+  let g = Digraph.make ~n:3 [ (0, 1) ] in
+  let frag = Fragmentation.make g ~fragments:1 ~strategy:Fragmentation.Bfs in
+  let d = Dist_reach.build frag in
+  Alcotest.(check int) "no boundary" 0 (let b, _, _ = Dist_reach.stats d in b);
+  Alcotest.(check bool) "local only" true (Dist_reach.query d 0 1);
+  Alcotest.(check bool) "negative" false (Dist_reach.query d 1 2)
+
+let unit_errors () =
+  let g = Digraph.make ~n:2 [] in
+  Alcotest.check_raises "fragments < 1"
+    (Invalid_argument "Fragmentation.make: fragments < 1") (fun () ->
+      ignore (Fragmentation.make g ~fragments:0 ~strategy:Fragmentation.Hash))
+
+let assembly_smaller_than_graph () =
+  (* on a locality-friendly graph (dense clusters, few cross links) the
+     coordinator state is much smaller than the graph; random graphs with
+     hash partitions would instead inflate it, which is why partitioners
+     chase small edge cuts *)
+  let rng = Random.State.make [| 77 |] in
+  let cluster = 75 and k = 4 in
+  let edges = ref [] in
+  for c = 0 to k - 1 do
+    let base = c * cluster in
+    for _ = 1 to 400 do
+      let u = base + Random.State.int rng cluster
+      and v = base + Random.State.int rng cluster in
+      if u <> v then edges := (u, v) :: !edges
+    done
+  done;
+  (* a handful of cross-cluster links *)
+  for c = 0 to k - 1 do
+    let u = (c * cluster) + Random.State.int rng cluster in
+    let v = (((c + 1) mod k) * cluster) + Random.State.int rng cluster in
+    edges := (u, v) :: !edges
+  done;
+  let g = Digraph.make ~n:(cluster * k) !edges in
+  let frag =
+    Fragmentation.make g ~fragments:k ~strategy:Fragmentation.Contiguous
+  in
+  let d = Dist_reach.build frag in
+  Alcotest.(check bool)
+    (Printf.sprintf "assembly %d vs graph %d" (Dist_reach.assembly_size d)
+       (Digraph.size g))
+    true
+    (Dist_reach.assembly_size d < Digraph.size g)
+
+let () =
+  Alcotest.run "distributed"
+    [
+      ( "fragmentation",
+        Alcotest.test_case "errors" `Quick unit_errors :: fragmentation_props );
+      ( "dist_reach",
+        [
+          Alcotest.test_case "two fragments" `Quick unit_two_fragments;
+          Alcotest.test_case "round trip path" `Quick unit_round_trip_path;
+          Alcotest.test_case "single fragment" `Quick unit_single_fragment;
+          Alcotest.test_case "assembly size" `Quick assembly_smaller_than_graph;
+        ] );
+      ("composition", composition_props);
+    ]

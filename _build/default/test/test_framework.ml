@@ -1,0 +1,88 @@
+(* The Sec 2.2 framework: for every shipped scheme, the Fig 3(a) pipeline
+   P(evaluate(Gr, F(q))) must equal evaluate(G, q) on random graphs and
+   queries — the preservation contract stated once, tested per instance. *)
+
+let qtest = Testutil.qtest
+
+module R = Framework.Make (Framework.Reachability)
+module P = Framework.Make (Framework.Patterns)
+module W = Framework.Make (Framework.Path_queries)
+
+let pair_gen =
+  let open QCheck2.Gen in
+  let* g = Testutil.digraph_gen () in
+  let n = Digraph.n g in
+  let* u = int_range 0 (n - 1) in
+  let* v = int_range 0 (n - 1) in
+  pure (g, u, v)
+
+let arb_pair =
+  (pair_gen, fun (g, u, v) -> Format.asprintf "%a@.(%d,%d)" Digraph.pp g u v)
+
+let regex_gen =
+  let open QCheck2.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof [ map (fun l -> Rpq.Label l) (int_range 0 2); pure Rpq.Any ]
+    else begin
+      let sub = go (depth - 1) in
+      frequency
+        [
+          (2, map (fun l -> Rpq.Label l) (int_range 0 2));
+          (2, map2 (fun a b -> Rpq.Seq (a, b)) sub sub);
+          (2, map2 (fun a b -> Rpq.Alt (a, b)) sub sub);
+          (1, map (fun a -> Rpq.Star a) sub);
+        ]
+    end
+  in
+  go 2
+
+let framework_props =
+  [
+    qtest ~count:400 "reachability scheme preserves" arb_pair (fun (g, u, v) ->
+        let t = R.prepare g in
+        R.query t (u, v) = R.direct g (u, v));
+    qtest ~count:300 "pattern scheme preserves"
+      (Testutil.arbitrary_graph_pattern ())
+      (fun (g, p) ->
+        let t = P.prepare g in
+        Pattern.result_equal (P.query t p) (P.direct g p));
+    qtest ~count:300 "path-query scheme preserves"
+      ( (let open QCheck2.Gen in
+         let* g = Testutil.digraph_gen ~max_labels:3 () in
+         let* r = regex_gen in
+         pure (g, r)),
+        fun (g, r) -> Format.asprintf "%a@.%a" Digraph.pp g Rpq.pp r )
+      (fun (g, r) ->
+        let t = W.prepare g in
+        W.query t r = W.direct g r);
+    qtest "adopting a maintained compression works"
+      (Testutil.arbitrary_graph_updates ())
+      (fun (g, updates) ->
+        let inc = Inc_reach.create g in
+        let c = Inc_reach.apply inc updates in
+        let t = R.adopt c in
+        let g' = Inc_reach.graph inc in
+        let n = Digraph.n g' in
+        n = 0
+        ||
+        let ok = ref true in
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if R.query t (u, v) <> R.direct g' (u, v) then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let names () =
+  Alcotest.(check string) "reach" "reachability" Framework.Reachability.name;
+  Alcotest.(check string) "patterns" "patterns" Framework.Patterns.name;
+  Alcotest.(check string) "rpq" "path-queries" Framework.Path_queries.name
+
+let () =
+  Alcotest.run "framework"
+    [
+      ( "preservation",
+        Alcotest.test_case "scheme names" `Quick names :: framework_props );
+    ]

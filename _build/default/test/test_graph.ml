@@ -1,0 +1,753 @@
+(* Tests for the graph substrate: bitsets, digraphs, traversals, SCC,
+   topological ranks, transitive closure/reduction, generators, I/O and
+   edge updates. *)
+
+let qtest = Testutil.qtest
+
+(* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+let bitset_unit () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 64; 99 ] (Bitset.to_list s);
+  Alcotest.(check (option int)) "choose" (Some 0) (Bitset.choose s);
+  Bitset.clear s;
+  Alcotest.(check bool) "cleared" true (Bitset.is_empty s);
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose s)
+
+let bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add oob"
+    (Invalid_argument "Bitset: index 10 out of range [0,10)") (fun () ->
+      Bitset.add s 10);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index -1 out of range [0,10)") (fun () ->
+      ignore (Bitset.mem s (-1)));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bitset.create: negative capacity") (fun () ->
+      ignore (Bitset.create (-3)))
+
+let bitset_zero_capacity () =
+  let s = Bitset.create 0 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s)
+
+let int_sets_gen =
+  let open QCheck2.Gen in
+  let* a = list_size (int_range 0 40) (int_range 0 99) in
+  let* b = list_size (int_range 0 40) (int_range 0 99) in
+  pure (a, b)
+
+let arb_int_sets =
+  ( int_sets_gen,
+    fun (a, b) ->
+      Printf.sprintf "(%s | %s)"
+        (String.concat "," (List.map string_of_int a))
+        (String.concat "," (List.map string_of_int b)) )
+
+let module_of xs = List.sort_uniq compare xs
+
+let bitset_props =
+  [
+    qtest "union matches list model" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        ignore (Bitset.union_into ~into:sa sb);
+        Bitset.to_list sa = module_of (a @ b));
+    qtest "inter matches list model" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        Bitset.inter_into ~into:sa sb;
+        Bitset.to_list sa
+        = List.filter (fun x -> List.mem x b) (module_of a));
+    qtest "diff matches list model" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        Bitset.diff_into ~into:sa sb;
+        Bitset.to_list sa
+        = List.filter (fun x -> not (List.mem x b)) (module_of a));
+    qtest "union_into reports change" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        let changed = Bitset.union_into ~into:(Bitset.copy sa) sb in
+        changed = not (Bitset.subset sb sa));
+    qtest "inter_cardinal" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        Bitset.inter_cardinal sa sb
+        = List.length (List.filter (fun x -> List.mem x b) (module_of a)));
+    qtest "disjoint iff empty intersection" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        Bitset.disjoint sa sb = (Bitset.inter_cardinal sa sb = 0));
+    qtest "subset" arb_int_sets (fun (a, b) ->
+        let sa = Bitset.of_list 100 a and sb = Bitset.of_list 100 b in
+        Bitset.subset sa sb
+        = List.for_all (fun x -> List.mem x b) a);
+    qtest "equal sets hash equally" arb_int_sets (fun (a, _) ->
+        let s1 = Bitset.of_list 100 a and s2 = Bitset.of_list 100 (List.rev a) in
+        Bitset.equal s1 s2 && Bitset.hash s1 = Bitset.hash s2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Digraph *)
+
+let digraph_basics () =
+  let g = Digraph.make ~n:4 ~labels:[| 1; 0; 2; 0 |] [ (0, 1); (1, 2); (0, 1); (3, 3) ] in
+  Alcotest.(check int) "n" 4 (Digraph.n g);
+  Alcotest.(check int) "m dedups" 3 (Digraph.m g);
+  Alcotest.(check int) "size" 7 (Digraph.size g);
+  Alcotest.(check bool) "mem (0,1)" true (Digraph.mem_edge g 0 1);
+  Alcotest.(check bool) "mem self" true (Digraph.mem_edge g 3 3);
+  Alcotest.(check bool) "not mem (1,0)" false (Digraph.mem_edge g 1 0);
+  Alcotest.(check int) "label" 2 (Digraph.label g 2);
+  Alcotest.(check int) "label_count" 3 (Digraph.label_count g);
+  Alcotest.(check int) "out_degree" 1 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in_degree" 1 (Digraph.in_degree g 2);
+  Digraph.validate g
+
+let digraph_errors () =
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Digraph.make: edge (5,0) out of range [0,3)") (fun () ->
+      ignore (Digraph.make ~n:3 [ (5, 0) ]));
+  Alcotest.check_raises "bad labels"
+    (Invalid_argument "Digraph.make: label array length mismatch") (fun () ->
+      ignore (Digraph.make ~n:3 ~labels:[| 0 |] []));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Digraph.make: negative node count") (fun () ->
+      ignore (Digraph.make ~n:(-1) []))
+
+let digraph_edit () =
+  let g = Digraph.make ~n:3 [ (0, 1) ] in
+  let g2 = Digraph.add_edges g [ (1, 2); (0, 1) ] in
+  Alcotest.(check int) "added dedup" 2 (Digraph.m g2);
+  let g3 = Digraph.remove_edges g2 [ (0, 1); (2, 0) ] in
+  Alcotest.(check int) "removed, absent ignored" 1 (Digraph.m g3);
+  Alcotest.(check bool) "right edge left" true (Digraph.mem_edge g3 1 2);
+  Digraph.validate g3
+
+let digraph_builder () =
+  let b = Digraph.Builder.create () in
+  let x = Digraph.Builder.add_node b ~label:1 in
+  let y = Digraph.Builder.add_node b ~label:2 in
+  Digraph.Builder.add_edge b x y;
+  Digraph.Builder.add_edge b y x;
+  Alcotest.(check int) "count" 2 (Digraph.Builder.node_count b);
+  let g = Digraph.Builder.build b in
+  Alcotest.(check int) "n" 2 (Digraph.n g);
+  Alcotest.(check int) "m" 2 (Digraph.m g);
+  Alcotest.(check int) "labels kept" 2 (Digraph.label g y);
+  Digraph.validate g
+
+let digraph_induced () =
+  let g = Digraph.make ~n:5 ~labels:[| 0; 1; 2; 3; 4 |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ]
+  in
+  let sub, mapping = Digraph.induced g [| 1; 2; 3 |] in
+  Alcotest.(check int) "sub n" 3 (Digraph.n sub);
+  Alcotest.(check int) "sub m" 2 (Digraph.m sub);
+  Alcotest.(check bool) "1->2 kept" true (Digraph.mem_edge sub 0 1);
+  Alcotest.(check bool) "2->3 kept" true (Digraph.mem_edge sub 1 2);
+  Alcotest.(check int) "labels follow" 2 (Digraph.label sub 1);
+  Alcotest.(check (array int)) "mapping" [| 1; 2; 3 |] mapping;
+  Digraph.validate sub
+
+let arb_g = Testutil.arbitrary_digraph ()
+
+let digraph_props =
+  [
+    qtest "reverse is involutive" arb_g (fun g ->
+        Digraph.equal g (Digraph.reverse (Digraph.reverse g)));
+    qtest "reverse flips edges" arb_g (fun g ->
+        let r = Digraph.reverse g in
+        List.for_all (fun (u, v) -> Digraph.mem_edge r v u) (Digraph.edges g)
+        && Digraph.m r = Digraph.m g);
+    qtest "validate accepts all built graphs" arb_g (fun g ->
+        Digraph.validate g;
+        true);
+    qtest "edges round-trips through make" arb_g (fun g ->
+        Digraph.equal g
+          (Digraph.make ~n:(Digraph.n g) ~labels:(Digraph.labels g)
+             (Digraph.edges g)));
+    qtest "edit equals remove-then-add"
+      (Testutil.arbitrary_graph_updates ())
+      (fun (g, updates) ->
+        let add =
+          List.filter_map
+            (function Edge_update.Insert (u, v) -> Some (u, v) | _ -> None)
+            updates
+        in
+        let remove =
+          List.filter_map
+            (function Edge_update.Delete (u, v) -> Some (u, v) | _ -> None)
+            updates
+        in
+        (* an edge in both lists must end up present, matching edit's spec *)
+        let remove =
+          List.filter (fun e -> not (List.mem e add)) remove
+        in
+        Digraph.equal
+          (Digraph.edit g ~add ~remove)
+          (Digraph.add_edges (Digraph.remove_edges g remove) add));
+    qtest "add then remove restores" arb_g (fun g ->
+        let n = Digraph.n g in
+        if n = 0 then true
+        else begin
+          let extra =
+            List.filter
+              (fun (u, v) -> not (Digraph.mem_edge g u v))
+              [ (0, n - 1); (n - 1, 0) ]
+            |> List.sort_uniq compare
+          in
+          let g2 = Digraph.remove_edges (Digraph.add_edges g extra) extra in
+          Digraph.equal g g2
+        end);
+    qtest "memory_bytes positive and monotone in edges" arb_g (fun g ->
+        Digraph.memory_bytes g >= 0
+        &&
+        let n = Digraph.n g in
+        n = 0
+        ||
+        let denser =
+          Digraph.add_edges g
+            (List.init n (fun i -> (i, (i + 1) mod n)))
+        in
+        Digraph.memory_bytes denser >= Digraph.memory_bytes g);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Traversal *)
+
+let line_graph n = Digraph.make ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let traversal_unit () =
+  let g = line_graph 5 in
+  Alcotest.(check bool) "reaches forward" true (Traversal.bfs_reaches g 0 4);
+  Alcotest.(check bool) "not backward" false (Traversal.bfs_reaches g 4 0);
+  Alcotest.(check bool) "reflexive" true (Traversal.bfs_reaches g 2 2);
+  Alcotest.(check bool) "nonempty self needs cycle" false
+    (Traversal.bfs_reaches_nonempty g 2 2);
+  let cyc = Digraph.make ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "nonempty self via cycle" true
+    (Traversal.bfs_reaches_nonempty cyc 1 1);
+  Alcotest.(check (option int)) "distance" (Some 3) (Traversal.distance g 0 3);
+  Alcotest.(check (option int)) "distance self" (Some 0) (Traversal.distance g 1 1);
+  Alcotest.(check (option int)) "unreachable" None (Traversal.distance g 3 0)
+
+let traversal_bounded () =
+  let g = line_graph 6 in
+  let d2 = Traversal.bounded_descendants g 0 2 in
+  Alcotest.(check (list int)) "within 2" [ 1; 2 ] (Bitset.to_list d2);
+  let d0 = Traversal.bounded_descendants g 0 0 in
+  Alcotest.(check bool) "bound 0 empty" true (Bitset.is_empty d0);
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Traversal.bounded_descendants: negative bound")
+    (fun () -> ignore (Traversal.bounded_descendants g 0 (-1)))
+
+let traversal_budgeted () =
+  let g = line_graph 50 in
+  Alcotest.(check (option bool)) "found within budget" (Some true)
+    (Traversal.budgeted_reaches g 0 3 ~budget:10);
+  Alcotest.(check (option bool)) "settled unreachable" (Some false)
+    (Traversal.budgeted_reaches g 49 0 ~budget:1000);
+  Alcotest.(check (option bool)) "budget exhausted" None
+    (Traversal.budgeted_reaches g 0 49 ~budget:3)
+
+let pair_gen =
+  let open QCheck2.Gen in
+  let* g = Testutil.digraph_gen () in
+  let n = Digraph.n g in
+  let* u = int_range 0 (n - 1) in
+  let* v = int_range 0 (n - 1) in
+  pure (g, u, v)
+
+let arb_pair =
+  (pair_gen, fun (g, u, v) -> Format.asprintf "%a@.(%d,%d)" Digraph.pp g u v)
+
+let traversal_props =
+  [
+    qtest "bibfs agrees with bfs" arb_pair (fun (g, u, v) ->
+        Traversal.bibfs_reaches g u v = Traversal.bfs_reaches g u v);
+    qtest "dfs agrees with bfs" arb_pair (fun (g, u, v) ->
+        Traversal.dfs_reaches g u v = Traversal.bfs_reaches g u v);
+    qtest "descendants = nonempty reach" arb_pair (fun (g, u, v) ->
+        Bitset.mem (Traversal.descendants g u) v
+        = Traversal.bfs_reaches_nonempty g u v);
+    qtest "ancestors mirror descendants" arb_pair (fun (g, u, v) ->
+        Bitset.mem (Traversal.ancestors g v) u
+        = Bitset.mem (Traversal.descendants g u) v);
+    qtest "distance consistent with reach" arb_pair (fun (g, u, v) ->
+        (Traversal.distance g u v <> None) = Traversal.bfs_reaches g u v);
+    qtest "bounded_descendants matches distance" arb_pair (fun (g, u, v) ->
+        let k = 3 in
+        Bitset.mem (Traversal.bounded_descendants g u k) v
+        =
+        match Traversal.distance g u v with
+        | Some d when d >= 1 && d <= k -> true
+        | Some _ | None ->
+            (* self within k via a cycle *)
+            u = v
+            &&
+            (let cyc = ref false in
+             Digraph.iter_succ g u (fun w ->
+                 match Traversal.distance g w u with
+                 | Some d when d + 1 <= k -> cyc := true
+                 | _ -> ());
+             !cyc));
+    qtest "budgeted settled answers agree with bfs" arb_pair (fun (g, u, v) ->
+        match Traversal.budgeted_reaches g u v ~budget:1000 with
+        | Some r -> r = Traversal.bfs_reaches_nonempty g u v
+        | None -> true);
+    qtest "bfs_order covers exactly reachable set" arb_pair (fun (g, u, _) ->
+        let order = Traversal.bfs_order g [ u ] in
+        let reach = Traversal.descendants g u in
+        Bitset.add reach u;
+        List.sort compare order = Bitset.to_list reach
+        && List.length (List.sort_uniq compare order) = List.length order);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SCC and ranks *)
+
+let scc_unit () =
+  let g = Digraph.make ~n:6 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3); (4, 5) ] in
+  let scc = Scc.compute g in
+  Alcotest.(check int) "three components" 3 scc.Scc.count;
+  Alcotest.(check bool) "0,1,2 together" true (Scc.same_scc scc 0 2);
+  Alcotest.(check bool) "3,4 together" true (Scc.same_scc scc 3 4);
+  Alcotest.(check bool) "5 apart" false (Scc.same_scc scc 4 5);
+  Alcotest.(check bool) "012 nontrivial" true scc.Scc.nontrivial.(scc.Scc.comp.(0));
+  Alcotest.(check bool) "5 trivial" false scc.Scc.nontrivial.(scc.Scc.comp.(5));
+  let cond = Scc.condensation g scc in
+  Alcotest.(check int) "condensation nodes" 3 (Digraph.n cond);
+  Alcotest.(check int) "condensation edges" 2 (Digraph.m cond);
+  Alcotest.(check (option bool)) "condensation acyclic" (Some true)
+    (Option.map (fun _ -> true) (Topo_rank.topological_order cond))
+
+let scc_self_loop () =
+  let g = Digraph.make ~n:2 [ (0, 0); (0, 1) ] in
+  let scc = Scc.compute g in
+  Alcotest.(check bool) "self-loop nontrivial" true
+    scc.Scc.nontrivial.(scc.Scc.comp.(0));
+  Alcotest.(check bool) "plain node trivial" false
+    scc.Scc.nontrivial.(scc.Scc.comp.(1))
+
+let scc_props =
+  [
+    qtest "members partition the nodes" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 scc.Scc.members in
+        total = Digraph.n g
+        && Array.for_all
+             (fun ms -> Array.for_all (fun v -> scc.Scc.comp.(v) = scc.Scc.comp.(ms.(0))) ms)
+             scc.Scc.members);
+    qtest "same scc iff mutually reachable" arb_pair (fun (g, u, v) ->
+        let scc = Scc.compute g in
+        Scc.same_scc scc u v
+        = (Traversal.bfs_reaches g u v && Traversal.bfs_reaches g v u));
+    qtest "scc ids reverse topological" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let cond = Scc.condensation g scc in
+        let ok = ref true in
+        Digraph.iter_edges cond (fun a b -> if a <= b then ok := false);
+        !ok);
+    qtest "condensation is acyclic" arb_g (fun g ->
+        let scc = Scc.compute g in
+        Topo_rank.topological_order (Scc.condensation g scc) <> None);
+    qtest "nontrivial iff nonempty self path" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          if
+            scc.Scc.nontrivial.(scc.Scc.comp.(v))
+            <> Traversal.bfs_reaches_nonempty g v v
+          then ok := false
+        done;
+        !ok);
+  ]
+
+let rank_props =
+  [
+    qtest "reach rank respects edges" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let r = Topo_rank.reach_ranks g scc in
+        let ok = ref true in
+        Digraph.iter_edges g (fun u v ->
+            if Scc.same_scc scc u v then begin
+              if r.(u) <> r.(v) then ok := false
+            end
+            else if r.(u) <= r.(v) then ok := false);
+        !ok);
+    qtest "sinks have reach rank 0" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let r = Topo_rank.reach_ranks g scc in
+        let cond = Scc.condensation g scc in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          if Digraph.out_degree cond scc.Scc.comp.(v) = 0 && r.(v) <> 0 then
+            ok := false
+        done;
+        !ok);
+    qtest "well founded iff reaches no cycle" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let wf = Topo_rank.well_founded g scc in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          let reaches_cycle = ref scc.Scc.nontrivial.(scc.Scc.comp.(v)) in
+          Bitset.iter
+            (fun w ->
+              if scc.Scc.nontrivial.(scc.Scc.comp.(w)) then reaches_cycle := true)
+            (Traversal.descendants g v);
+          if wf.(v) = !reaches_cycle then ok := false
+        done;
+        !ok);
+    qtest "bisim rank: Lemma 9 necessary condition" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let rb = Topo_rank.bisim_ranks g scc in
+        let classes = Bisimulation.max_bisimulation g in
+        let ok = ref true in
+        for u = 0 to Digraph.n g - 1 do
+          for v = 0 to Digraph.n g - 1 do
+            if classes.(u) = classes.(v) && rb.(u) <> rb.(v) then ok := false
+          done
+        done;
+        !ok);
+    qtest "bisim rank of childless nodes is 0" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let rb = Topo_rank.bisim_ranks g scc in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          if Digraph.out_degree g v = 0 && rb.(v) <> 0 then ok := false
+        done;
+        !ok);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Transitive closure / reduction *)
+
+let transitive_props =
+  [
+    qtest "descendant_sets match traversal" arb_g (fun g ->
+        let desc = Transitive.descendant_sets g in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          if not (Bitset.equal desc.(v) (Traversal.descendants g v)) then
+            ok := false
+        done;
+        !ok);
+    qtest "ancestor_sets match traversal" arb_g (fun g ->
+        let anc = Transitive.ancestor_sets g in
+        let ok = ref true in
+        for v = 0 to Digraph.n g - 1 do
+          if not (Bitset.equal anc.(v) (Traversal.ancestors g v)) then
+            ok := false
+        done;
+        !ok);
+    qtest "aho reduction preserves reachability" arb_pair (fun (g, u, v) ->
+        let red = Transitive.aho_reduction g in
+        Traversal.bfs_reaches red u v = Traversal.bfs_reaches g u v);
+    qtest "aho reduction never larger" arb_g (fun g ->
+        Digraph.m (Transitive.aho_reduction g) <= Digraph.m g
+        || Digraph.m g = 0);
+    qtest "closure_matrix equals nonempty reach" arb_pair (fun (g, u, v) ->
+        Transitive.closure_matrix g u v = Traversal.bfs_reaches_nonempty g u v);
+  ]
+
+let reduction_dag_props =
+  let arb_dag =
+    ( (let open QCheck2.Gen in
+       let* seed = int_range 0 99999 in
+       let rng = Random.State.make [| seed |] in
+       let* n = int_range 1 12 in
+       let* m = int_range 0 (2 * n) in
+       pure (Generators.random_dag rng ~n ~m)),
+      Testutil.digraph_print )
+  in
+  [
+    qtest "reduction preserves reachability" arb_dag (fun dag ->
+        let red = Transitive.reduction_dag dag in
+        let ok = ref true in
+        for u = 0 to Digraph.n dag - 1 do
+          for v = 0 to Digraph.n dag - 1 do
+            if Traversal.bfs_reaches red u v <> Traversal.bfs_reaches dag u v
+            then ok := false
+          done
+        done;
+        !ok);
+    qtest "reduction is minimal" arb_dag (fun dag ->
+        (* Removing any kept edge must lose reachability. *)
+        let red = Transitive.reduction_dag dag in
+        List.for_all
+          (fun (u, v) ->
+            let without = Digraph.remove_edges red [ (u, v) ] in
+            not (Traversal.bfs_reaches without u v))
+          (Digraph.edges red));
+    qtest "reduction is idempotent" arb_dag (fun dag ->
+        let r1 = Transitive.reduction_dag dag in
+        Digraph.equal r1 (Transitive.reduction_dag r1));
+    qtest "rejects cyclic input" arb_g (fun g ->
+        let scc = Scc.compute g in
+        let cyclic = Array.exists (fun b -> b) scc.Scc.nontrivial in
+        if not cyclic then true
+        else
+          match Transitive.reduction_dag g with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let generators_unit () =
+  let rng = Random.State.make [| 1 |] in
+  let g = Generators.erdos_renyi rng ~n:50 ~m:100 in
+  Alcotest.(check int) "er nodes" 50 (Digraph.n g);
+  Alcotest.(check int) "er edges" 100 (Digraph.m g);
+  Digraph.validate g;
+  let dag = Generators.random_dag rng ~n:30 ~m:60 in
+  Alcotest.(check bool) "dag acyclic" true
+    (Topo_rank.topological_order dag <> None);
+  let pa = Generators.preferential_attachment rng ~n:40 ~out_degree:3 ~reciprocity:0.3 in
+  Digraph.validate pa;
+  Alcotest.(check int) "pa nodes" 40 (Digraph.n pa);
+  let web = Generators.hierarchical_web rng ~hosts:4 ~pages_per_host:10 ~cross_links:20 in
+  Alcotest.(check int) "web nodes" 40 (Digraph.n web);
+  let tree = Generators.tree_with_shortcuts rng ~n:25 ~extra:10 in
+  Digraph.validate tree;
+  let labeled = Generators.with_random_labels rng g ~label_count:5 in
+  Alcotest.(check bool) "labels in range" true
+    (Array.for_all (fun l -> l >= 0 && l < 5) (Digraph.labels labeled));
+  let zipf = Generators.with_zipf_labels rng g ~label_count:7 in
+  Alcotest.(check bool) "zipf labels in range" true
+    (Array.for_all (fun l -> l >= 0 && l < 7) (Digraph.labels zipf))
+
+let generators_deterministic () =
+  let g1 = Generators.erdos_renyi (Random.State.make [| 9 |]) ~n:20 ~m:40 in
+  let g2 = Generators.erdos_renyi (Random.State.make [| 9 |]) ~n:20 ~m:40 in
+  Alcotest.(check bool) "same seed same graph" true (Digraph.equal g1 g2)
+
+let generators_edge_cases () =
+  let rng = Random.State.make [| 2 |] in
+  Alcotest.(check int) "er n=0" 0 (Digraph.n (Generators.erdos_renyi rng ~n:0 ~m:5));
+  Alcotest.(check int) "er n=1 no self loops" 0
+    (Digraph.m (Generators.erdos_renyi rng ~n:1 ~m:5));
+  Alcotest.(check int) "er clamps m" (3 * 2)
+    (Digraph.m (Generators.erdos_renyi rng ~n:3 ~m:1000))
+
+(* ------------------------------------------------------------------ *)
+(* Graph statistics *)
+
+let stats_unit () =
+  let g = Digraph.make ~n:6 ~labels:[| 0; 0; 1; 1; 2; 2 |]
+      [ (0, 1); (1, 0); (1, 2); (2, 3); (4, 4) ]
+  in
+  let s = Graph_stats.compute g in
+  Alcotest.(check int) "nodes" 6 s.Graph_stats.nodes;
+  Alcotest.(check int) "edges" 5 s.Graph_stats.edges;
+  Alcotest.(check int) "labels" 3 s.Graph_stats.labels;
+  Alcotest.(check int) "self loops" 1 s.Graph_stats.self_loops;
+  Alcotest.(check bool) "reciprocity 2/5" true
+    (abs_float (s.Graph_stats.reciprocity -. 0.4) < 1e-9);
+  Alcotest.(check int) "largest scc" 2 s.Graph_stats.largest_scc;
+  Alcotest.(check int) "wcc: {0..3}, {4}, {5}" 3 s.Graph_stats.wcc_count;
+  Alcotest.(check int) "sinks: 3, 5" 2 s.Graph_stats.sinks;
+  Alcotest.(check int) "sources: 0/1 no... 5 and none" 1 s.Graph_stats.sources;
+  Alcotest.(check int) "diameter along 0-1-2-3" 3 s.Graph_stats.approx_diameter
+
+let stats_props =
+  [
+    qtest "stats are internally consistent" arb_g (fun g ->
+        let s = Graph_stats.compute g in
+        s.Graph_stats.nodes = Digraph.n g
+        && s.Graph_stats.edges = Digraph.m g
+        && s.Graph_stats.scc_count <= max 1 s.Graph_stats.nodes
+        && s.Graph_stats.wcc_count <= s.Graph_stats.scc_count + 1
+        && s.Graph_stats.largest_scc <= s.Graph_stats.nodes
+        && s.Graph_stats.reciprocity >= 0.0
+        && s.Graph_stats.reciprocity <= 1.0
+        && s.Graph_stats.sinks <= s.Graph_stats.nodes
+        && s.Graph_stats.sources <= s.Graph_stats.nodes);
+    qtest "wcc count at most scc count" arb_g (fun g ->
+        let s = Graph_stats.compute g in
+        Digraph.n g = 0 || s.Graph_stats.wcc_count <= s.Graph_stats.scc_count);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph I/O *)
+
+let io_roundtrip () =
+  let g = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (1, 2); (2, 2) ] in
+  let table = Graph_io.Label_table.create () in
+  ignore (Graph_io.Label_table.intern table "alpha");
+  ignore (Graph_io.Label_table.intern table "beta");
+  let s = Graph_io.to_string ~labels:table g in
+  let g', _ = Graph_io.of_string s in
+  Alcotest.(check bool) "roundtrip structure" true
+    (Digraph.n g' = 3 && Digraph.m g' = 3 && Digraph.mem_edge g' 2 2);
+  (* label identity is preserved up to renaming; nodes 1,2 share a label *)
+  Alcotest.(check bool) "labels grouped" true
+    (Digraph.label g' 1 = Digraph.label g' 2 && Digraph.label g' 0 <> Digraph.label g' 1)
+
+let io_parse_errors () =
+  let expect_err s =
+    match Graph_io.of_string s with
+    | exception Graph_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ s)
+  in
+  expect_err "e 0 1\n";
+  expect_err "n 2\ne 0 5\n";
+  expect_err "n 2\ne 0\n";
+  expect_err "n -1\n";
+  expect_err "n 2\nn 2\n";
+  expect_err "n 2\nl 9 x\n";
+  expect_err "n 2\nq 1 2\n";
+  expect_err "n two\n"
+
+let io_comments_and_blanks () =
+  let g, _ =
+    Graph_io.of_string "# header\n\nn 3\n  # indented comment\ne 0 1 # trailing\n\ne 1 2\n"
+  in
+  Alcotest.(check int) "edges parsed" 2 (Digraph.m g)
+
+let dot_export () =
+  let g = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (1, 2) ] in
+  let dot = Graph_io.to_dot g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 9 = "digraph g");
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (let len = String.length needle in
+         let n = String.length dot in
+         let rec scan i =
+           i + len <= n && (String.sub dot i len = needle || scan (i + 1))
+         in
+         scan 0))
+    [ "n0 -> n1;"; "n1 -> n2;"; "label=\"0:l0\"" ];
+  let clustered = Graph_io.to_dot ~cluster:[| 0; 1; 1 |] g in
+  Alcotest.(check bool) "has clusters" true
+    (let needle = "subgraph cluster_" in
+     let len = String.length needle in
+     let n = String.length clustered in
+     let rec scan i =
+       i + len <= n && (String.sub clustered i len = needle || scan (i + 1))
+     in
+     scan 0);
+  Alcotest.check_raises "cluster length mismatch"
+    (Invalid_argument "Graph_io.to_dot: cluster array length mismatch")
+    (fun () -> ignore (Graph_io.to_dot ~cluster:[| 0 |] g))
+
+let io_props =
+  [
+    qtest "to_string/of_string structural roundtrip" arb_g (fun g ->
+        let g', _ = Graph_io.of_string (Graph_io.to_string g) in
+        Digraph.n g' = Digraph.n g
+        && Digraph.m g' = Digraph.m g
+        && List.for_all (fun (u, v) -> Digraph.mem_edge g' u v) (Digraph.edges g)
+        && Partition.equivalent (Digraph.labels g) (Digraph.labels g'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Edge updates *)
+
+let update_unit () =
+  let g = Digraph.make ~n:3 [ (0, 1) ] in
+  let g2 =
+    Edge_update.apply g
+      [ Edge_update.Insert (1, 2); Edge_update.Delete (0, 1); Edge_update.Insert (0, 1) ]
+  in
+  Alcotest.(check bool) "insert applied" true (Digraph.mem_edge g2 1 2);
+  Alcotest.(check bool) "last write wins" true (Digraph.mem_edge g2 0 1);
+  let g3 = Edge_update.apply g [ Edge_update.Delete (2, 0) ] in
+  Alcotest.(check bool) "deleting absent is noop" true (Digraph.equal g g3)
+
+let normalize_unit () =
+  let upds =
+    [
+      Edge_update.Insert (0, 1);
+      Edge_update.Delete (0, 1);
+      Edge_update.Insert (1, 2);
+      Edge_update.Insert (1, 2);
+    ]
+  in
+  let norm = Edge_update.normalize upds in
+  Alcotest.(check int) "collapsed" 2 (List.length norm);
+  Alcotest.(check bool) "delete won on (0,1)" true
+    (List.mem (Edge_update.Delete (0, 1)) norm)
+
+let update_props =
+  [
+    qtest "apply equals apply of normalized"
+      (Testutil.arbitrary_graph_updates ())
+      (fun (g, updates) ->
+        Digraph.equal (Edge_update.apply g updates)
+          (Edge_update.apply g (Edge_update.normalize updates)));
+    qtest "apply twice is idempotent for same batch"
+      (Testutil.arbitrary_graph_updates ())
+      (fun (g, updates) ->
+        let g1 = Edge_update.apply g updates in
+        Digraph.equal g1 (Edge_update.apply g1 (Edge_update.normalize updates)));
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick bitset_unit;
+          Alcotest.test_case "bounds" `Quick bitset_bounds;
+          Alcotest.test_case "zero capacity" `Quick bitset_zero_capacity;
+        ]
+        @ bitset_props );
+      ( "digraph",
+        [
+          Alcotest.test_case "basics" `Quick digraph_basics;
+          Alcotest.test_case "errors" `Quick digraph_errors;
+          Alcotest.test_case "edit" `Quick digraph_edit;
+          Alcotest.test_case "builder" `Quick digraph_builder;
+          Alcotest.test_case "induced" `Quick digraph_induced;
+        ]
+        @ digraph_props );
+      ( "traversal",
+        [
+          Alcotest.test_case "basics" `Quick traversal_unit;
+          Alcotest.test_case "bounded" `Quick traversal_bounded;
+          Alcotest.test_case "budgeted" `Quick traversal_budgeted;
+        ]
+        @ traversal_props );
+      ( "scc",
+        [
+          Alcotest.test_case "basics" `Quick scc_unit;
+          Alcotest.test_case "self loop" `Quick scc_self_loop;
+        ]
+        @ scc_props );
+      ("ranks", rank_props);
+      ("transitive", transitive_props @ reduction_dag_props);
+      ( "generators",
+        [
+          Alcotest.test_case "basics" `Quick generators_unit;
+          Alcotest.test_case "deterministic" `Quick generators_deterministic;
+          Alcotest.test_case "edge cases" `Quick generators_edge_cases;
+        ] );
+      ( "graph_stats",
+        Alcotest.test_case "basics" `Quick stats_unit :: stats_props );
+      ( "graph_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick io_roundtrip;
+          Alcotest.test_case "parse errors" `Quick io_parse_errors;
+          Alcotest.test_case "comments" `Quick io_comments_and_blanks;
+          Alcotest.test_case "dot export" `Quick dot_export;
+        ]
+        @ io_props );
+      ( "edge_update",
+        [
+          Alcotest.test_case "apply" `Quick update_unit;
+          Alcotest.test_case "normalize" `Quick normalize_unit;
+        ]
+        @ update_props );
+    ]

@@ -1,0 +1,536 @@
+(* Tests for the query substrate: reachability evaluators, 2-hop labeling,
+   patterns, graph simulation, bounded simulation, incremental match, and
+   the pattern generator. *)
+
+let qtest = Testutil.qtest
+let arb_g = Testutil.arbitrary_digraph ()
+
+let pair_gen =
+  let open QCheck2.Gen in
+  let* g = Testutil.digraph_gen () in
+  let n = Digraph.n g in
+  let* u = int_range 0 (n - 1) in
+  let* v = int_range 0 (n - 1) in
+  pure (g, u, v)
+
+let arb_pair =
+  (pair_gen, fun (g, u, v) -> Format.asprintf "%a@.(%d,%d)" Digraph.pp g u v)
+
+(* ------------------------------------------------------------------ *)
+(* Reachability evaluators *)
+
+let reach_unit () =
+  let g = Digraph.make ~n:4 [ (0, 1); (1, 2) ] in
+  List.iter
+    (fun algo ->
+      let name = Reach_query.algorithm_name algo in
+      Alcotest.(check bool) (name ^ " forward") true
+        (Reach_query.eval algo g ~source:0 ~target:2);
+      Alcotest.(check bool) (name ^ " reflexive") true
+        (Reach_query.eval algo g ~source:3 ~target:3);
+      Alcotest.(check bool) (name ^ " no path") false
+        (Reach_query.eval algo g ~source:2 ~target:0);
+      Alcotest.(check bool) (name ^ " nonempty self") false
+        (Reach_query.eval_nonempty algo g ~source:1 ~target:1))
+    Reach_query.all_algorithms
+
+let reach_props =
+  List.map
+    (fun algo ->
+      qtest
+        (Reach_query.algorithm_name algo ^ " agrees with BFS")
+        arb_pair
+        (fun (g, u, v) ->
+          Reach_query.eval algo g ~source:u ~target:v
+          = Reach_query.eval Reach_query.Bfs g ~source:u ~target:v))
+    Reach_query.all_algorithms
+  @ [
+      qtest "eval_nonempty differs only on self" arb_pair (fun (g, u, v) ->
+          if u <> v then
+            Reach_query.eval_nonempty Reach_query.Bfs g ~source:u ~target:v
+            = Reach_query.eval Reach_query.Bfs g ~source:u ~target:v
+          else
+            Reach_query.eval_nonempty Reach_query.Bfs g ~source:u ~target:v
+            = Traversal.bfs_reaches_nonempty g u u);
+    ]
+
+let random_pairs_unit () =
+  let g = Digraph.make ~n:5 [] in
+  let rng = Random.State.make [| 4 |] in
+  let pairs = Reach_query.random_pairs rng g ~count:20 in
+  Alcotest.(check int) "count" 20 (Array.length pairs);
+  Alcotest.(check bool) "in range" true
+    (Array.for_all (fun (u, v) -> u >= 0 && u < 5 && v >= 0 && v < 5) pairs);
+  Alcotest.check_raises "empty graph"
+    (Invalid_argument "Reach_query.random_pairs: empty graph") (fun () ->
+      ignore (Reach_query.random_pairs rng (Digraph.make ~n:0 []) ~count:1))
+
+(* ------------------------------------------------------------------ *)
+(* 2-hop labeling *)
+
+let two_hop_props =
+  [
+    qtest ~count:300 "2-hop query equals BFS" arb_pair (fun (g, u, v) ->
+        let t = Two_hop.build g in
+        Two_hop.query t u v = Traversal.bfs_reaches g u v);
+    qtest "entry count bounds memory" arb_g (fun g ->
+        let t = Two_hop.build g in
+        Two_hop.memory_bytes t >= 8 * Two_hop.entry_count t);
+  ]
+
+let two_hop_all_pairs () =
+  (* exhaustive check on a graph with cycles, diamonds, and isolated bits *)
+  let g =
+    Digraph.make ~n:8
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (1, 4); (5, 6); (6, 6) ]
+  in
+  let t = Two_hop.build g in
+  for u = 0 to 7 do
+    for v = 0 to 7 do
+      Alcotest.(check bool)
+        (Printf.sprintf "pair (%d,%d)" u v)
+        (Traversal.bfs_reaches g u v) (Two_hop.query t u v)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* GRAIL *)
+
+let grail_props =
+  [
+    qtest ~count:300 "GRAIL query equals BFS" arb_pair (fun (g, u, v) ->
+        let t = Grail.build g in
+        Grail.query t u v = Traversal.bfs_reaches g u v);
+    qtest "GRAIL with one traversal is still exact" arb_pair (fun (g, u, v) ->
+        let t = Grail.build ~traversals:1 g in
+        Grail.query t u v = Traversal.bfs_reaches g u v);
+    qtest "GRAIL memory is linear in nodes" arb_g (fun g ->
+        Grail.build g |> Grail.memory_bytes >= 0);
+  ]
+
+let grail_all_pairs () =
+  let g =
+    Digraph.make ~n:9
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (1, 4); (5, 6); (6, 6); (7, 8) ]
+  in
+  let t = Grail.build ~traversals:2 g in
+  for u = 0 to 8 do
+    for v = 0 to 8 do
+      Alcotest.(check bool)
+        (Printf.sprintf "grail (%d,%d)" u v)
+        (Traversal.bfs_reaches g u v) (Grail.query t u v)
+    done
+  done;
+  Alcotest.(check bool) "fallback counter moves" true (Grail.fallbacks t >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Tree cover *)
+
+let tree_cover_props =
+  [
+    qtest ~count:300 "tree cover equals BFS" arb_pair (fun (g, u, v) ->
+        let t = Tree_cover.build g in
+        Tree_cover.query t u v = Traversal.bfs_reaches g u v);
+    qtest "interval sets are compact" arb_g (fun g ->
+        (* never more intervals than condensation nodes squared, and at
+           least one per node with descendants *)
+        let t = Tree_cover.build g in
+        Tree_cover.interval_count t >= 0
+        && Tree_cover.memory_bytes t >= 16 * Tree_cover.interval_count t);
+  ]
+
+let tree_cover_all_pairs () =
+  let g =
+    Digraph.make ~n:9
+      [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (1, 4); (5, 6); (6, 6); (7, 8); (8, 4) ]
+  in
+  let t = Tree_cover.build g in
+  for u = 0 to 8 do
+    for v = 0 to 8 do
+      Alcotest.(check bool)
+        (Printf.sprintf "tree cover (%d,%d)" u v)
+        (Traversal.bfs_reaches g u v) (Tree_cover.query t u v)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Patterns *)
+
+let pattern_unit () =
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 1 |]
+      ~edges:[ (0, 1, Pattern.Bounded 2); (1, 0, Pattern.Unbounded) ]
+  in
+  Alcotest.(check int) "nodes" 2 (Pattern.node_count p);
+  Alcotest.(check int) "edges" 2 (Pattern.edge_count p);
+  Alcotest.(check int) "max bound" 2 (Pattern.max_bound p);
+  Alcotest.(check bool) "has unbounded" true (Pattern.has_unbounded p);
+  Alcotest.(check bool) "not all ones" false (Pattern.all_bounds_one p);
+  let p1 = Pattern.with_all_bounds p (Pattern.Bounded 1) in
+  Alcotest.(check bool) "all ones after rewrite" true (Pattern.all_bounds_one p1)
+
+let pattern_errors () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Pattern.make: bound must be >= 1") (fun () ->
+      ignore (Pattern.make ~n:1 ~labels:[| 0 |] ~edges:[ (0, 0, Pattern.Bounded 0) ]));
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Pattern.make: edge endpoint out of range") (fun () ->
+      ignore (Pattern.make ~n:1 ~labels:[| 0 |] ~edges:[ (0, 3, Pattern.Bounded 1) ]));
+  Alcotest.check_raises "labels mismatch"
+    (Invalid_argument "Pattern.make: label array length mismatch") (fun () ->
+      ignore (Pattern.make ~n:2 ~labels:[| 0 |] ~edges:[]))
+
+let result_ops () =
+  Alcotest.(check bool) "none equal" true (Pattern.result_equal None None);
+  Alcotest.(check bool) "some vs none" false
+    (Pattern.result_equal None (Some [| [| 0 |] |]));
+  Alcotest.(check int) "size none" 0 (Pattern.result_size None);
+  Alcotest.(check int) "size some" 3
+    (Pattern.result_size (Some [| [| 0; 1 |]; [| 5 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded simulation: hand-checked examples *)
+
+let bsim_example_basic () =
+  (* data: a -> b -> c, labels 0,1,2 *)
+  let g = Digraph.make ~n:3 ~labels:[| 0; 1; 2 |] [ (0, 1); (1, 2) ] in
+  (* pattern 0[l0] -> 1[l2] within 2 hops *)
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 2 |] ~edges:[ (0, 1, Pattern.Bounded 2) ]
+  in
+  (match Bounded_sim.eval p g with
+  | Some m ->
+      Alcotest.(check (array (array int))) "match" [| [| 0 |]; [| 2 |] |] m
+  | None -> Alcotest.fail "expected a match");
+  (* bound 1 is too short *)
+  let p1 =
+    Pattern.make ~n:2 ~labels:[| 0; 2 |] ~edges:[ (0, 1, Pattern.Bounded 1) ]
+  in
+  Alcotest.(check bool) "bound 1 fails" true (Bounded_sim.eval p1 g = None);
+  (* unbounded works *)
+  let pu =
+    Pattern.make ~n:2 ~labels:[| 0; 2 |] ~edges:[ (0, 1, Pattern.Unbounded) ]
+  in
+  Alcotest.(check bool) "unbounded works" true (Bounded_sim.eval pu g <> None)
+
+let bsim_cycle_support () =
+  (* pattern cycle A->B->A matches a data 2-cycle but not a dead-end pair *)
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 1 |]
+      ~edges:[ (0, 1, Pattern.Bounded 1); (1, 0, Pattern.Bounded 1) ]
+  in
+  let good = Digraph.make ~n:2 ~labels:[| 0; 1 |] [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "cycle matches" true (Bounded_sim.eval p good <> None);
+  let bad = Digraph.make ~n:2 ~labels:[| 0; 1 |] [ (0, 1) ] in
+  Alcotest.(check bool) "one-way fails" true (Bounded_sim.eval p bad = None)
+
+let bsim_empty_pattern () =
+  let g = Digraph.make ~n:3 [] in
+  let p = Pattern.make ~n:0 ~labels:[||] ~edges:[] in
+  Alcotest.(check bool) "empty pattern matches trivially" true
+    (Bounded_sim.eval p g = Some [||])
+
+let bsim_recommendation () =
+  (* Example 1: the pattern finds BSA1/2, C1/2, FA1/2 and nothing else. *)
+  let g = Testutil.recommendation () in
+  let p = Testutil.recommendation_pattern () in
+  let open Testutil.Rec in
+  match Bounded_sim.eval p g with
+  | None -> Alcotest.fail "expected the Example 1 match"
+  | Some m ->
+      Alcotest.(check (array int)) "BSA matches" [| bsa1; bsa2 |] m.(0);
+      Alcotest.(check (array int)) "C matches" [| c1; c2 |] m.(1);
+      Alcotest.(check (array int)) "FA matches" [| fa1; fa2 |] m.(2)
+
+let bsim_nonempty_path_semantics () =
+  (* a pattern edge needs a nonempty path: a self-labelled node with no
+     cycle cannot support an edge to its own label *)
+  let g = Digraph.make ~n:1 ~labels:[| 0 |] [] in
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 0 |] ~edges:[ (0, 1, Pattern.Unbounded) ]
+  in
+  Alcotest.(check bool) "no self support without cycle" true
+    (Bounded_sim.eval p g = None);
+  let g_loop = Digraph.make ~n:1 ~labels:[| 0 |] [ (0, 0) ] in
+  Alcotest.(check bool) "self loop supports" true
+    (Bounded_sim.eval p g_loop <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Simulation vs bounded simulation, caches, boolean *)
+
+let sim_props =
+  let arb_gp_ones =
+    ( (let open QCheck2.Gen in
+       let* g, p = Testutil.graph_pattern_gen () in
+       pure (g, Pattern.with_all_bounds p (Pattern.Bounded 1))),
+      Testutil.graph_pattern_print )
+  in
+  let arb_gp = Testutil.arbitrary_graph_pattern () in
+  [
+    qtest ~count:300 "simulation = bounded sim at bound 1" arb_gp_ones
+      (fun (g, p) ->
+        Pattern.result_equal (Simulation.eval p g) (Bounded_sim.eval p g));
+    qtest ~count:300 "bitset and matrix evaluators agree" arb_gp
+      (fun (g, p) ->
+        Pattern.result_equal (Bounded_sim.eval p g) (Bounded_sim.eval_matrix p g));
+    qtest "cache does not change results" arb_gp (fun (g, p) ->
+        let cache = Bounded_sim.make_cache g in
+        let r1 = Bounded_sim.eval ~cache p g in
+        let r2 = Bounded_sim.eval p g in
+        let r3 = Bounded_sim.eval ~cache p g in
+        Pattern.result_equal r1 r2 && Pattern.result_equal r1 r3);
+    qtest "boolean agrees with eval" arb_gp (fun (g, p) ->
+        Bounded_sim.eval_boolean p g = (Bounded_sim.eval p g <> None));
+    qtest "result is a valid match" arb_gp (fun (g, p) ->
+        match Bounded_sim.eval p g with
+        | None -> true
+        | Some m ->
+            (* every matched node satisfies label and edge constraints *)
+            let ok = ref true in
+            Array.iteri
+              (fun u matches ->
+                Array.iter
+                  (fun v ->
+                    if Pattern.label p u <> Digraph.label g v then ok := false;
+                    List.iter
+                      (fun (u', b) ->
+                        let witness =
+                          Array.exists
+                            (fun v' ->
+                              match b with
+                              | Pattern.Bounded k ->
+                                  Bitset.mem
+                                    (Traversal.bounded_descendants g v k)
+                                    v'
+                              | Pattern.Unbounded ->
+                                  Traversal.bfs_reaches_nonempty g v v')
+                            m.(u')
+                        in
+                        if not witness then ok := false)
+                      (Pattern.out_edges p u))
+                  matches)
+              m;
+            !ok);
+    qtest "maximality: unmatched label-compatible nodes fail a constraint"
+      arb_gp (fun (g, p) ->
+        match Bounded_sim.eval p g with
+        | None -> true
+        | Some m ->
+            let ok = ref true in
+            for u = 0 to Pattern.node_count p - 1 do
+              for v = 0 to Digraph.n g - 1 do
+                if
+                  Pattern.label p u = Digraph.label g v
+                  && not (Array.exists (fun x -> x = v) m.(u))
+                then begin
+                  (* v must genuinely violate some edge constraint wrt m *)
+                  let violated =
+                    List.exists
+                      (fun (u', b) ->
+                        not
+                          (Array.exists
+                             (fun v' ->
+                               match b with
+                               | Pattern.Unbounded ->
+                                   Traversal.bfs_reaches_nonempty g v v'
+                               | Pattern.Bounded k ->
+                                   Bitset.mem
+                                     (Traversal.bounded_descendants g v k)
+                                     v')
+                             m.(u')))
+                      (Pattern.out_edges p u)
+                  in
+                  if not violated then ok := false
+                end
+              done
+            done;
+            !ok);
+  ]
+
+let sim_rejects_bounds () =
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 0 |] ~edges:[ (0, 1, Pattern.Bounded 2) ]
+  in
+  Alcotest.check_raises "simulation needs bounds 1"
+    (Invalid_argument "Simulation.eval: pattern has a bound other than 1")
+    (fun () -> ignore (Simulation.eval p (Digraph.make ~n:1 ~labels:[| 0 |] [])))
+
+let cache_mismatch () =
+  let g1 = Digraph.make ~n:1 ~labels:[| 0 |] [] in
+  let g2 = Digraph.make ~n:1 ~labels:[| 0 |] [] in
+  let cache = Bounded_sim.make_cache g1 in
+  let p = Pattern.make ~n:1 ~labels:[| 0 |] ~edges:[] in
+  Alcotest.check_raises "cache tied to graph"
+    (Invalid_argument "Bounded_sim: cache built on a different graph")
+    (fun () -> ignore (Bounded_sim.eval ~cache p g2))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern I/O *)
+
+let pattern_io_roundtrip () =
+  let p =
+    Pattern.make ~n:3 ~labels:[| 2; 0; 1 |]
+      ~edges:
+        [ (0, 1, Pattern.Bounded 3); (1, 2, Pattern.Unbounded); (2, 0, Pattern.Bounded 1) ]
+  in
+  let p' = Pattern_io.of_string (Pattern_io.to_string p) in
+  Alcotest.(check int) "nodes" (Pattern.node_count p) (Pattern.node_count p');
+  Alcotest.(check bool) "labels" true
+    (Array.init 3 (Pattern.label p) = Array.init 3 (Pattern.label p'));
+  Alcotest.(check bool) "edges" true
+    (List.sort compare (Pattern.edges p) = List.sort compare (Pattern.edges p'))
+
+let pattern_io_parse () =
+  let p = Pattern_io.of_string "n 2\nl 0 5\ne 0 1 *\ne 1 0 2 # cycle\n" in
+  Alcotest.(check int) "label read" 5 (Pattern.label p 0);
+  Alcotest.(check bool) "star read" true (Pattern.has_unbounded p);
+  Alcotest.(check int) "bound read" 2 (Pattern.max_bound p)
+
+let pattern_io_errors () =
+  let expect_err s =
+    match Pattern_io.of_string s with
+    | exception Pattern_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ s)
+  in
+  expect_err "e 0 1 2\n";
+  expect_err "n 1\ne 0 5 1\n";
+  expect_err "n 1\ne 0 0 0\n";
+  expect_err "n 1\ne 0 0 -3\n";
+  expect_err "n 1\ne 0 0 five\n";
+  expect_err "n 1\nx 0\n"
+
+let pattern_io_props =
+  [
+    qtest "to_string/of_string roundtrip"
+      (Testutil.arbitrary_graph_pattern ())
+      (fun (_, p) ->
+        let p' = Pattern_io.of_string (Pattern_io.to_string p) in
+        Pattern.node_count p = Pattern.node_count p'
+        && List.sort compare (Pattern.edges p)
+           = List.sort compare (Pattern.edges p')
+        && Array.init (Pattern.node_count p) (Pattern.label p)
+           = Array.init (Pattern.node_count p') (Pattern.label p'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental match *)
+
+let inc_match_props =
+  let print_gpu ((g, p), updates) =
+    Format.asprintf "%a@.%a@.%a" Digraph.pp g Pattern.pp p
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Edge_update.pp)
+      (List.concat updates)
+  in
+  let arb =
+    ( (let open QCheck2.Gen in
+       let* g, p = Testutil.graph_pattern_gen () in
+       let n = Digraph.n g in
+       let upd =
+         let* u = int_range 0 (n - 1) in
+         let* v = int_range 0 (n - 1) in
+         let* ins = bool in
+         pure
+           (if ins then Edge_update.Insert (u, v) else Edge_update.Delete (u, v))
+       in
+       let* b1 = list_size (int_range 0 8) upd in
+       let* b2 = list_size (int_range 0 8) upd in
+       pure ((g, p), [ b1; b2 ])),
+      print_gpu )
+  in
+  [
+    qtest ~count:300 "IncBMatch equals from-scratch across batches" arb
+      (fun ((g, p), batches) ->
+        let im = Inc_match.create p g in
+        List.for_all
+          (fun batch ->
+            let got = Inc_match.apply im batch in
+            Pattern.result_equal got (Bounded_sim.eval p (Inc_match.graph im)))
+          batches);
+    qtest "create equals direct eval" (Testutil.arbitrary_graph_pattern ())
+      (fun (g, p) ->
+        Pattern.result_equal (Inc_match.result (Inc_match.create p g))
+          (Bounded_sim.eval p g));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pattern generator *)
+
+let pattern_gen_props =
+  [
+    qtest "random patterns are well formed" arb_g (fun g ->
+        if Digraph.n g = 0 then true
+        else begin
+          let rng = Random.State.make [| 11 |] in
+          let p =
+            Pattern_gen.random rng g ~nodes:4 ~edges:5 ~max_bound:3
+              ~unbounded_prob:0.3
+          in
+          Pattern.node_count p = 4
+          && Pattern.edge_count p >= 3
+          && Pattern.max_bound p <= 3
+        end);
+    qtest "anchored patterns always match" arb_g (fun g ->
+        if Digraph.n g = 0 then true
+        else begin
+          let rng = Random.State.make [| 12 |] in
+          let p = Pattern_gen.anchored rng g ~nodes:4 ~edges:5 ~max_bound:3 in
+          Bounded_sim.eval p g <> None
+        end);
+    qtest "generator is deterministic per seed" arb_g (fun g ->
+        if Digraph.n g = 0 then true
+        else begin
+          let mk () =
+            Pattern_gen.random (Random.State.make [| 5 |]) g ~nodes:3 ~edges:3
+              ~max_bound:2 ~unbounded_prob:0.2
+          in
+          let p1 = mk () and p2 = mk () in
+          Pattern.edges p1 = Pattern.edges p2
+          && Array.init (Pattern.node_count p1) (Pattern.label p1)
+             = Array.init (Pattern.node_count p2) (Pattern.label p2)
+        end);
+  ]
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "reachability",
+        [
+          Alcotest.test_case "basics" `Quick reach_unit;
+          Alcotest.test_case "random pairs" `Quick random_pairs_unit;
+        ]
+        @ reach_props );
+      ( "two_hop",
+        Alcotest.test_case "all pairs" `Quick two_hop_all_pairs :: two_hop_props
+      );
+      ( "grail",
+        Alcotest.test_case "all pairs" `Quick grail_all_pairs :: grail_props );
+      ( "tree_cover",
+        Alcotest.test_case "all pairs" `Quick tree_cover_all_pairs
+        :: tree_cover_props );
+      ( "pattern",
+        [
+          Alcotest.test_case "basics" `Quick pattern_unit;
+          Alcotest.test_case "errors" `Quick pattern_errors;
+          Alcotest.test_case "results" `Quick result_ops;
+        ] );
+      ( "bounded_sim",
+        [
+          Alcotest.test_case "basic example" `Quick bsim_example_basic;
+          Alcotest.test_case "cycle support" `Quick bsim_cycle_support;
+          Alcotest.test_case "empty pattern" `Quick bsim_empty_pattern;
+          Alcotest.test_case "recommendation (Example 1)" `Quick bsim_recommendation;
+          Alcotest.test_case "nonempty path semantics" `Quick bsim_nonempty_path_semantics;
+          Alcotest.test_case "simulation rejects bounds" `Quick sim_rejects_bounds;
+          Alcotest.test_case "cache mismatch" `Quick cache_mismatch;
+        ]
+        @ sim_props );
+      ( "pattern_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick pattern_io_roundtrip;
+          Alcotest.test_case "parse" `Quick pattern_io_parse;
+          Alcotest.test_case "errors" `Quick pattern_io_errors;
+        ]
+        @ pattern_io_props );
+      ("inc_match", inc_match_props);
+      ("pattern_gen", pattern_gen_props);
+    ]

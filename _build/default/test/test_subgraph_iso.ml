@@ -1,0 +1,158 @@
+(* Subgraph isomorphism: matcher correctness against a brute-force oracle,
+   and the two non-preservation directions under bisimulation compression
+   that justify the paper's restriction to (bounded) simulation. *)
+
+let qtest = Testutil.qtest
+
+(* brute force: try all injective assignments *)
+let brute_force ~pattern g =
+  let np = Digraph.n pattern and n = Digraph.n g in
+  if np > n then []
+  else begin
+    let results = ref [] in
+    let assignment = Array.make np (-1) in
+    let used = Array.make (max 1 n) false in
+    let valid () =
+      let ok = ref true in
+      for u = 0 to np - 1 do
+        if Digraph.label pattern u <> Digraph.label g assignment.(u) then
+          ok := false
+      done;
+      Digraph.iter_edges pattern (fun u v ->
+          if not (Digraph.mem_edge g assignment.(u) assignment.(v)) then
+            ok := false);
+      !ok
+    in
+    let rec go u =
+      if u = np then begin
+        if valid () then results := Array.copy assignment :: !results
+      end
+      else
+        for v = 0 to n - 1 do
+          if not used.(v) then begin
+            assignment.(u) <- v;
+            used.(v) <- true;
+            go (u + 1);
+            assignment.(u) <- -1;
+            used.(v) <- false
+          end
+        done
+    in
+    go 0;
+    List.sort compare !results
+  end
+
+let unit_triangle () =
+  let tri = Digraph.make ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let g = Digraph.make ~n:4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  Alcotest.(check bool) "triangle embeds" true (Subgraph_iso.embeds ~pattern:tri g);
+  Alcotest.(check int) "3 rotations" 3 (Subgraph_iso.count ~pattern:tri g);
+  let dag = Digraph.make ~n:3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "no triangle in a path" false
+    (Subgraph_iso.embeds ~pattern:tri dag)
+
+let unit_labels () =
+  let pattern = Digraph.make ~n:2 ~labels:[| 0; 1 |] [ (0, 1) ] in
+  let g = Digraph.make ~n:2 ~labels:[| 0; 0 |] [ (0, 1) ] in
+  Alcotest.(check bool) "label mismatch" false (Subgraph_iso.embeds ~pattern g);
+  let g2 = Digraph.make ~n:2 ~labels:[| 0; 1 |] [ (0, 1) ] in
+  Alcotest.(check (option (array int))) "found mapping" (Some [| 0; 1 |])
+    (Subgraph_iso.find ~pattern g2)
+
+let unit_injectivity () =
+  (* two distinct children required; a single shared child must not do *)
+  let pattern = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (0, 2) ] in
+  let g_two = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (0, 2) ] in
+  Alcotest.(check bool) "two children ok" true (Subgraph_iso.embeds ~pattern g_two);
+  let g_one = Digraph.make ~n:2 ~labels:[| 0; 1 |] [ (0, 1) ] in
+  Alcotest.(check bool) "one child insufficient" false
+    (Subgraph_iso.embeds ~pattern g_one)
+
+let unit_empty_pattern () =
+  let g = Digraph.make ~n:2 [] in
+  Alcotest.(check bool) "empty pattern embeds" true
+    (Subgraph_iso.embeds ~pattern:(Digraph.make ~n:0 []) g)
+
+let arb_pg =
+  ( (let open QCheck2.Gen in
+     let* pattern = Testutil.digraph_gen ~max_n:4 ~max_labels:2 () in
+     let* g = Testutil.digraph_gen ~max_n:6 ~max_labels:2 () in
+     pure (pattern, g)),
+    fun (pattern, g) ->
+      Format.asprintf "pattern:%a@.graph:%a" Digraph.pp pattern Digraph.pp g )
+
+let iso_props =
+  [
+    qtest ~count:300 "matcher equals brute force" arb_pg (fun (pattern, g) ->
+        Subgraph_iso.find_all ~pattern g = brute_force ~pattern g);
+    qtest "found embeddings are valid" arb_pg (fun (pattern, g) ->
+        List.for_all
+          (fun m ->
+            Array.length m = Digraph.n pattern
+            && List.length (List.sort_uniq compare (Array.to_list m))
+               = Array.length m
+            && List.for_all
+                 (fun (u, v) -> Digraph.mem_edge g m.(u) m.(v))
+                 (Digraph.edges pattern))
+          (Subgraph_iso.find_all ~pattern g));
+  ]
+
+(* --- non-preservation under bisimulation compression --- *)
+
+let under_reporting () =
+  (* a -> b1, a -> b2 with b1 ~ b2: G embeds "two distinct children", the
+     compressed graph does not *)
+  let g = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (0, 2) ] in
+  let c = Compress_bisim.compress g in
+  let pattern = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (0, 2) ] in
+  Alcotest.(check bool) "embeds in G" true (Subgraph_iso.embeds ~pattern g);
+  Alcotest.(check bool) "b1 ~ b2 merged" true
+    (Compressed.hypernode c 1 = Compressed.hypernode c 2);
+  Alcotest.(check bool) "does NOT embed in Gr" false
+    (Subgraph_iso.embeds ~pattern (Compressed.graph c))
+
+let over_reporting () =
+  (* an edge between bisimilar nodes becomes a hypernode self-loop: two
+     same-label nodes on a 2-cycle are bisimilar, so the quotient is a
+     single node with a self-loop, which a self-loop pattern matches even
+     though G has no self-loop *)
+  let g = Digraph.make ~n:2 ~labels:[| 5; 5 |] [ (0, 1); (1, 0) ] in
+  let c = Compress_bisim.compress g in
+  Alcotest.(check int) "folded to one hypernode" 1
+    (Digraph.n (Compressed.graph c));
+  let selfloop = Digraph.make ~n:1 ~labels:[| 5 |] [ (0, 0) ] in
+  Alcotest.(check bool) "self-loop embeds in Gr" true
+    (Subgraph_iso.embeds ~pattern:selfloop (Compressed.graph c));
+  Alcotest.(check bool) "but not in G" false
+    (Subgraph_iso.embeds ~pattern:selfloop g)
+
+let simulation_is_preserved_on_same_cases () =
+  (* the contrast: on the same under-reporting graph, (bounded) simulation
+     IS preserved, as Theorem 4 promises *)
+  let g = Digraph.make ~n:3 ~labels:[| 0; 1; 1 |] [ (0, 1); (0, 2) ] in
+  let c = Compress_bisim.compress g in
+  let p =
+    Pattern.make ~n:2 ~labels:[| 0; 1 |] ~edges:[ (0, 1, Pattern.Bounded 1) ]
+  in
+  Alcotest.(check bool) "simulation preserved" true
+    (Verify.pattern_preserved p g c)
+
+let () =
+  Alcotest.run "subgraph_iso"
+    [
+      ( "matcher",
+        [
+          Alcotest.test_case "triangle" `Quick unit_triangle;
+          Alcotest.test_case "labels" `Quick unit_labels;
+          Alcotest.test_case "injectivity" `Quick unit_injectivity;
+          Alcotest.test_case "empty pattern" `Quick unit_empty_pattern;
+        ]
+        @ iso_props );
+      ( "non-preservation",
+        [
+          Alcotest.test_case "under-reporting on Gr" `Quick under_reporting;
+          Alcotest.test_case "over-reporting on Gr" `Quick over_reporting;
+          Alcotest.test_case "simulation preserved on the same case" `Quick
+            simulation_is_preserved_on_same_cases;
+        ] );
+    ]
