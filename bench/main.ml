@@ -4,9 +4,11 @@
    Usage:
      main.exe                      run everything
      main.exe table1 fig12a ...    run selected experiments
-     main.exe micro                bechamel micro-benchmarks only
+     main.exe micro                bechamel micro-benchmarks + speedup rows
+     main.exe speedup              seq-vs-parallel kernel speedup rows only
      main.exe --scale 0.25 ...     shrink datasets (quick mode)
-     main.exe --seed 7 ...         change the deterministic seed *)
+     main.exe --seed 7 ...         change the deterministic seed
+     main.exe --domains 4 ...      size the worker-domain pool *)
 
 let ppf = Format.std_formatter
 
@@ -64,7 +66,7 @@ let run_fig12c opts () =
   section "Fig 12(c)";
   let rows = Experiments.Fig12c.run ~opts () in
   Experiments.Fig12c.print ppf rows;
-  write_csv "fig12c" (Experiments.Fig12b.csv rows)
+  write_csv "fig12c" (Experiments.Fig12c.csv rows)
 
 let run_fig12d opts () =
   section "Fig 12(d)";
@@ -196,6 +198,61 @@ let micro_tests opts =
         Compress_reach.compress g);
   ]
 
+(* Seq-vs-parallel speedup rows: each kernel timed once on a 1-domain pool
+   and once on the --domains pool, on the same ER graph, asserting the
+   outputs agree bit for bit.  At --scale 1.0 the graph has 20k nodes (the
+   scale knob shrinks it for smoke tests). *)
+let run_speedup opts () =
+  let par_pool = Pool.default () in
+  let domains = Pool.domains par_pool in
+  section (Printf.sprintf "seq vs parallel (domains=%d)" domains);
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let n = max 512 (int_of_float (20000. *. opts.Experiments.scale)) in
+  let m = 3 * n / 2 in
+  let rng = Random.State.make [| opts.Experiments.seed; 2024 |] in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  let pairs = Reach_query.random_pairs rng g ~count:(4 * 1024) in
+  Format.fprintf ppf "ER graph: |V| = %d, |E| = %d@." (Digraph.n g)
+    (Digraph.m g);
+  Format.fprintf ppf "%-34s %10s %10s %9s@." "kernel" "seq(s)" "par(s)"
+    "speedup";
+  let all_ok = ref true in
+  Pool.with_pool ~domains:1 (fun seq_pool ->
+      let row name ~seq ~par ~equal =
+        let rs, ts = time seq in
+        let rp, tp = time par in
+        if not (equal rs rp) then all_ok := false;
+        Format.fprintf ppf "%-34s %10.3f %10.3f %8.2fx@." name ts tp
+          (if tp > 0. then ts /. tp else 1.)
+      in
+      let compressed_equal a b =
+        Digraph.equal (Compressed.graph a) (Compressed.graph b)
+        && a.Compressed.node_map = b.Compressed.node_map
+      in
+      row "compress_paper (per-node BFS)"
+        ~seq:(fun () -> Compress_reach.compress_paper ~pool:seq_pool g)
+        ~par:(fun () -> Compress_reach.compress_paper ~pool:par_pool g)
+        ~equal:compressed_equal;
+      row "transitive closure"
+        ~seq:(fun () -> Transitive.descendant_sets ~pool:seq_pool g)
+        ~par:(fun () -> Transitive.descendant_sets ~pool:par_pool g)
+        ~equal:(fun a b ->
+          Array.length a = Array.length b
+          && Array.for_all2 Bitset.equal a b);
+      row "eval_batch (4096 BFS queries)"
+        ~seq:(fun () ->
+          Reach_query.eval_batch ~pool:seq_pool Reach_query.Bfs g pairs)
+        ~par:(fun () ->
+          Reach_query.eval_batch ~pool:par_pool Reach_query.Bfs g pairs)
+        ~equal:( = ));
+  Format.fprintf ppf "parallel outputs identical to sequential: %s@."
+    (if !all_ok then "ok" else "MISMATCH");
+  if not !all_ok then exit 1
+
 let run_micro opts () =
   section "Bechamel micro-benchmarks";
   let open Bechamel in
@@ -224,7 +281,8 @@ let run_micro opts () =
         else Printf.sprintf "%8.1f ns" value
       in
       Format.fprintf ppf "%-34s %14s@." name pretty)
-    rows
+    rows;
+  run_speedup opts ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -249,11 +307,13 @@ let experiments =
     ("indexes", run_indexes);
     ("ablation", run_ablation);
     ("micro", run_micro);
+    ("speedup", run_speedup);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let scale = ref 1.0 and seed = ref 42 in
+  let domains = ref (Pool.recommended ()) in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -262,6 +322,9 @@ let () =
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_of_string v;
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains := int_of_string v;
         parse rest
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
@@ -278,6 +341,10 @@ let () =
         parse rest
   in
   parse args;
+  if !domains < 1 then (
+    prerr_endline "--domains must be >= 1";
+    exit 1);
+  Pool.set_default_domains !domains;
   let opts = { Experiments.seed = !seed; scale = !scale } in
   let to_run =
     match List.rev !selected with

@@ -14,6 +14,26 @@
 
 open Cmdliner
 
+(* Shared --domains flag: sizes the process-wide pool the parallel kernels
+   draw from.  Applied by the subcommands that run compression or batch
+   query kernels. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int (Pool.recommended ())
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel kernels (default: the \
+           recommended domain count, capped at 8; $(b,1) forces the \
+           sequential path).")
+
+let setup_domains n =
+  if n < 1 then begin
+    Printf.eprintf "--domains must be >= 1\n";
+    exit 1
+  end;
+  Pool.set_default_domains n
+
 let read_graph path =
   try fst (Graph_io.load path) with
   | Graph_io.Parse_error (line, msg) ->
@@ -82,7 +102,8 @@ let graph_arg =
     & info [] ~docv:"GRAPH" ~doc:"Graph file (see README for the format).")
 
 let stats_cmd =
-  let run path =
+  let run domains path =
+    setup_domains domains;
     let g = read_graph path in
     Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
     let rc = Compress_reach.compress g in
@@ -98,7 +119,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Structural statistics and compression ratios.")
-    Term.(const run $ graph_arg)
+    Term.(const run $ domains_arg $ graph_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compress *)
@@ -134,7 +155,8 @@ let compress_cmd =
             "Write the full compression (Gr + node map) in one file, \
              loadable by $(b,qpgc cquery).")
   in
-  let run path mode output map_file save_file =
+  let run domains path mode output map_file save_file =
+    setup_domains domains;
     let g = read_graph path in
     let t0 = Unix.gettimeofday () in
     let c =
@@ -162,7 +184,9 @@ let compress_cmd =
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Compress a graph, preserving a query class.")
-    Term.(const run $ graph_arg $ mode_arg $ output $ map_file $ save_file)
+    Term.(
+      const run $ domains_arg $ graph_arg $ mode_arg $ output $ map_file
+      $ save_file)
 
 (* ------------------------------------------------------------------ *)
 (* query *)
@@ -174,7 +198,8 @@ let query_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
   in
-  let run path source target =
+  let run domains path source target =
+    setup_domains domains;
     let g = read_graph path in
     let n = Digraph.n g in
     if source < 0 || source >= n || target < 0 || target >= n then begin
@@ -192,7 +217,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
-    Term.(const run $ graph_arg $ source $ target)
+    Term.(const run $ domains_arg $ graph_arg $ source $ target)
 
 (* ------------------------------------------------------------------ *)
 (* match *)
@@ -355,7 +380,8 @@ let workload_cmd =
           ~doc:
             "Workload file: one query per line — $(b,r <u> <v>) for              reachability, $(b,p <pattern-file>) for a pattern query,              $(b,x <regex>) for a regular path query.")
   in
-  let run path workload_file =
+  let run domains path workload_file =
+    setup_domains domains;
     let g = read_graph path in
     let lines =
       In_channel.with_open_text workload_file In_channel.input_lines
@@ -430,7 +456,7 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload"
        ~doc:"Run a query workload over a graph and its compression, verifying agreement.")
-    Term.(const run $ graph_arg $ workload_file)
+    Term.(const run $ domains_arg $ graph_arg $ workload_file)
 
 (* ------------------------------------------------------------------ *)
 (* datasets *)

@@ -14,20 +14,27 @@
 
 (** [compress g] computes [Gr = R(G)].  O(|V|·|E|/w + |Gr|²): equivalence
     at SCC-condensation granularity with bitset ancestor/descendant sets —
-    an optimised implementation of the paper's algorithm. *)
-val compress : Digraph.t -> Compressed.t
+    an optimised implementation of the paper's algorithm.  [?pool]
+    parallelises the quotient's transitive reduction (default:
+    {!Pool.default}). *)
+val compress : ?pool:Pool.t -> Digraph.t -> Compressed.t
 
 (** [compress_paper g] is algorithm [compressR] exactly as the paper states
     it (Fig 5): a forward and a backward BFS {e per node} to collect its
     descendant and ancestor sets, grouping nodes on those sets, then the
     redundant-edge-free quotient.  O(|V|·(|V|+|E|)), the paper's quadratic
     bound.  Same output as {!compress}; kept as the faithful baseline for
-    Figs 12(e)/(f) and as a test oracle. *)
-val compress_paper : Digraph.t -> Compressed.t
+    Figs 12(e)/(f) and as a test oracle.
+
+    With a multi-domain [?pool] the per-node traversals fan out over the
+    pool; the grouping stage stays sequential over precomputed per-node
+    sets, so the result — including class numbering — is identical for
+    every domain count. *)
+val compress_paper : ?pool:Pool.t -> Digraph.t -> Compressed.t
 
 (** [compress_of_equiv g re] builds [Gr] from an already-computed
     equivalence relation (shared with the incremental layer). *)
-val compress_of_equiv : Digraph.t -> Reach_equiv.t -> Compressed.t
+val compress_of_equiv : ?pool:Pool.t -> Digraph.t -> Reach_equiv.t -> Compressed.t
 
 (** [rewrite c ~source ~target] is [F(QR(source,target))]: the pair of
     hypernodes to query on [Compressed.graph c]. *)
@@ -45,3 +52,13 @@ val answer :
   source:int ->
   target:int ->
   bool
+
+(** [answer_batch c pairs] answers [QR(u, v)] for every [(u, v)] of
+    [pairs], preserving order.  Queries are independent, so a multi-domain
+    [?pool] evaluates them concurrently — the Exp-2 workload path. *)
+val answer_batch :
+  ?pool:Pool.t ->
+  ?algorithm:Reach_query.algorithm ->
+  Compressed.t ->
+  (int * int) array ->
+  bool array

@@ -32,7 +32,7 @@ module Reachability = struct
   let evaluate g (u, v) =
     Reach_query.eval_nonempty Reach_query.Bfs g ~source:u ~target:v
 
-  let compress = Compress_reach.compress
+  let compress g = Compress_reach.compress g
   let rewrite c (u, v) = Compress_reach.rewrite c ~source:u ~target:v
   let post_process _ answer = answer
 end

@@ -32,11 +32,20 @@ let mem s i =
   let w = i / bits_per_word and b = i mod bits_per_word in
   s.words.(w) land (1 lsl b) <> 0
 
-(* Kernighan popcount is fine here: sets are usually sparse per word, and the
-   hot paths (union_into) do not count. *)
+(* Branch-free SWAR popcount.  The 64-bit masks truncate to OCaml's 63-bit
+   ints, which is exactly the classic algorithm run on a zero-extended
+   value: lanes never carry into each other, and the only dropped bit
+   (bit 63) is zero throughout. *)
 let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
-  go x 0
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* Count trailing zeros of a nonzero word: isolate the lowest set bit, turn
+   the bits below it into ones, count them.  Branch-free, reuses the SWAR
+   popcount. *)
+let ctz x = popcount ((x land -x) - 1)
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 
@@ -105,13 +114,16 @@ let subset a b =
   let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
   go 0
 
+(* Jump straight to each set bit with ctz and clear it, instead of probing
+   all 63 positions: cost is per member, not per word width. *)
 let iter f s =
   for w = 0 to Array.length s.words - 1 do
-    let word = s.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+    let word = ref s.words.(w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      f (base + ctz !word);
+      word := !word land (!word - 1)
+    done
   done
 
 let fold f s init =

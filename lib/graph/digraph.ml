@@ -7,8 +7,18 @@ type t = {
   in_adj : int array array;
 }
 
-let sort_dedup a =
-  Array.sort compare a;
+(* Monomorphic int comparison: the polymorphic [compare] dispatches through
+   the runtime on every call, which dominates adjacency construction. *)
+let int_compare (x : int) (y : int) = if x < y then -1 else if x > y then 1 else 0
+
+let int_array_equal (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  && (let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+      go 0)
+
+let sort_dedup (a : int array) =
+  Array.sort int_compare a;
   let len = Array.length a in
   if len <= 1 then a
   else begin
@@ -127,7 +137,7 @@ let pred g v = g.in_adj.(v)
 let out_degree g v = Array.length g.out_adj.(v)
 let in_degree g v = Array.length g.in_adj.(v)
 
-let mem_sorted a x =
+let mem_sorted (a : int array) (x : int) =
   let lo = ref 0 and hi = ref (Array.length a) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
@@ -246,8 +256,11 @@ let induced g nodes =
   (of_adjacency ~n:k ~labels ~out_lists, Array.copy nodes)
 
 let equal a b =
-  a.n = b.n && a.m = b.m && a.labels = b.labels
-  && (let rec go u = u >= a.n || (a.out_adj.(u) = b.out_adj.(u) && go (u + 1)) in
+  a.n = b.n && a.m = b.m
+  && int_array_equal a.labels b.labels
+  && (let rec go u =
+        u >= a.n || (int_array_equal a.out_adj.(u) b.out_adj.(u) && go (u + 1))
+      in
       go 0)
 
 let pp ppf g =

@@ -1,52 +1,101 @@
 (* Descendant sets at SCC granularity, then expanded to nodes.  Ascending SCC
-   id is reverse topological order (see Scc), so one pass suffices. *)
-let scc_descendant_sets g scc =
+   id is reverse topological order (see Scc), so one sequential pass
+   suffices; the parallel path schedules by topological level instead —
+   every SCC's successors sit at strictly smaller levels, so all SCCs of one
+   level propagate independently.  Either way each set's content is a pure
+   function of the graph, so the two schedules agree bit for bit. *)
+
+let get_pool = function Some p -> p | None -> Pool.default ()
+
+let scc_descendant_sets ~pool g scc =
   let cond = Scc.condensation g scc in
   let k = scc.Scc.count in
   let sets = Array.init k (fun _ -> Bitset.create k) in
-  for c = 0 to k - 1 do
+  let fill c =
     let s = sets.(c) in
     Digraph.iter_succ cond c (fun c' ->
         Bitset.add s c';
         ignore (Bitset.union_into ~into:s sets.(c')));
     if scc.Scc.nontrivial.(c) then Bitset.add s c
-  done;
+  in
+  if Pool.domains pool = 1 then
+    for c = 0 to k - 1 do
+      fill c
+    done
+  else begin
+    let level = Array.make k 0 in
+    let max_level = ref 0 in
+    for c = 0 to k - 1 do
+      let l = ref 0 in
+      Digraph.iter_succ cond c (fun c' ->
+          if level.(c') >= !l then l := level.(c') + 1);
+      level.(c) <- !l;
+      if !l > !max_level then max_level := !l
+    done;
+    let counts = Array.make (!max_level + 1) 0 in
+    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level;
+    let buckets = Array.map (fun cnt -> Array.make cnt 0) counts in
+    let fill_pos = Array.make (!max_level + 1) 0 in
+    for c = 0 to k - 1 do
+      let l = level.(c) in
+      buckets.(l).(fill_pos.(l)) <- c;
+      fill_pos.(l) <- fill_pos.(l) + 1
+    done;
+    Array.iter
+      (fun bucket ->
+        Pool.parallel_for pool ~n:(Array.length bucket) (fun i ->
+            fill bucket.(i)))
+      buckets
+  end;
   (cond, sets)
 
-let descendant_sets g =
+let descendant_sets ?pool g =
+  let pool = get_pool pool in
   let scc = Scc.compute g in
-  let _, scc_sets = scc_descendant_sets g scc in
+  let _, scc_sets = scc_descendant_sets ~pool g scc in
   let n = Digraph.n g in
-  Array.init n (fun v ->
+  let res = Array.make n (Bitset.create 0) in
+  Pool.parallel_for pool ~n (fun v ->
       let s = Bitset.create n in
       Bitset.iter
         (fun c -> Array.iter (Bitset.add s) scc.Scc.members.(c))
         scc_sets.(scc.Scc.comp.(v));
-      s)
+      res.(v) <- s);
+  res
 
-let ancestor_sets g = descendant_sets (Digraph.reverse g)
+let ancestor_sets ?pool g = descendant_sets ?pool (Digraph.reverse g)
 
-let reduction_dag dag =
+let reduction_dag ?pool dag =
+  let pool = get_pool pool in
   let scc = Scc.compute dag in
   if scc.Scc.count <> Digraph.n dag || Array.exists (fun b -> b) scc.Scc.nontrivial
   then invalid_arg "Transitive.reduction_dag: graph has a cycle";
-  let desc = descendant_sets dag in
+  let desc = descendant_sets ~pool dag in
+  let n = Digraph.n dag in
+  (* Per-source redundancy scans are independent; collect per-node so the
+     final edge list does not depend on scheduling (Digraph.make sorts and
+     dedups anyway). *)
+  let keep = Array.make n [] in
+  Pool.parallel_for pool ~n (fun u ->
+      let acc = ref [] in
+      Digraph.iter_succ dag u (fun v ->
+          (* (u,v) is redundant iff v is reachable from another successor. *)
+          let redundant = ref false in
+          Digraph.iter_succ dag u (fun w ->
+              if (not !redundant) && w <> v && Bitset.mem desc.(w) v then
+                redundant := true);
+          if not !redundant then acc := (u, v) :: !acc);
+      keep.(u) <- !acc);
   let edges = ref [] in
-  for u = 0 to Digraph.n dag - 1 do
-    Digraph.iter_succ dag u (fun v ->
-        (* (u,v) is redundant iff v is reachable from another successor. *)
-        let redundant = ref false in
-        Digraph.iter_succ dag u (fun w ->
-            if (not !redundant) && w <> v && Bitset.mem desc.(w) v then
-              redundant := true);
-        if not !redundant then edges := (u, v) :: !edges)
+  for u = n - 1 downto 0 do
+    edges := List.rev_append keep.(u) !edges
   done;
-  Digraph.make ~n:(Digraph.n dag) ~labels:(Digraph.labels dag) !edges
+  Digraph.make ~n ~labels:(Digraph.labels dag) !edges
 
-let aho_reduction g =
+let aho_reduction ?pool g =
   let scc = Scc.compute g in
   let cond = Scc.condensation g scc in
-  let cond_reduced = reduction_dag cond in
+  let cond_reduced = reduction_dag ?pool cond in
   let edges = ref [] in
   (* Simple cycle through each nontrivial SCC. *)
   for c = 0 to scc.Scc.count - 1 do
@@ -64,6 +113,6 @@ let aho_reduction g =
       edges := (scc.Scc.members.(a).(0), scc.Scc.members.(b).(0)) :: !edges);
   Digraph.make ~n:(Digraph.n g) ~labels:(Digraph.labels g) !edges
 
-let closure_matrix g =
-  let desc = descendant_sets g in
+let closure_matrix ?pool g =
+  let desc = descendant_sets ?pool g in
   fun u v -> Bitset.mem desc.(u) v

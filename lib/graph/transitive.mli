@@ -6,23 +6,29 @@
     - The unique transitive reduction of a DAG implements the "no redundant
       edges" rule of algorithm [compressR] (Fig 5, lines 6-8).
     - [aho_reduction] is the AHO baseline [1] of Table 1: substitute a simple
-      cycle for each SCC and transitively reduce the condensation. *)
+      cycle for each SCC and transitively reduce the condensation.
+
+    Every function takes [?pool]; with a multi-domain {!Pool.t} the
+    per-source propagation runs in parallel (by topological level over the
+    condensation, then per node), producing bit-identical sets.  The
+    default is {!Pool.default}, which is sequential unless a front end
+    opted in. *)
 
 (** [descendant_sets g] gives, for each node [v], the set of nodes reachable
     from [v] by a nonempty path ([v] itself included iff [v] lies on a
     cycle).  Computed bottom-up over the condensation; O(|V|·|E|/w) worst
     case. *)
-val descendant_sets : Digraph.t -> Bitset.t array
+val descendant_sets : ?pool:Pool.t -> Digraph.t -> Bitset.t array
 
 (** [ancestor_sets g] is [descendant_sets (reverse g)] done in one pass:
     for each [v], the set of nodes that reach [v] by a nonempty path. *)
-val ancestor_sets : Digraph.t -> Bitset.t array
+val ancestor_sets : ?pool:Pool.t -> Digraph.t -> Bitset.t array
 
 (** [reduction_dag dag] is the unique transitive reduction of an acyclic
     graph: the minimal subgraph with the same reachability relation.  Edge
     [(u,v)] is kept iff no other successor of [u] reaches [v].
     @raise Invalid_argument if [dag] has a cycle. *)
-val reduction_dag : Digraph.t -> Digraph.t
+val reduction_dag : ?pool:Pool.t -> Digraph.t -> Digraph.t
 
 (** [aho_reduction g] is the transitive reduction of a general digraph after
     Aho, Garey & Ullman: each nontrivial SCC is replaced by a simple cycle
@@ -30,9 +36,9 @@ val reduction_dag : Digraph.t -> Digraph.t
     cross edge reattached to one representative per SCC.  Node set and
     reachability are preserved; edge count is minimised up to the SCC-cycle
     convention. *)
-val aho_reduction : Digraph.t -> Digraph.t
+val aho_reduction : ?pool:Pool.t -> Digraph.t -> Digraph.t
 
 (** [closure_matrix g] is the full reflexive-free closure as an adjacency
     check: [fun u v -> true] iff nonempty path [u ⇝ v].  Backed by
     {!descendant_sets}. *)
-val closure_matrix : Digraph.t -> int -> int -> bool
+val closure_matrix : ?pool:Pool.t -> Digraph.t -> int -> int -> bool

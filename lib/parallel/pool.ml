@@ -1,0 +1,228 @@
+(* Work-stealing-free domain pool: one shared job slot, chunks claimed from
+   an atomic counter.  Workers sleep between jobs; generation numbers keep a
+   worker from re-entering a job it has already drained. *)
+
+type job = {
+  n : int;
+  chunk : int;
+  body : int -> int -> unit;  (* body lo hi: process indices lo..hi-1 *)
+  next : int Atomic.t;  (* next unclaimed index; >= n once drained/cancelled *)
+  lock : Mutex.t;
+  finished : Condition.t;  (* signalled when [active] drops to 0 *)
+  mutable active : int;  (* participants currently inside the job *)
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  mutable current : job option;
+  mutable generation : int;
+  mutable stopped : bool;
+  pool_lock : Mutex.t;
+  has_job : Condition.t;
+}
+
+(* True while the current domain is executing a job body: nested calls run
+   inline instead of publishing a second job (which would deadlock the
+   caller against its own pool). *)
+let inside_job = Domain.DLS.new_key (fun () -> false)
+
+let recommended () = min 8 (Domain.recommended_domain_count ())
+
+let run_chunks job =
+  let rec loop () =
+    let start = Atomic.fetch_and_add job.next job.chunk in
+    if start < job.n then begin
+      let stop = min job.n (start + job.chunk) in
+      (try job.body start stop
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock job.lock;
+         if job.exn = None then job.exn <- Some (e, bt);
+         Mutex.unlock job.lock;
+         (* Cancel: park the counter at [n] so no further chunk is claimed.
+            In-flight chunks on other participants run to completion. *)
+         Atomic.set job.next job.n);
+      loop ()
+    end
+  in
+  Domain.DLS.set inside_job true;
+  loop ();
+  Domain.DLS.set inside_job false
+
+let participate job =
+  run_chunks job;
+  Mutex.lock job.lock;
+  job.active <- job.active - 1;
+  if job.active = 0 then Condition.broadcast job.finished;
+  Mutex.unlock job.lock
+
+let worker_loop pool =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.pool_lock;
+    while (not pool.stopped) && pool.generation = !last_gen do
+      Condition.wait pool.has_job pool.pool_lock
+    done;
+    if pool.stopped then begin
+      Mutex.unlock pool.pool_lock;
+      running := false
+    end
+    else begin
+      last_gen := pool.generation;
+      let job = pool.current in
+      Mutex.unlock pool.pool_lock;
+      match job with
+      | None -> ()
+      | Some job ->
+          Mutex.lock job.lock;
+          job.active <- job.active + 1;
+          Mutex.unlock job.lock;
+          participate job
+    end
+  done
+
+let create ?domains () =
+  let size = match domains with None -> recommended () | Some d -> d in
+  if size < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      size;
+      workers = [||];
+      current = None;
+      generation = 0;
+      stopped = false;
+      pool_lock = Mutex.create ();
+      has_job = Condition.create ();
+    }
+  in
+  pool.workers <-
+    Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.pool_lock;
+  let workers = pool.workers in
+  pool.stopped <- true;
+  pool.workers <- [||];
+  Condition.broadcast pool.has_job;
+  Mutex.unlock pool.pool_lock;
+  Array.iter Domain.join workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let sequential_ranges ~n ~chunk body =
+  (* Same chunk boundaries as the parallel path, so range bodies with
+     per-chunk effects behave identically at domains = 1. *)
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + chunk) in
+    body !lo hi;
+    lo := hi
+  done
+
+let default_chunk pool n = max 1 ((n + (4 * pool.size) - 1) / (4 * pool.size))
+
+let parallel_for_ranges pool ?chunk ~n body =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> if c < 1 then invalid_arg "Pool: chunk must be >= 1" else c
+      | None -> default_chunk pool n
+    in
+    if
+      pool.size = 1 || pool.stopped || n <= chunk
+      || Domain.DLS.get inside_job
+    then sequential_ranges ~n ~chunk body
+    else begin
+      let job =
+        {
+          n;
+          chunk;
+          body;
+          next = Atomic.make 0;
+          lock = Mutex.create ();
+          finished = Condition.create ();
+          active = 1;  (* the caller *)
+          exn = None;
+        }
+      in
+      Mutex.lock pool.pool_lock;
+      pool.current <- Some job;
+      pool.generation <- pool.generation + 1;
+      Condition.broadcast pool.has_job;
+      Mutex.unlock pool.pool_lock;
+      participate job;
+      Mutex.lock job.lock;
+      while job.active > 0 do
+        Condition.wait job.finished job.lock
+      done;
+      Mutex.unlock job.lock;
+      (* Retire the job slot so late-waking workers do not touch a stale
+         job (harmless, but keeps it collectable). *)
+      Mutex.lock pool.pool_lock;
+      (match pool.current with
+      | Some j when j == job -> pool.current <- None
+      | Some _ | None -> ());
+      Mutex.unlock pool.pool_lock;
+      match job.exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+let parallel_for pool ?chunk ~n f =
+  parallel_for_ranges pool ?chunk ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_map pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Seed the result with the first application so no dummy value is
+       needed; the remaining indices fill in parallel. *)
+    let first = f arr.(0) in
+    let res = Array.make n first in
+    parallel_for pool ~n:(n - 1) (fun i -> res.(i + 1) <- f arr.(i + 1));
+    res
+  end
+
+let parallel_map_list pool f xs =
+  Array.to_list (parallel_map pool f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide default *)
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        (* Sequential until a front end opts in via [set_default_domains]:
+           libraries must not spawn domains behind the user's back. *)
+        let p = create ~domains:1 () in
+        default_pool := Some p;
+        p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+let set_default_domains n =
+  if n < 1 then invalid_arg "Pool.set_default_domains: domains must be >= 1";
+  Mutex.lock default_lock;
+  let old = !default_pool in
+  default_pool := Some (create ~domains:n ());
+  Mutex.unlock default_lock;
+  match old with Some p -> shutdown p | None -> ()

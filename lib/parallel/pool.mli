@@ -1,0 +1,77 @@
+(** A fixed-size pool of worker domains for data-parallel kernels.
+
+    The pool owns [domains - 1] worker domains (the calling domain is the
+    remaining participant); workers sleep on a condition variable between
+    jobs, so an idle pool costs nothing but memory.  Work is handed out in
+    contiguous index chunks claimed from an atomic counter, which balances
+    load without per-item synchronisation and keeps each participant's
+    writes confined to disjoint cache-line ranges of the result.
+
+    Every entry point falls back to a plain sequential loop when the pool
+    has a single domain, when the iteration space is too small to amortise
+    wake-up cost, or when called from inside a running job (nested
+    parallelism executes inline rather than deadlocking the pool).  Because
+    kernels write results by index, the outcome is identical — bit for bit —
+    whatever the domain count; the test suite enforces this for every
+    parallelised kernel.
+
+    Exceptions raised by the body are caught, the job is cancelled (pending
+    chunks are dropped), and the first exception is re-raised in the calling
+    domain with its backtrace once every participant has quiesced. *)
+
+type t
+
+(** [recommended ()] is [Domain.recommended_domain_count ()] capped at 8 —
+    the default size for pools created by the CLI front ends. *)
+val recommended : unit -> int
+
+(** [create ~domains ()] spawns a pool of [domains] total participants
+    (so [domains - 1] worker domains).  [domains] defaults to
+    {!recommended}; values [< 1] raise [Invalid_argument]. *)
+val create : ?domains:int -> unit -> t
+
+(** [domains pool] is the total parallelism of [pool], including the
+    calling domain. *)
+val domains : t -> int
+
+(** [shutdown pool] joins the worker domains.  Further jobs on [pool] run
+    sequentially.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+
+(** [parallel_for pool ~n f] runs [f i] for every [i] in [0 .. n-1],
+    distributed over the pool in chunks of [chunk] (default: enough chunks
+    for 4 per participant).  Iterations must be independent; they may write
+    to disjoint locations of shared arrays.  Blocks until every iteration
+    has finished. *)
+val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
+
+(** [parallel_for_ranges pool ~n f] is {!parallel_for} at chunk
+    granularity: [f lo hi] must process indices [lo .. hi-1].  Use it when
+    per-chunk scratch (a reusable worklist, a buffer) makes the per-index
+    closure too expensive. *)
+val parallel_for_ranges : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> unit
+
+(** [parallel_map pool f arr] is [Array.map f arr] with the applications
+    distributed over the pool.  Element order is preserved. *)
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [parallel_map_list pool f xs] is [List.map f xs] via {!parallel_map}. *)
+val parallel_map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {1 Process-wide default}
+
+    Library kernels take [?pool] and fall back to a process-wide default,
+    which starts sequential ([domains = 1]).  CLI front ends size it from
+    their [--domains] flag; library users who never opt in keep the exact
+    sequential behaviour. *)
+
+(** [default ()] is the process-wide pool (created on first use). *)
+val default : unit -> t
+
+(** [set_default_domains n] replaces the default pool with one of [n]
+    participants, shutting the previous one down. *)
+val set_default_domains : int -> unit

@@ -17,6 +17,14 @@ let eval_nonempty algo g ~source ~target =
   if source <> target then eval algo g ~source ~target
   else Traversal.bfs_reaches_nonempty g source target
 
+let eval_batch ?pool algo g pairs =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let res = Array.make (Array.length pairs) false in
+  Pool.parallel_for pool ~n:(Array.length pairs) (fun i ->
+      let source, target = pairs.(i) in
+      res.(i) <- eval algo g ~source ~target);
+  res
+
 let random_pairs rng g ~count =
   let n = Digraph.n g in
   if n = 0 && count > 0 then

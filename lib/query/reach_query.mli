@@ -24,6 +24,13 @@ val eval : algorithm -> Digraph.t -> source:int -> target:int -> bool
     differs from {!eval} only when [source = target]. *)
 val eval_nonempty : algorithm -> Digraph.t -> source:int -> target:int -> bool
 
+(** [eval_batch algo g pairs] answers [QR(u, v)] for every [(u, v)] of
+    [pairs], preserving order.  Each query allocates its own traversal
+    state, so a multi-domain [?pool] (default {!Pool.default}) evaluates
+    the batch concurrently with answers identical to the sequential run. *)
+val eval_batch :
+  ?pool:Pool.t -> algorithm -> Digraph.t -> (int * int) array -> bool array
+
 (** [random_pairs rng g ~count] draws query node pairs uniformly (the Exp-2
     workload).  @raise Invalid_argument on an empty graph with [count > 0]. *)
 val random_pairs : Random.State.t -> Digraph.t -> count:int -> (int * int) array

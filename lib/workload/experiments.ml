@@ -12,6 +12,14 @@ let scaled opts spec =
   let edges = max 16 (int_of_float (opts.scale *. float_of_int spec.Datasets.edges)) in
   Datasets.generate_scaled ~seed:opts.seed spec ~nodes ~edges
 
+(* Independent dataset/series sweeps fan out over the process-wide pool
+   (sequential unless the bench front end was given --domains).  Only
+   ratio-computing sweeps use this: experiments whose rows ARE wall-clock
+   timings stay sequential so concurrent arms cannot distort each other's
+   measurements.  Kernels called inside a parallel sweep detect the nesting
+   and run inline. *)
+let pmap f xs = Pool.parallel_map_list (Pool.default ()) f xs
+
 let pct o = match o with Some f -> Printf.sprintf "%6.3f%%" (100. *. f) | None -> "   n/a"
 
 module Table1 = struct
@@ -32,7 +40,7 @@ module Table1 = struct
   let runs = 5
 
   let run ?(opts = default_opts) () =
-    List.map
+    pmap
       (fun spec ->
         let samples =
           List.init runs (fun i ->
@@ -111,7 +119,7 @@ module Table2 = struct
   let runs = 5
 
   let run ?(opts = default_opts) () =
-    List.map
+    pmap
       (fun spec ->
         let samples =
           List.init runs (fun i ->
@@ -268,23 +276,22 @@ module Fig12a = struct
         let c = Compress_reach.compress g in
         let rng = Random.State.make [| opts.seed; 1201 |] in
         let pairs = Reach_query.random_pairs rng g ~count:100 in
-        let run_on algo eval =
-          let (), dt =
-            time (fun () ->
-                Array.iter (fun (u, v) -> ignore (eval algo u v)) pairs)
-          in
+        (* Whole-batch evaluation: under --domains > 1 the batch spreads
+           over the pool, so the row measures parallel query throughput. *)
+        let run_on eval_batch =
+          let _, dt = time (fun () -> eval_batch ()) in
           1000. *. dt
         in
-        let on_g algo u v = Reach_query.eval algo g ~source:u ~target:v in
-        let on_gr algo u v =
-          Compress_reach.answer ~algorithm:algo c ~source:u ~target:v
+        let on_g algo () = Reach_query.eval_batch algo g pairs in
+        let on_gr algo () =
+          Compress_reach.answer_batch ~algorithm:algo c pairs
         in
         {
           name;
-          bfs_g_ms = run_on Reach_query.Bfs on_g;
-          bibfs_g_ms = run_on Reach_query.Bibfs on_g;
-          bfs_gr_ms = run_on Reach_query.Bfs on_gr;
-          bibfs_gr_ms = run_on Reach_query.Bibfs on_gr;
+          bfs_g_ms = run_on (on_g Reach_query.Bfs);
+          bibfs_g_ms = run_on (on_g Reach_query.Bibfs);
+          bfs_gr_ms = run_on (on_gr Reach_query.Bfs);
+          bibfs_gr_ms = run_on (on_gr Reach_query.Bibfs);
         })
       datasets
 
@@ -445,6 +452,10 @@ module Fig12c = struct
   let print ppf rows =
     Format.fprintf ppf "Fig 12(c): synthetic |V|=5K variant of the sweep below@.";
     Fig12b.print ppf rows
+
+  (* Same row shape as Fig 12(b), but a named entry so callers cannot write
+     the fig12c CSV through the wrong module again. *)
+  let csv rows = Fig12b.csv rows
 end
 
 module Fig12d = struct
@@ -700,7 +711,11 @@ module Fig12ik = struct
         ~labels ()
       |> List.map (ratio_of ~pattern)
     in
-    let low = series 1.05 and high = series 1.1 in
+    let low, high =
+      match pmap series [ 1.05; 1.1 ] with
+      | [ low; high ] -> (low, high)
+      | _ -> assert false
+    in
     List.mapi
       (fun i (l, h) -> { step = i; ratio_low_alpha = l; ratio_high_alpha = h })
       (List.combine low high)
@@ -993,7 +1008,7 @@ module Fig12jl = struct
       else [ "P2P"; "wikiVote"; "citHepTh" ]
     in
     let per_dataset =
-      List.map
+      pmap
         (fun name ->
           let g = scaled opts (Datasets.find name) in
           let graphs =

@@ -6,7 +6,14 @@
     EXPERIMENTS.md records a reference run.
 
     All runners are deterministic for a fixed [seed].  [scale] (default 1.0)
-    multiplies dataset sizes, letting a quick CI run use [~scale:0.25]. *)
+    multiplies dataset sizes, letting a quick CI run use [~scale:0.25].
+
+    Runners whose rows are ratios (Tables 1/2, Figs 12(i)–(l)) sweep their
+    independent dataset/series arms over {!Pool.default}, so a front end
+    that called {!Pool.set_default_domains} gets parallel sweeps; rows that
+    measure wall-clock time keep their arms sequential (Fig 12(a) instead
+    parallelises inside the measured batch via {!Reach_query.eval_batch}).
+    Results are identical for every domain count. *)
 
 type opts = { seed : int; scale : float }
 
@@ -98,6 +105,7 @@ end
 module Fig12c : sig
   val run : ?opts:opts -> unit -> Fig12b.row list
   val print : Format.formatter -> Fig12b.row list -> unit
+  val csv : Fig12b.row list -> string
 end
 
 (** Fig 12(d) — memory: [G], [Gr], 2-hop on [G], 2-hop on [Gr]. *)

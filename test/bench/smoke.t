@@ -1,0 +1,14 @@
+The micro benchmark at smoke scale, with two domains: exercises every
+parallelised kernel end to end and self-checks that the multi-domain run
+produces outputs identical to the sequential run.  Timing lines vary, so
+only the stable markers are kept.
+
+  $ qpgc-bench micro --scale 0.05 --domains 2 \
+  >   | grep -E '=== seq vs parallel|identical to sequential'
+  === seq vs parallel (domains=2) ===
+  parallel outputs identical to sequential: ok
+
+The same check through the standalone section, explicitly sequential:
+
+  $ qpgc-bench speedup --scale 0.05 --domains 1 | grep identical
+  parallel outputs identical to sequential: ok
