@@ -311,7 +311,11 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    match Array.to_list Sys.argv with
+    | _exe :: rest -> rest
+    | [] -> []
+  in
   let scale = ref 1.0 and seed = ref 42 in
   let domains = ref (Pool.recommended ()) in
   let selected = ref [] in

@@ -1,0 +1,58 @@
+(* qpgc-lint: in-repo static analysis for parallel-safety and hot-path
+   discipline.  See tools/lint/ for the rules and DESIGN.md for the why.
+
+   Usage: qpgc-lint [options] <file.ml | dir> ...
+
+   Exit codes: 0 clean, 1 findings, 2 read/parse errors. *)
+
+let usage = "qpgc-lint [--hot] [--prefix P] [--format text|json] [--rule R] <paths>"
+
+let () =
+  let paths = ref [] in
+  let hot = ref None in
+  let prefix = ref "" in
+  let format = ref "text" in
+  let only = ref [] in
+  let list_rules = ref false in
+  let spec =
+    [
+      ("--hot", Arg.Unit (fun () -> hot := Some true),
+       " treat all given files as hot-path modules (default: by path)");
+      ("--cold", Arg.Unit (fun () -> hot := Some false),
+       " treat all given files as cold modules");
+      ("--prefix", Arg.Set_string prefix,
+       "P prepend P to reported file paths (for out-of-tree invocation)");
+      ("--format", Arg.Symbol ([ "text"; "json" ], (fun f -> format := f)),
+       " output format (default text)");
+      ("--rule", Arg.String (fun r -> only := r :: !only),
+       "R run only rule R (repeatable; default: all rules)");
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint_rules.rule) ->
+        Printf.printf "%s%s\n  %s\n" r.id
+          (if r.hot_only then " (hot-path modules only)" else "")
+          r.doc)
+      (Lint_rules.all_rules ());
+    exit 0
+  end;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let result =
+    Lint_driver.lint_paths ?hot:!hot ~only:!only ~prefix:!prefix
+      (List.rev !paths)
+  in
+  List.iter prerr_endline result.errors;
+  (match !format with
+  | "json" -> print_endline (Lint_diag.list_to_json result.diags)
+  | _ -> List.iter (fun d -> print_endline (Lint_diag.to_text d)) result.diags);
+  if result.errors <> [] then exit 2
+  else if result.diags <> [] then begin
+    Printf.eprintf "qpgc-lint: %d finding(s)\n" (List.length result.diags);
+    exit 1
+  end

@@ -5,15 +5,15 @@ let compress_of_partition g assignment =
   if n = 0 then Compressed.v ~graph:Digraph.empty ~node_map:[||]
   else begin
     let assignment = Partition.normalize_assignment assignment in
-    let k = Array.fold_left (fun acc b -> max acc (b + 1)) 0 assignment in
+    let k = Array.fold_left (fun acc b -> Mono.imax acc (b + 1)) 0 assignment in
     let labels = Array.make k 0 in
     Array.iteri (fun v b -> labels.(b) <- Digraph.label g v) assignment;
-    let seen = Hashtbl.create 1024 in
+    let seen = Mono.Ptbl.create 1024 in
     let edges = ref [] in
     Digraph.iter_edges g (fun u v ->
         let e = (assignment.(u), assignment.(v)) in
-        if not (Hashtbl.mem seen e) then begin
-          Hashtbl.replace seen e ();
+        if not (Mono.Ptbl.mem seen e) then begin
+          Mono.Ptbl.replace seen e ();
           edges := e :: !edges
         end);
     let graph = Digraph.make ~n:k ~labels !edges in
@@ -40,5 +40,5 @@ let answer_rpq r c =
     (fun h -> Array.iter (fun v -> out := v :: !out) (Compressed.members c h))
     on_gr;
   let a = Array.of_list !out in
-  Array.sort compare a;
+  Array.sort Mono.icompare a;
   a

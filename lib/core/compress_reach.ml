@@ -7,13 +7,13 @@ let compress_of_equiv ?pool g re =
     (* Class-level edges, without self-loops: between distinct classes the
        quotient is a DAG, so the redundant-edge rule of Fig 5 is its unique
        transitive reduction. *)
-    let seen = Hashtbl.create 1024 in
+    let seen = Mono.Ptbl.create 1024 in
     let edges = ref [] in
     Digraph.iter_edges g (fun u v ->
         let cu = re.Reach_equiv.class_of.(u)
         and cv = re.Reach_equiv.class_of.(v) in
-        if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
-          Hashtbl.replace seen (cu, cv) ();
+        if cu <> cv && not (Mono.Ptbl.mem seen (cu, cv)) then begin
+          Mono.Ptbl.replace seen (cu, cv) ();
           edges := (cu, cv) :: !edges
         end);
     let quotient = Digraph.make ~n:k !edges in
@@ -85,19 +85,19 @@ let compress_paper ?pool g =
         done);
     (* Group by (ancestor set, descendant set): hash first, verify within
        buckets to rule out collisions. *)
-    let buckets : (int * int, (int * Bitset.t * Bitset.t) list ref) Hashtbl.t =
-      Hashtbl.create (2 * n)
+    let buckets : (int * Bitset.t * Bitset.t) list ref Mono.Ptbl.t =
+      Mono.Ptbl.create (2 * n)
     in
     for v = 0 to n - 1 do
       let key = (Bitset.hash anc.(v), Bitset.hash desc.(v)) in
-      match Hashtbl.find_opt buckets key with
+      match Mono.Ptbl.find_opt buckets key with
       | Some l -> l := (v, anc.(v), desc.(v)) :: !l
-      | None -> Hashtbl.replace buckets key (ref [ (v, anc.(v), desc.(v)) ])
+      | None -> Mono.Ptbl.replace buckets key (ref [ (v, anc.(v), desc.(v)) ])
     done;
     let class_of = Array.make n (-1) in
     let cyclic_acc = ref [] in
     let count = ref 0 in
-    Hashtbl.iter
+    Mono.Ptbl.iter
       (fun _ l ->
         let remaining = ref !l in
         while !remaining <> [] do

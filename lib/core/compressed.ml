@@ -47,7 +47,7 @@ let expand_result t = function
              let out =
                Array.to_list hypernodes
                |> List.concat_map (fun h -> Array.to_list t.members.(h))
-               |> List.sort_uniq compare
+               |> List.sort_uniq Mono.icompare
              in
              Array.of_list out)
            per_node)

@@ -67,6 +67,6 @@ module Path_queries = struct
       (fun h -> Array.iter (fun v -> out := v :: !out) (Compressed.members c h))
       hypernodes;
     let a = Array.of_list !out in
-    Array.sort compare a;
+    Array.sort Mono.icompare a;
     a
 end

@@ -92,7 +92,7 @@ let apply t updates =
           updates
       in
       let gr_aug = Digraph.add_edges gr aug_edges in
-      let affected = Bitset.create (max 1 k) in
+      let affected = Bitset.create (Mono.imax 1 k) in
       List.iter
         (fun upd ->
           Bitset.add affected
@@ -120,20 +120,20 @@ let apply t updates =
           | `Member v -> Compressed.hypernode old v
         in
         (* group → its single class, or -2 once it mixes classes *)
-        let group_class = Hashtbl.create (2 * nh + 1) in
+        let group_class = Mono.Itbl.create (2 * nh + 1) in
         for h = 0 to nh - 1 do
           let g = assignment.(h) in
           let c = origin_class h in
-          match Hashtbl.find_opt group_class g with
-          | None -> Hashtbl.replace group_class g c
-          | Some c0 -> if c0 <> c then Hashtbl.replace group_class g (-2)
+          match Mono.Itbl.find_opt group_class g with
+          | None -> Mono.Itbl.replace group_class g c
+          | Some c0 -> if c0 <> c then Mono.Itbl.replace group_class g (-2)
         done;
         let first_group = Array.make k (-1) in
         let changed = Array.make k false in
         for h = 0 to nh - 1 do
           let g = assignment.(h) in
           let c = origin_class h in
-          if Hashtbl.find group_class g = -2 then changed.(c) <- true;
+          if Mono.Itbl.find group_class g = -2 then changed.(c) <- true;
           if first_group.(c) = -1 then first_group.(c) <- g
           else if first_group.(c) <> g then changed.(c) <- true
         done;

@@ -117,7 +117,7 @@ let apply t updates =
               kept
           in
           ( Region.build_endpoints ~new_graph ~old ~endpoints,
-            List.length (List.sort_uniq compare endpoints) )
+            List.length (List.sort_uniq Mono.icompare endpoints) )
         end
         else begin
           (* Deletions can split hypernodes away from the update endpoints

@@ -29,6 +29,8 @@ let of_scc_grouping g scc ~scc_class ~class_count =
 
 let group_by_signature signatures =
   (* signatures: per item a hashable key; returns (class per item, count). *)
+  (* Structural keys by design: this is the naive reference oracle, not a
+     hot path.  lint: allow CMP01 *)
   let tbl = Hashtbl.create (2 * Array.length signatures + 1) in
   let count = ref 0 in
   let class_of =
@@ -43,7 +45,7 @@ let group_by_signature signatures =
             c)
       signatures
   in
-  (class_of, max 1 !count)
+  (class_of, Mono.imax 1 !count)
 
 let compute g =
   let n = Digraph.n g in
@@ -77,16 +79,16 @@ let compute g =
     in
     (* Hash then verify: bucket by hash pair, split buckets by true set
        equality to rule out collisions. *)
-    let buckets : (int * int, int list ref) Hashtbl.t = Hashtbl.create (2 * k) in
+    let buckets : int list ref Mono.Ptbl.t = Mono.Ptbl.create (2 * k) in
     Array.iter
       (fun (ha, hd, c) ->
-        match Hashtbl.find_opt buckets (ha, hd) with
+        match Mono.Ptbl.find_opt buckets (ha, hd) with
         | Some l -> l := c :: !l
-        | None -> Hashtbl.replace buckets (ha, hd) (ref [ c ]))
+        | None -> Mono.Ptbl.replace buckets (ha, hd) (ref [ c ]))
       signatures;
     let scc_class = Array.make k (-1) in
     let count = ref 0 in
-    Hashtbl.iter
+    Mono.Ptbl.iter
       (fun _ l ->
         let remaining = ref !l in
         while !remaining <> [] do

@@ -2,7 +2,7 @@ type t = {
   h : Digraph.t;
   class_to_h : int array;
   member_to_h : (int * int) array;
-  member_h : (int, int) Hashtbl.t;
+  member_h : int Mono.Itbl.t;
   h_origin : [ `Class of int | `Member of int ] array;
 }
 
@@ -42,7 +42,7 @@ let build ~new_graph ~old ~affected ~use_labels () =
   done;
   let a_members = Array.of_list !a_members in
   let n_aff = Array.length a_members in
-  let in_a = Bitset.create (max 1 (Digraph.n new_graph)) in
+  let in_a = Bitset.create (Mono.imax 1 (Digraph.n new_graph)) in
   Array.iter (Bitset.add in_a) a_members;
   (* H node numbering: frozen classes first (compacted), then members. *)
   let class_to_h = Array.make k (-1) in
@@ -54,9 +54,9 @@ let build ~new_graph ~old ~affected ~use_labels () =
     end
   done;
   let n_frozen = !frozen in
-  let member_h = Hashtbl.create (2 * n_aff + 1) in
+  let member_h = Mono.Itbl.create (2 * n_aff + 1) in
   Array.iteri
-    (fun i v -> Hashtbl.replace member_h v (n_frozen + i))
+    (fun i v -> Mono.Itbl.replace member_h v (n_frozen + i))
     a_members;
   let nh = n_frozen + n_aff in
   let h_origin =
@@ -68,7 +68,7 @@ let build ~new_graph ~old ~affected ~use_labels () =
     if class_to_h.(c) >= 0 then h_origin.(class_to_h.(c)) <- `Class c
   done;
   let labels =
-    if not use_labels then Array.make (max 1 nh) 0
+    if not use_labels then Array.make (Mono.imax 1 nh) 0
     else
       Array.init nh (fun h ->
           match h_origin.(h) with
@@ -88,7 +88,7 @@ let build ~new_graph ~old ~affected ~use_labels () =
       let hv = n_frozen + i in
       Digraph.iter_succ new_graph v (fun w ->
           let hw =
-            if Bitset.mem in_a w then Hashtbl.find member_h w
+            if Bitset.mem in_a w then Mono.Itbl.find member_h w
             else class_to_h.(node_map w)
           in
           edges := (hv, hw) :: !edges);
@@ -105,9 +105,9 @@ let build ~new_graph ~old ~affected ~use_labels () =
 let build_endpoints ~new_graph ~old ~endpoints =
   let gr = Compressed.graph old in
   let k = Digraph.n gr in
-  let endpoints = List.sort_uniq compare endpoints in
+  let endpoints = List.sort_uniq Mono.icompare endpoints in
   let ep_count = List.length endpoints in
-  let is_endpoint = Bitset.create (max 1 (Digraph.n new_graph)) in
+  let is_endpoint = Bitset.create (Mono.imax 1 (Digraph.n new_graph)) in
   List.iter (Bitset.add is_endpoint) endpoints;
   (* Endpoints per class, to decide which classes keep a remainder node. *)
   let eps_in_class = Array.make k 0 in
@@ -128,10 +128,10 @@ let build_endpoints ~new_graph ~old ~endpoints =
   done;
   let n_reps = !reps in
   let nh = n_reps + ep_count in
-  let member_h = Hashtbl.create (2 * ep_count + 1) in
-  List.iteri (fun i u -> Hashtbl.replace member_h u (n_reps + i)) endpoints;
+  let member_h = Mono.Itbl.create (2 * ep_count + 1) in
+  List.iteri (fun i u -> Mono.Itbl.replace member_h u (n_reps + i)) endpoints;
   let h_origin =
-    Array.make (max 1 nh) (`Class (-1))
+    Array.make (Mono.imax 1 nh) (`Class (-1))
   in
   for c = 0 to k - 1 do
     if class_to_h.(c) >= 0 then h_origin.(class_to_h.(c)) <- `Class c
@@ -141,7 +141,7 @@ let build_endpoints ~new_graph ~old ~endpoints =
   List.iter
     (fun u ->
       let c = Compressed.hypernode old u in
-      singletons_of.(c) <- Hashtbl.find member_h u :: singletons_of.(c))
+      singletons_of.(c) <- Mono.Itbl.find member_h u :: singletons_of.(c))
     endpoints;
   let edges = ref [] in
   (* Old class-level reachability: each Gr edge (c1,c2) asserts that every
@@ -177,10 +177,10 @@ let build_endpoints ~new_graph ~old ~endpoints =
   let node_map = Compressed.hypernode old in
   List.iter
     (fun u ->
-      let hu = Hashtbl.find member_h u in
+      let hu = Mono.Itbl.find member_h u in
       Digraph.iter_succ new_graph u (fun w ->
           let hw =
-            if Bitset.mem is_endpoint w then Hashtbl.find member_h w
+            if Bitset.mem is_endpoint w then Mono.Itbl.find member_h w
             else class_to_h.(node_map w)
           in
           if hw >= 0 then edges := (hu, hw) :: !edges);
@@ -199,7 +199,7 @@ let build_endpoints ~new_graph ~old ~endpoints =
 let h_of_node t old ~node =
   (* Expanded members first: with the endpoint expansion a hypernode can
      have both singleton members and a remainder representative. *)
-  match Hashtbl.find_opt t.member_h node with
+  match Mono.Itbl.find_opt t.member_h node with
   | Some h -> h
   | None ->
       let c = Compressed.hypernode old node in

@@ -22,7 +22,7 @@ type t = {
       (** old hypernode → its node in [H], or [-1] when expanded *)
   member_to_h : (int * int) array;
       (** pairs [(original node, H node)] for every affected member *)
-  member_h : (int, int) Hashtbl.t;
+  member_h : int Mono.Itbl.t;
       (** original affected node → its [H] node (same data, keyed) *)
   h_origin : [ `Class of int | `Member of int ] array;
       (** per [H] node: the old hypernode it froze, or the original node *)

@@ -8,7 +8,7 @@ let word_count size = (size + bits_per_word - 1) / bits_per_word
 
 let create size =
   if size < 0 then invalid_arg "Bitset.create: negative capacity";
-  { words = Array.make (max 1 (word_count size)) 0; size }
+  { words = Array.make (Mono.imax 1 (word_count size)) 0; size }
 
 let universe_size s = s.size
 

@@ -96,7 +96,7 @@ module Builder = struct
   }
 
   let create ?(expected_nodes = 16) () =
-    { labels = Array.make (max 1 expected_nodes) 0; count = 0; edges = []; edge_count = 0 }
+    { labels = Array.make (Mono.imax 1 expected_nodes) 0; count = 0; edges = []; edge_count = 0 }
 
   let add_node b ~label =
     if label < 0 then invalid_arg "Builder.add_node: negative label";
@@ -193,41 +193,41 @@ let add_edges g es =
   of_adjacency ~n:g.n ~labels:g.labels ~out_lists
 
 let remove_edges g es =
-  let removed = Hashtbl.create (List.length es * 2 + 1) in
-  List.iter (fun (u, v) -> Hashtbl.replace removed (u, v) ()) es;
+  let removed = Mono.Ptbl.create (List.length es * 2 + 1) in
+  List.iter (fun (u, v) -> Mono.Ptbl.replace removed (u, v) ()) es;
   let out_lists =
     Array.init g.n (fun u ->
         let keep =
           Array.to_list g.out_adj.(u)
-          |> List.filter (fun v -> not (Hashtbl.mem removed (u, v)))
+          |> List.filter (fun v -> not (Mono.Ptbl.mem removed (u, v)))
         in
         Array.of_list keep)
   in
   of_adjacency ~n:g.n ~labels:g.labels ~out_lists
 
 let edit g ~add ~remove =
-  let removed = Hashtbl.create (2 * List.length remove + 1) in
+  let removed = Mono.Ptbl.create (2 * List.length remove + 1) in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= g.n || v < 0 || v >= g.n then
         invalid_arg "Digraph.edit: endpoint out of range";
-      Hashtbl.replace removed (u, v) ())
+      Mono.Ptbl.replace removed (u, v) ())
     remove;
   let extra = Array.make g.n [] in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= g.n || v < 0 || v >= g.n then
         invalid_arg "Digraph.edit: endpoint out of range";
-      Hashtbl.remove removed (u, v);
+      Mono.Ptbl.remove removed (u, v);
       extra.(u) <- v :: extra.(u))
     add;
   let out_lists =
     Array.init g.n (fun u ->
         let kept =
-          if Hashtbl.length removed = 0 then Array.to_list g.out_adj.(u)
+          if Mono.Ptbl.length removed = 0 then Array.to_list g.out_adj.(u)
           else
             Array.to_list g.out_adj.(u)
-            |> List.filter (fun v -> not (Hashtbl.mem removed (u, v)))
+            |> List.filter (fun v -> not (Mono.Ptbl.mem removed (u, v)))
         in
         Array.of_list (List.rev_append extra.(u) kept))
   in
@@ -235,13 +235,13 @@ let edit g ~add ~remove =
 
 let induced g nodes =
   let k = Array.length nodes in
-  let old_to_new = Hashtbl.create (2 * k + 1) in
+  let old_to_new = Mono.Itbl.create (2 * k + 1) in
   Array.iteri
     (fun i v ->
       if v < 0 || v >= g.n then invalid_arg "Digraph.induced: node out of range";
-      if Hashtbl.mem old_to_new v then
+      if Mono.Itbl.mem old_to_new v then
         invalid_arg "Digraph.induced: duplicate node";
-      Hashtbl.replace old_to_new v i)
+      Mono.Itbl.replace old_to_new v i)
     nodes;
   let labels = Array.map (fun v -> g.labels.(v)) nodes in
   let out_lists =
@@ -249,7 +249,7 @@ let induced g nodes =
         let v = nodes.(i) in
         let keep =
           Array.to_list g.out_adj.(v)
-          |> List.filter_map (fun w -> Hashtbl.find_opt old_to_new w)
+          |> List.filter_map (fun w -> Mono.Itbl.find_opt old_to_new w)
         in
         Array.of_list keep)
   in

@@ -8,15 +8,15 @@ let edge = function Insert (u, v) | Delete (u, v) -> (u, v)
 
 let normalize updates =
   (* Last write per edge wins; emit in first-touch order. *)
-  let last : (int * int, t) Hashtbl.t = Hashtbl.create 64 in
+  let last : t Mono.Ptbl.t = Mono.Ptbl.create 64 in
   let order = ref [] in
   List.iter
     (fun u ->
       let e = edge u in
-      if not (Hashtbl.mem last e) then order := e :: !order;
-      Hashtbl.replace last e u)
+      if not (Mono.Ptbl.mem last e) then order := e :: !order;
+      Mono.Ptbl.replace last e u)
     updates;
-  List.rev_map (fun e -> Hashtbl.find last e) !order
+  List.rev_map (fun e -> Mono.Ptbl.find last e) !order
 
 let apply g updates =
   let updates = normalize updates in

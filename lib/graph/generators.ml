@@ -4,16 +4,16 @@ let distinct_random_edges rng ~n ~m ~acyclic =
   let max_edges =
     if acyclic then n * (n - 1) / 2 else n * (n - 1)
   in
-  let m = min m max_edges in
-  let seen = Hashtbl.create (2 * m + 1) in
+  let m = Mono.imin m max_edges in
+  let seen = Mono.Ptbl.create (2 * m + 1) in
   let edges = Array.make m (0, 0) in
   let k = ref 0 in
   while !k < m do
     let u = Random.State.int rng n and v = Random.State.int rng n in
     if u <> v then begin
       let e = if acyclic && u < v then (v, u) else (u, v) in
-      if not (Hashtbl.mem seen e) then begin
-        Hashtbl.replace seen e ();
+      if not (Mono.Ptbl.mem seen e) then begin
+        Mono.Ptbl.replace seen e ();
         edges.(!k) <- e;
         incr k
       end
@@ -22,11 +22,11 @@ let distinct_random_edges rng ~n ~m ~acyclic =
   edges
 
 let erdos_renyi rng ~n ~m =
-  if n < 2 then Digraph.make ~n:(max n 0) []
+  if n < 2 then Digraph.make ~n:(Mono.imax n 0) []
   else Digraph.make_arrays ~n (distinct_random_edges rng ~n ~m ~acyclic:false)
 
 let random_dag rng ~n ~m =
-  if n < 2 then Digraph.make ~n:(max n 0) []
+  if n < 2 then Digraph.make ~n:(Mono.imax n 0) []
   else Digraph.make_arrays ~n (distinct_random_edges rng ~n ~m ~acyclic:true)
 
 let preferential_attachment rng ~n ~out_degree ~reciprocity =
@@ -48,7 +48,7 @@ let preferential_attachment rng ~n ~out_degree ~reciprocity =
       incr pool_len
     in
     for v = 1 to n - 1 do
-      let d = min out_degree v in
+      let d = Mono.imin out_degree v in
       for _ = 1 to d do
         let t = !pool.(Random.State.int rng !pool_len) in
         if t <> v then begin
@@ -106,14 +106,14 @@ let tree_with_shortcuts rng ~n ~extra =
   end
 
 let with_random_labels rng g ~label_count =
-  let label_count = max 1 label_count in
+  let label_count = Mono.imax 1 label_count in
   let labels =
     Array.init (Digraph.n g) (fun _ -> Random.State.int rng label_count)
   in
   Digraph.with_labels g labels
 
 let with_zipf_labels rng g ~label_count =
-  let label_count = max 1 label_count in
+  let label_count = Mono.imax 1 label_count in
   (* Zipf(1): weight of label i is 1/(i+1). *)
   let weights = Array.init label_count (fun i -> 1.0 /. float_of_int (i + 1)) in
   let total = Array.fold_left ( +. ) 0.0 weights in

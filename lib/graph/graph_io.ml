@@ -1,14 +1,14 @@
 module Label_table = struct
   type t = {
-    by_name : (string, int) Hashtbl.t;
+    by_name : int Mono.Stbl.t;
     mutable names : string array;
     mutable count : int;
   }
 
-  let create () = { by_name = Hashtbl.create 16; names = Array.make 8 ""; count = 0 }
+  let create () = { by_name = Mono.Stbl.create 16; names = Array.make 8 ""; count = 0 }
 
   let intern t name =
-    match Hashtbl.find_opt t.by_name name with
+    match Mono.Stbl.find_opt t.by_name name with
     | Some id -> id
     | None ->
         if t.count = Array.length t.names then begin
@@ -19,7 +19,7 @@ module Label_table = struct
         let id = t.count in
         t.names.(id) <- name;
         t.count <- t.count + 1;
-        Hashtbl.replace t.by_name name id;
+        Mono.Stbl.replace t.by_name name id;
         id
 
   let name t id =
@@ -131,13 +131,13 @@ let to_dot ?labels ?(name = "g") ?cluster g =
   | Some c ->
       if Array.length c <> Digraph.n g then
         invalid_arg "Graph_io.to_dot: cluster array length mismatch";
-      let groups = Hashtbl.create 16 in
+      let groups = Mono.Itbl.create 16 in
       Array.iteri
         (fun v k ->
-          Hashtbl.replace groups k
-            (v :: Option.value (Hashtbl.find_opt groups k) ~default:[]))
+          Mono.Itbl.replace groups k
+            (v :: Option.value (Mono.Itbl.find_opt groups k) ~default:[]))
         c;
-      Hashtbl.iter
+      Mono.Itbl.iter
         (fun k members ->
           Buffer.add_string buf
             (Printf.sprintf "  subgraph cluster_%d {\n    label=\"%d\";\n" k k);

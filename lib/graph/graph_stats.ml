@@ -48,10 +48,10 @@ let compute g =
       else if Digraph.mem_edge g v u then incr reciprocal);
   let scc = Scc.compute g in
   let largest_scc =
-    Array.fold_left (fun acc ms -> max acc (Array.length ms)) 0 scc.Scc.members
+    Array.fold_left (fun acc ms -> Mono.imax acc (Array.length ms)) 0 scc.Scc.members
   in
   (* weakly connected components via union over undirected sweeps *)
-  let wcc_seen = Bitset.create (max 1 n) in
+  let wcc_seen = Bitset.create (Mono.imax 1 n) in
   let wcc_count = ref 0 in
   for v = 0 to n - 1 do
     if not (Bitset.mem wcc_seen v) then begin

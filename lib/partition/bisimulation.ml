@@ -1,3 +1,20 @@
+(* Signature keys are (block, sorted successor blocks): a keyed table with
+   a monomorphic FNV-style hash keeps refinement off the generic
+   caml_hash/caml_compare walks (CMP01). *)
+module Sig_tbl = Hashtbl.Make (struct
+  type t = int * int list
+
+  let equal ((b1, s1) : t) ((b2, s2) : t) =
+    b1 = b2
+    && (try List.for_all2 (fun (x : int) (y : int) -> x = y) s1 s2
+        with Invalid_argument _ -> false)
+
+  let hash ((b, s) : t) =
+    List.fold_left
+      (fun h (x : int) -> ((h * 0x100000001b3) lxor x) land max_int)
+      (Mono.mix_int b) s
+end)
+
 let max_bisimulation g =
   Paige_tarjan.coarsest_stable_refinement g ~initial:(Digraph.labels g)
 
@@ -5,22 +22,22 @@ let max_bisimulation g =
    successor blocks) until the block count stops growing. *)
 let refine_step g cur =
   let n = Digraph.n g in
-  let tbl = Hashtbl.create (2 * n + 1) in
+  let tbl = Sig_tbl.create (2 * n + 1) in
   let next = Array.make n 0 in
   let count = ref 0 in
   for v = 0 to n - 1 do
     let succs =
       Digraph.fold_succ g v (fun acc w -> cur.(w) :: acc) []
-      |> List.sort_uniq compare
+      |> List.sort_uniq Mono.icompare
     in
     let key = (cur.(v), succs) in
     let b =
-      match Hashtbl.find_opt tbl key with
+      match Sig_tbl.find_opt tbl key with
       | Some b -> b
       | None ->
           let b = !count in
           incr count;
-          Hashtbl.replace tbl key b;
+          Sig_tbl.replace tbl key b;
           b
     in
     next.(v) <- b
@@ -28,9 +45,9 @@ let refine_step g cur =
   (next, !count)
 
 let block_count a =
-  let seen = Hashtbl.create 16 in
-  Array.iter (fun b -> Hashtbl.replace seen b ()) a;
-  Hashtbl.length seen
+  let seen = Mono.Itbl.create 16 in
+  Array.iter (fun b -> Mono.Itbl.replace seen b ()) a;
+  Mono.Itbl.length seen
 
 let refine_once g cur = fst (refine_step g cur)
 
@@ -55,7 +72,7 @@ let max_bisimulation_ranked g =
     let rb = Topo_rank.bisim_ranks g scc in
     (* strata in ascending rank order, -inf first *)
     let ranks =
-      Array.to_list rb |> List.sort_uniq compare
+      Array.to_list rb |> List.sort_uniq Mono.icompare
     in
     let block_of = Array.make n (-1) in
     let next_block = ref 0 in
@@ -67,24 +84,24 @@ let max_bisimulation_ranked g =
         in
         (* auxiliary graph: stratum members plus one node per lower block
            referenced by their children *)
-        let lower_blocks = Hashtbl.create 16 in
+        let lower_blocks = Mono.Itbl.create 16 in
         List.iter
           (fun v ->
             Digraph.iter_succ g v (fun w ->
                 if rb.(w) <> rank then begin
                   assert (block_of.(w) >= 0);
-                  if not (Hashtbl.mem lower_blocks block_of.(w)) then
-                    Hashtbl.replace lower_blocks block_of.(w)
-                      (Hashtbl.length lower_blocks)
+                  if not (Mono.Itbl.mem lower_blocks block_of.(w)) then
+                    Mono.Itbl.replace lower_blocks block_of.(w)
+                      (Mono.Itbl.length lower_blocks)
                 end))
           members;
         let k = List.length members in
-        let aux_n = k + Hashtbl.length lower_blocks in
-        let index_of = Hashtbl.create (2 * k + 1) in
-        List.iteri (fun i v -> Hashtbl.replace index_of v i) members;
-        let labels = Array.make (max 1 aux_n) 0 in
+        let aux_n = k + Mono.Itbl.length lower_blocks in
+        let index_of = Mono.Itbl.create (2 * k + 1) in
+        List.iteri (fun i v -> Mono.Itbl.replace index_of v i) members;
+        let labels = Array.make (Mono.imax 1 aux_n) 0 in
         List.iteri (fun i v -> labels.(i) <- Digraph.label g v) members;
-        Hashtbl.iter
+        Mono.Itbl.iter
           (fun blk slot -> labels.(k + slot) <- label_count + blk)
           lower_blocks;
         let edges = ref [] in
@@ -92,10 +109,10 @@ let max_bisimulation_ranked g =
           (fun i v ->
             Digraph.iter_succ g v (fun w ->
                 if rb.(w) = rank then
-                  edges := (i, Hashtbl.find index_of w) :: !edges
+                  edges := (i, Mono.Itbl.find index_of w) :: !edges
                 else
                   edges :=
-                    (i, k + Hashtbl.find lower_blocks block_of.(w)) :: !edges))
+                    (i, k + Mono.Itbl.find lower_blocks block_of.(w)) :: !edges))
           members;
         let aux =
           Digraph.make ~n:aux_n ~labels:(Array.sub labels 0 aux_n) !edges
@@ -105,17 +122,17 @@ let max_bisimulation_ranked g =
             ~initial:(Digraph.labels aux)
         in
         (* commit the stratum's blocks with globally fresh ids *)
-        let fresh = Hashtbl.create 16 in
+        let fresh = Mono.Itbl.create 16 in
         List.iteri
           (fun i v ->
             let b = assignment.(i) in
             let id =
-              match Hashtbl.find_opt fresh b with
+              match Mono.Itbl.find_opt fresh b with
               | Some id -> id
               | None ->
                   let id = !next_block in
                   incr next_block;
-                  Hashtbl.replace fresh b id;
+                  Mono.Itbl.replace fresh b id;
                   id
             in
             block_of.(v) <- id)
@@ -130,14 +147,14 @@ let is_stable_partition g assignment =
   else begin
     let sig_of v =
       Digraph.fold_succ g v (fun acc w -> assignment.(w) :: acc) []
-      |> List.sort_uniq compare
+      |> List.sort_uniq Mono.icompare
     in
-    let repr : (int, int * int list) Hashtbl.t = Hashtbl.create 64 in
+    let repr : (int * int list) Mono.Itbl.t = Mono.Itbl.create 64 in
     let ok = ref true in
     for v = 0 to n - 1 do
       if !ok then
-        match Hashtbl.find_opt repr assignment.(v) with
-        | None -> Hashtbl.replace repr assignment.(v) (Digraph.label g v, sig_of v)
+        match Mono.Itbl.find_opt repr assignment.(v) with
+        | None -> Mono.Itbl.replace repr assignment.(v) (Digraph.label g v, sig_of v)
         | Some (l, s) ->
             if l <> Digraph.label g v || s <> sig_of v then ok := false
     done;

@@ -9,7 +9,7 @@ let compute g ~k =
 let compute_backward g ~k = compute (Digraph.reverse g) ~k
 
 let quotient_of g assignment =
-  let blocks = Array.fold_left (fun acc b -> max acc (b + 1)) 1 assignment in
+  let blocks = Array.fold_left (fun acc b -> Mono.imax acc (b + 1)) 1 assignment in
   let labels = Array.make blocks 0 in
   Array.iteri (fun v b -> labels.(b) <- Digraph.label g v) assignment;
   let edges = ref [] in
@@ -28,7 +28,7 @@ let compute_dk g ~k_of =
     ks;
   if n = 0 then [||]
   else begin
-    let kmax = Array.fold_left max 0 ks in
+    let kmax = Array.fold_left Mono.imax 0 ks in
     (* backward k-bisimulation for every depth up to kmax, reusing each
        round: partitions.(k) is the backward k-bisimilarity assignment *)
     let rev = Digraph.reverse g in
@@ -38,16 +38,16 @@ let compute_dk g ~k_of =
       partitions.(k) <- Bisimulation.refine_once rev partitions.(k - 1)
     done;
     (* group by the pair (own k, class at that k) *)
-    let tbl = Hashtbl.create (2 * n + 1) in
+    let tbl = Mono.Ptbl.create (2 * n + 1) in
     let next = ref 0 in
     Array.init n (fun v ->
         let key = (ks.(v), partitions.(ks.(v)).(v)) in
-        match Hashtbl.find_opt tbl key with
+        match Mono.Ptbl.find_opt tbl key with
         | Some b -> b
         | None ->
             let b = !next in
             incr next;
-            Hashtbl.replace tbl key b;
+            Mono.Ptbl.replace tbl key b;
             b)
     |> Partition.normalize_assignment
   end

@@ -32,7 +32,7 @@ let coarsest_stable_refinement g ~initial =
     !xblocks.(id) <- { pblocks = pbs; queued = false };
     id
   in
-  let p2x = ref (Array.make (max 4 (Partition.block_count p)) 0) in
+  let p2x = ref (Array.make (Mono.imax 4 (Partition.block_count p)) 0) in
   let set_p2x b x =
     if b >= Array.length !p2x then begin
       let bigger = Array.make (2 * (b + 1)) 0 in
@@ -45,10 +45,10 @@ let coarsest_stable_refinement g ~initial =
   let x0 = new_xblock all_pblocks in
   List.iter (fun b -> set_p2x b x0) all_pblocks;
   (* count(u, x) = number of edges from u into X-block x. *)
-  let counts : (int * int, int) Hashtbl.t = Hashtbl.create (2 * n + 1) in
+  let counts : int Mono.Ptbl.t = Mono.Ptbl.create (2 * n + 1) in
   for u = 0 to n - 1 do
     let d = Digraph.out_degree g u in
-    if d > 0 then Hashtbl.replace counts (u, x0) d
+    if d > 0 then Mono.Ptbl.replace counts (u, x0) d
   done;
   let worklist = Queue.create () in
   let enqueue x =
@@ -87,14 +87,14 @@ let coarsest_stable_refinement g ~initial =
         let preds = ref [] in
         Partition.iter_block p b (fun v ->
             Digraph.iter_pred g v (fun u ->
-                (match Hashtbl.find_opt counts (u, xs) with
-                | Some 1 -> Hashtbl.remove counts (u, xs)
-                | Some c -> Hashtbl.replace counts (u, xs) (c - 1)
+                (match Mono.Ptbl.find_opt counts (u, xs) with
+                | Some 1 -> Mono.Ptbl.remove counts (u, xs)
+                | Some c -> Mono.Ptbl.replace counts (u, xs) (c - 1)
                 | None -> assert false);
-                (match Hashtbl.find_opt counts (u, xn) with
-                | Some c -> Hashtbl.replace counts (u, xn) (c + 1)
+                (match Mono.Ptbl.find_opt counts (u, xn) with
+                | Some c -> Mono.Ptbl.replace counts (u, xn) (c + 1)
                 | None ->
-                    Hashtbl.replace counts (u, xn) 1;
+                    Mono.Ptbl.replace counts (u, xn) 1;
                     preds := u :: !preds)));
         (* Three-way split: first on membership in E⁻¹(B)... *)
         List.iter (fun u -> Partition.mark p u) !preds;
@@ -102,7 +102,7 @@ let coarsest_stable_refinement g ~initial =
         (* ... then, within E⁻¹(B), on having no edge left into S \ B. *)
         List.iter
           (fun u ->
-            if not (Hashtbl.mem counts (u, xs)) then Partition.mark p u)
+            if not (Mono.Ptbl.mem counts (u, xs)) then Partition.mark p u)
           !preds;
         Partition.split_marked p attach_split
   done;

@@ -12,7 +12,7 @@ type t = {
 
 let ensure_capacity p =
   if p.count = Array.length p.first then begin
-    let grow a = Array.append a (Array.make (max 4 (Array.length a)) 0) in
+    let grow a = Array.append a (Array.make (Mono.imax 4 (Array.length a)) 0) in
     p.first <- grow p.first;
     p.size <- grow p.size;
     p.marked <- grow p.marked
@@ -35,22 +35,22 @@ let create n =
 let create_with keys =
   let n = Array.length keys in
   (* Dense block id per distinct key, ordered by first appearance. *)
-  let tbl = Hashtbl.create (2 * n + 1) in
+  let tbl = Mono.Itbl.create (2 * n + 1) in
   let node_blk = Array.make n 0 in
   let count = ref 0 in
   for v = 0 to n - 1 do
     let b =
-      match Hashtbl.find_opt tbl keys.(v) with
+      match Mono.Itbl.find_opt tbl keys.(v) with
       | Some b -> b
       | None ->
           let b = !count in
           incr count;
-          Hashtbl.replace tbl keys.(v) b;
+          Mono.Itbl.replace tbl keys.(v) b;
           b
     in
     node_blk.(v) <- b
   done;
-  let count = max 1 !count in
+  let count = Mono.imax 1 !count in
   let size = Array.make count 0 in
   Array.iter (fun b -> size.(b) <- size.(b) + 1) node_blk;
   let first = Array.make count 0 in
@@ -91,7 +91,7 @@ let iter_block p b f =
 let members p b =
   let acc = ref [] in
   iter_block p b (fun v -> acc := v :: !acc);
-  List.sort compare !acc
+  List.sort Mono.icompare !acc
 
 let swap p i j =
   if i <> j then begin
@@ -141,16 +141,16 @@ let split_marked p f =
 let assignment p = Array.copy p.node_blk
 
 let normalize_assignment a =
-  let tbl = Hashtbl.create (2 * Array.length a + 1) in
+  let tbl = Mono.Itbl.create (2 * Array.length a + 1) in
   let next = ref 0 in
   Array.map
     (fun b ->
-      match Hashtbl.find_opt tbl b with
+      match Mono.Itbl.find_opt tbl b with
       | Some d -> d
       | None ->
           let d = !next in
           incr next;
-          Hashtbl.replace tbl b d;
+          Mono.Itbl.replace tbl b d;
           d)
     a
 

@@ -1,13 +1,13 @@
 type cache = {
   graph : Digraph.t;
   (* bound -> per-node descendant bitsets; key -1 stands for [*]. *)
-  by_bound : (int, Bitset.t array) Hashtbl.t;
+  by_bound : Bitset.t array Mono.Itbl.t;
 }
 
-let make_cache g = { graph = g; by_bound = Hashtbl.create 4 }
+let make_cache g = { graph = g; by_bound = Mono.Itbl.create 4 }
 
 let descendants_for cache key =
-  match Hashtbl.find_opt cache.by_bound key with
+  match Mono.Itbl.find_opt cache.by_bound key with
   | Some sets -> sets
   | None ->
       let g = cache.graph in
@@ -16,7 +16,7 @@ let descendants_for cache key =
         else
           Array.init (Digraph.n g) (fun v -> Traversal.bounded_descendants g v key)
       in
-      Hashtbl.replace cache.by_bound key sets;
+      Mono.Itbl.replace cache.by_bound key sets;
       sets
 
 let check_cache g = function
@@ -87,7 +87,7 @@ let eval_matrix p g =
   let np = Pattern.node_count p and n = Digraph.n g in
   if np = 0 then Some [||]
   else begin
-    let dist = Array.make_matrix (max 1 n) (max 1 n) max_int in
+    let dist = Array.make_matrix (Mono.imax 1 n) (Mono.imax 1 n) max_int in
     for s = 0 to n - 1 do
       (* nonempty-path distances: seed with successors at distance 1 *)
       let row = dist.(s) in

@@ -73,7 +73,7 @@ let build ?(traversals = 3) ?(seed = 0x6a11) g =
   let cond = Scc.condensation g scc in
   let rng = Random.State.make [| seed |] in
   let intervals =
-    Array.init (max 1 traversals) (fun _ -> label_once rng cond)
+    Array.init (Mono.imax 1 traversals) (fun _ -> label_once rng cond)
   in
   { graph = g; scc; cond; intervals; fallback_count = 0 }
 

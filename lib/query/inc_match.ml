@@ -44,7 +44,7 @@ let insertion_affected p g sources =
     affected
   end
   else begin
-    let step = max 1 (Pattern.max_bound p) in
+    let step = Mono.imax 1 (Pattern.max_bound p) in
     let frontier = ref sources in
     while !frontier <> [] do
       let next = ref [] in

@@ -34,7 +34,7 @@ let in_edges p u = p.in_edges.(u)
 
 let max_bound p =
   List.fold_left
-    (fun acc (_, _, b) -> match b with Bounded k -> max acc k | Unbounded -> acc)
+    (fun acc (_, _, b) -> match b with Bounded k -> Mono.imax acc k | Unbounded -> acc)
     0 p.edges
 
 let has_unbounded p =

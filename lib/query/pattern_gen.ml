@@ -4,18 +4,18 @@ let pick_label rng g =
 let random rng g ~nodes ~edges ~max_bound ~unbounded_prob =
   if nodes < 1 then invalid_arg "Pattern_gen.random: nodes < 1";
   if Digraph.n g = 0 then invalid_arg "Pattern_gen.random: empty data graph";
-  let max_bound = max 1 max_bound in
-  let edges = max (nodes - 1) (min edges (nodes * nodes)) in
+  let max_bound = Mono.imax 1 max_bound in
+  let edges = Mono.imax (nodes - 1) (Mono.imin edges (nodes * nodes)) in
   let labels = Array.init nodes (fun _ -> pick_label rng g) in
-  let seen = Hashtbl.create (2 * edges + 1) in
+  let seen = Mono.Ptbl.create (2 * edges + 1) in
   let acc = ref [] in
   let bound () =
     if Random.State.float rng 1.0 < unbounded_prob then Pattern.Unbounded
     else Pattern.Bounded (1 + Random.State.int rng max_bound)
   in
   let add u v =
-    if not (Hashtbl.mem seen (u, v)) then begin
-      Hashtbl.replace seen (u, v) ();
+    if not (Mono.Ptbl.mem seen (u, v)) then begin
+      Mono.Ptbl.replace seen (u, v) ();
       acc := (u, v, bound ()) :: !acc
     end
   in
@@ -24,7 +24,7 @@ let random rng g ~nodes ~edges ~max_bound ~unbounded_prob =
     add (Random.State.int rng v) v
   done;
   let attempts = ref 0 in
-  while Hashtbl.length seen < edges && !attempts < 50 * edges do
+  while Mono.Ptbl.length seen < edges && !attempts < 50 * edges do
     incr attempts;
     let u = Random.State.int rng nodes and v = Random.State.int rng nodes in
     if u <> v then add u v
@@ -34,7 +34,7 @@ let random rng g ~nodes ~edges ~max_bound ~unbounded_prob =
 let anchored rng g ~nodes ~edges ~max_bound =
   if nodes < 1 then invalid_arg "Pattern_gen.anchored: nodes < 1";
   if Digraph.n g = 0 then invalid_arg "Pattern_gen.anchored: empty data graph";
-  let max_bound = max 1 max_bound in
+  let max_bound = Mono.imax 1 max_bound in
   let n = Digraph.n g in
   (* Pick a root with decent out-degree if one exists within a few draws. *)
   let root = ref (Random.State.int rng n) in
@@ -48,16 +48,16 @@ let anchored rng g ~nodes ~edges ~max_bound =
   let count = ref 1 in
   let q = Queue.create () in
   Queue.add !root q;
-  let index = Hashtbl.create (2 * nodes + 1) in
-  Hashtbl.replace index !root 0;
+  let index = Mono.Itbl.create (2 * nodes + 1) in
+  Mono.Itbl.replace index !root 0;
   while (not (Queue.is_empty q)) && !count < nodes do
     let x = Queue.pop q in
     Digraph.iter_succ g x (fun y ->
-        if !count < nodes && not (Hashtbl.mem index y) then begin
-          Hashtbl.replace index y !count;
+        if !count < nodes && not (Mono.Itbl.mem index y) then begin
+          Mono.Itbl.replace index y !count;
           sampled := y :: !sampled;
           tree_edges :=
-            (Hashtbl.find index x, !count, Pattern.Bounded 1) :: !tree_edges;
+            (Mono.Itbl.find index x, !count, Pattern.Bounded 1) :: !tree_edges;
           incr count;
           Queue.add y q
         end)
@@ -65,18 +65,18 @@ let anchored rng g ~nodes ~edges ~max_bound =
   let data_nodes = Array.of_list (List.rev !sampled) in
   let k = Array.length data_nodes in
   let labels = Array.map (Digraph.label g) data_nodes in
-  let seen = Hashtbl.create 64 in
-  List.iter (fun (u, v, _) -> Hashtbl.replace seen (u, v) ()) !tree_edges;
+  let seen = Mono.Ptbl.create 64 in
+  List.iter (fun (u, v, _) -> Mono.Ptbl.replace seen (u, v) ()) !tree_edges;
   let acc = ref !tree_edges in
   (* Extra edges mirroring short data paths, so the sample stays a match. *)
   let attempts = ref 0 in
   while List.length !acc < edges && !attempts < 50 * edges do
     incr attempts;
     let i = Random.State.int rng k and j = Random.State.int rng k in
-    if i <> j && not (Hashtbl.mem seen (i, j)) then
+    if i <> j && not (Mono.Ptbl.mem seen (i, j)) then
       match Traversal.distance g data_nodes.(i) data_nodes.(j) with
       | Some d when d >= 1 && d <= max_bound ->
-          Hashtbl.replace seen (i, j) ();
+          Mono.Ptbl.replace seen (i, j) ();
           acc := (i, j, Pattern.Bounded d) :: !acc
       | Some _ | None -> ()
   done;

@@ -9,7 +9,7 @@ let make ~n ~labels ~edges =
   if n < 0 then invalid_arg "Regular_pattern.make: negative node count";
   if Array.length labels <> n then
     invalid_arg "Regular_pattern.make: label array length mismatch";
-  let out_edges = Array.make (max 1 n) [] in
+  let out_edges = Array.make (Mono.imax 1 n) [] in
   List.iter
     (fun (u, v, r) ->
       if u < 0 || u >= n || v < 0 || v >= n then
@@ -166,11 +166,11 @@ let step_state nfa q l =
 let r_reach nfa g v =
   let n = Digraph.n g in
   let q = nfa.states in
-  let out = Bitset.create (max 1 n) in
+  let out = Bitset.create (Mono.imax 1 n) in
   let init = closure nfa (Bitset.of_list q [ nfa.start ]) in
   let eps_accepts = Bitset.mem init nfa.accept in
   if eps_accepts then Digraph.iter_succ g v (Bitset.add out);
-  let seen = Bitset.create (max 1 (n * q)) in
+  let seen = Bitset.create (Mono.imax 1 (n * q)) in
   let worklist = Queue.create () in
   let push x s =
     let idx = (x * q) + s in
@@ -199,30 +199,33 @@ let eval p g =
   let np = p.n and n = Digraph.n g in
   if np = 0 then Some [||]
   else begin
-    let cand = Array.init np (fun _ -> Bitset.create (max 1 n)) in
+    let cand = Array.init np (fun _ -> Bitset.create (Mono.imax 1 n)) in
     for v = 0 to n - 1 do
       for u = 0 to np - 1 do
         if p.labels.(u) = Digraph.label g v then Bitset.add cand.(u) v
       done
     done;
-    (* memoised r-reach per distinct edge regex *)
-    let compiled : (Rpq.t, nfa * (int, Bitset.t) Hashtbl.t) Hashtbl.t =
-      Hashtbl.create 8
+    (* Memoised r-reach per distinct edge regex.  The outer table is keyed
+       by the regex AST itself and holds a handful of entries per eval;
+       the per-node inner caches are the hot tables and are keyed
+       monomorphically.  lint: allow CMP01 *)
+    let compiled : (Rpq.t, nfa * Bitset.t Mono.Itbl.t) Hashtbl.t =
+      (Hashtbl.create 8 [@lint.allow "CMP01"])
     in
     let reach r v =
       let nfa, cache =
         match Hashtbl.find_opt compiled r with
         | Some x -> x
         | None ->
-            let x = (build_nfa r, Hashtbl.create 64) in
+            let x = (build_nfa r, Mono.Itbl.create 64) in
             Hashtbl.replace compiled r x;
             x
       in
-      match Hashtbl.find_opt cache v with
+      match Mono.Itbl.find_opt cache v with
       | Some s -> s
       | None ->
           let s = r_reach nfa g v in
-          Hashtbl.replace cache v s;
+          Mono.Itbl.replace cache v s;
           s
     in
     let changed = ref true in

@@ -124,14 +124,14 @@ let step nfa set l =
 (* NFA state set after reading just the label of [u] from the start. *)
 let entry_sets nfa g =
   let init = closure nfa (Bitset.of_list nfa.states [ nfa.start ]) in
-  let by_label = Hashtbl.create 16 in
+  let by_label = Mono.Itbl.create 16 in
   fun u ->
     let l = Digraph.label g u in
-    match Hashtbl.find_opt by_label l with
+    match Mono.Itbl.find_opt by_label l with
     | Some s -> s
     | None ->
         let s = step nfa init l in
-        Hashtbl.replace by_label l s;
+        Mono.Itbl.replace by_label l s;
         s
 
 let matches r g =
@@ -140,7 +140,7 @@ let matches r g =
   let q = nfa.states in
   (* canreach.(v*q + s): configuration (v, s) — at node v, state s after
      consuming v's label — reaches acceptance.  Backward BFS. *)
-  let canreach = Bitset.create (max 1 (n * q)) in
+  let canreach = Bitset.create (Mono.imax 1 (n * q)) in
   let worklist = Queue.create () in
   let push v s =
     let idx = (v * q) + s in
@@ -172,7 +172,7 @@ let matches r g =
       rev_sym.(s')
   done;
   let entry = entry_sets nfa g in
-  let out = Bitset.create (max 1 n) in
+  let out = Bitset.create (Mono.imax 1 n) in
   for u = 0 to n - 1 do
     let s0 = entry u in
     let hit = ref false in
@@ -189,8 +189,8 @@ let pairs r g ~source =
   let nfa = compile r in
   let n = Digraph.n g in
   let q = nfa.states in
-  let seen = Bitset.create (max 1 (n * q)) in
-  let out = Bitset.create (max 1 n) in
+  let seen = Bitset.create (Mono.imax 1 (n * q)) in
+  let out = Bitset.create (Mono.imax 1 n) in
   let entry = entry_sets nfa g in
   let worklist = Queue.create () in
   let push v s =

@@ -96,9 +96,23 @@ let find ~pattern g =
 
 let embeds ~pattern g = find ~pattern g <> None
 
+(* Lexicographic on length then elements: same order as polymorphic
+   compare on int arrays, without the generic walk. *)
+let compare_match (a : int array) (b : int array) =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then Mono.icompare n m
+  else
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Mono.icompare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
 let find_all ?(limit = 1000) ~pattern g =
   let acc = ref [] in
   search ~limit ~pattern g ~on_found:(fun m -> acc := m :: !acc);
-  List.sort compare (List.rev !acc)
+  List.sort compare_match (List.rev !acc)
 
 let count ?limit ~pattern g = List.length (find_all ?limit ~pattern g)

@@ -13,7 +13,7 @@ let merge a b =
   let push ((lo, hi) as iv) =
     match !out with
     | (lo', hi') :: rest when lo <= hi' + 1 ->
-        out := (lo', max hi hi') :: rest
+        out := (lo', Mono.imax hi hi') :: rest
     | _ -> out := iv :: !out
   in
   let i = ref 0 and j = ref 0 in

@@ -76,7 +76,7 @@ let build g =
     Array.map
       (fun l ->
         let a = Array.of_list (List.map label_of_rank l) in
-        Array.sort compare a;
+        Array.sort Mono.icompare a;
         a)
       lists
   in

@@ -403,7 +403,10 @@ let find name =
   | None -> raise Not_found
 
 let generate_scaled ?(seed = 0xC0FFEE) spec ~nodes ~edges =
-  let rng = Random.State.make [| seed; Hashtbl.hash spec.name |] in
+  (* FNV-1a rather than [Hashtbl.hash]: the polymorphic hash changes
+     across OCaml versions, which would silently reseed every dataset on a
+     compiler upgrade. *)
+  let rng = Random.State.make [| seed; Mono.fnv1a spec.name |] in
   let rec gen family ~nodes ~edges =
     match family with
     | Social { core_frac; both_frac; chain_frac; copy_prob } ->

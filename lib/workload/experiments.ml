@@ -61,7 +61,16 @@ module Table1 = struct
           List.fold_left (fun acc x -> acc +. f x) 0.0 samples
           /. float_of_int runs
         in
-        let v, e, _, _, _ = List.hd samples in
+        let v, e, _, _, _ =
+          match samples with
+          | s :: _ -> s
+          | [] ->
+              failwith
+                (Printf.sprintf
+                   "Experiments.reach_compression: no samples for dataset %s \
+                    (runs = %d)"
+                   spec.Datasets.name runs)
+        in
         {
           name = spec.Datasets.name;
           v;
@@ -131,7 +140,16 @@ module Table2 = struct
                 Digraph.label_count g,
                 Compressed.ratio c ~original:g ))
         in
-        let v, e, l, _ = List.hd samples in
+        let v, e, l, _ =
+          match samples with
+          | s :: _ -> s
+          | [] ->
+              failwith
+                (Printf.sprintf
+                   "Experiments.pattern_compression: no samples for dataset \
+                    %s (runs = %d)"
+                   spec.Datasets.name runs)
+        in
         {
           name = spec.Datasets.name;
           v;
@@ -1030,11 +1048,23 @@ module Fig12jl = struct
     let steps =
       match per_dataset with [] -> 0 | (_, rs) :: _ -> List.length rs
     in
+    let per_dataset =
+      List.map (fun (name, rs) -> (name, Array.of_list rs)) per_dataset
+    in
     List.init steps (fun i ->
         {
           delta_pct = i * 5;
           series =
-            List.map (fun (name, rs) -> (name, List.nth rs i)) per_dataset;
+            List.map
+              (fun (name, rs) ->
+                if i >= Array.length rs then
+                  failwith
+                    (Printf.sprintf
+                       "Experiments.fig12: dataset %s has %d evolution \
+                        steps, expected %d"
+                       name (Array.length rs) steps)
+                else (name, rs.(i)))
+              per_dataset;
         })
 
   let print ppf ~pattern rows =

@@ -1,0 +1,57 @@
+(* Diagnostics emitted by lint rules: location + rule id + message, with
+   stable ordering and both human and machine renderings. *)
+
+type t = {
+  file : string;  (* display path, e.g. "lib/graph/digraph.ml" *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matching compiler convention *)
+  rule : string;  (* e.g. "POLY01" *)
+  msg : string;
+}
+
+let make ~file ~loc ~rule msg =
+  let p = loc.Location.loc_start in
+  { file; line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule; msg }
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let dedup_sort diags =
+  List.sort_uniq
+    (fun a b ->
+      let c = compare_diag a b in
+      if c <> 0 then c else String.compare a.msg b.msg)
+    diags
+
+let to_text d = Printf.sprintf "%s:%d:%d: %s %s" d.file d.line d.col d.rule d.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape d.file) d.line d.col (json_escape d.rule) (json_escape d.msg)
+
+let list_to_json diags =
+  "[" ^ String.concat "," (List.map to_json diags) ^ "]"

@@ -1,0 +1,88 @@
+(* Parsing, rule execution, suppression filtering and path discovery. *)
+
+type result = {
+  diags : Lint_diag.t list;  (* surviving findings, sorted *)
+  errors : string list;  (* files that could not be read or parsed *)
+}
+
+let empty = { diags = []; errors = [] }
+
+let merge a b =
+  { diags = a.diags @ b.diags; errors = a.errors @ b.errors }
+
+(* Directories whose modules POLY01/CMP01 treat as hot paths. *)
+let hot_prefixes = [ "lib/graph"; "lib/partition"; "lib/core"; "lib/query" ]
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let auto_hot display =
+  List.exists (fun p -> contains_sub ~sub:p display) hot_prefixes
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~display src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf display;
+  Parse.implementation lexbuf
+
+let rule_enabled only id =
+  match only with [] -> true | ids -> List.mem id ids
+
+(* Lint one [.ml] file.  [hot] overrides the path-based classification;
+   [only] restricts to the given rule ids (empty = all). *)
+let lint_file ?hot ?(only = []) ~display path =
+  match read_file path with
+  | exception Sys_error msg -> { empty with errors = [ msg ] }
+  | src -> (
+      match parse_implementation ~display src with
+      | exception exn ->
+          let msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok err) ->
+                Format.asprintf "%a" Location.print_report err
+            | _ -> Printf.sprintf "%s: %s" display (Printexc.to_string exn)
+          in
+          { empty with errors = [ msg ] }
+      | structure ->
+          let hot = match hot with Some h -> h | None -> auto_hot display in
+          let ctx = { Lint_rules.display; hot; diags = [] } in
+          List.iter
+            (fun (r : Lint_rules.rule) ->
+              if rule_enabled only r.id && ((not r.hot_only) || hot) then
+                r.check ctx structure)
+            (Lint_rules.all_rules ());
+          let spans =
+            Lint_suppress.scan_comments src
+            @ Lint_suppress.collect_attribute_spans structure
+          in
+          {
+            diags = Lint_diag.dedup_sort (Lint_suppress.filter spans ctx.diags);
+            errors = [];
+          })
+
+(* Recursively collect [.ml] files under [path] (skipping build/VCS
+   directories), or [path] itself when it is a file. *)
+let rec collect_ml path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || entry = "" || entry.[0] = '.' then []
+           else collect_ml (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_paths ?hot ?(only = []) ?(prefix = "") paths =
+  let files = List.concat_map collect_ml paths in
+  List.fold_left
+    (fun acc path ->
+      let display = prefix ^ path in
+      merge acc (lint_file ?hot ~only ~display path))
+    empty files
+  |> fun r -> { diags = Lint_diag.dedup_sort r.diags; errors = List.rev r.errors }

@@ -1,0 +1,449 @@
+(* Lint rules and their registry.
+
+   Each rule is an [Ast_iterator] pass over a parsed implementation.  Rules
+   report through a shared context; suppression filtering happens later in
+   the driver, so rules stay oblivious to it.
+
+   Shipped rules:
+
+   - PARA01  race lint: mutation of captured shared state inside closures
+             handed to [Pool.parallel_for] / [parallel_for_ranges] /
+             [parallel_map] / [parallel_map_list].
+   - POLY01  polymorphic comparison on hot paths: [min] / [max] /
+             [Hashtbl.hash] anywhere, and [compare] / [=] / [<>] escaping
+             as first-class functions (direct full applications are
+             specialised by the compiler when the type is known, so they
+             are not flagged).
+   - PARTIAL01  partial stdlib functions: [List.hd] / [List.tl] /
+             [List.nth] / [Option.get].
+   - CMP01   polymorphic [Hashtbl.create] in hot modules, where a keyed
+             [Hashtbl.Make] table hashes and compares monomorphically. *)
+
+open Parsetree
+
+type ctx = {
+  display : string;  (* path shown in diagnostics *)
+  hot : bool;  (* file lives under a designated hot-path directory *)
+  mutable diags : Lint_diag.t list;
+}
+
+let report ctx ~loc ~rule msg =
+  ctx.diags <- Lint_diag.make ~file:ctx.display ~loc ~rule msg :: ctx.diags
+
+type rule = {
+  id : string;
+  doc : string;
+  hot_only : bool;
+  check : ctx -> structure -> unit;
+}
+
+let registry : rule list ref = ref []
+let register r = registry := r :: !registry
+let all_rules () = List.sort (fun a b -> String.compare a.id b.id) !registry
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers *)
+
+let path_of_longident lid =
+  match Longident.flatten lid with
+  | path -> Some path
+  | exception _ -> None  (* Lapply *)
+
+(* Normalised path of an identifier expression, with a leading [Stdlib]
+   dropped so ["Stdlib"; "compare"] and ["compare"] match the same way. *)
+let path_of_expr e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match path_of_longident txt with
+      | Some ("Stdlib" :: rest) when rest <> [] -> Some rest
+      | p -> p)
+  | _ -> None
+
+let rec pat_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pat_vars (txt :: acc) p
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pat_vars acc ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_open (_, p)
+  | Ppat_exception p -> pat_vars acc p
+  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pat_vars acc p) acc fields
+  | _ -> acc
+
+(* ------------------------------------------------------------------ *)
+(* PARA01: shared-state mutation inside parallel closures *)
+
+let pool_entry_points =
+  [ "parallel_for"; "parallel_for_ranges"; "parallel_map"; "parallel_map_list" ]
+
+let is_pool_entry path =
+  match List.rev path with
+  | fn :: rest ->
+      List.mem fn pool_entry_points
+      && (match rest with
+         | [] -> true  (* opened Pool *)
+         | m :: _ -> m = "Pool")
+  | [] -> false
+
+(* Modules whose imperative operations PARA01 treats as shared-state
+   mutation when applied to a captured target: the stdlib [Hashtbl] and
+   [Buffer], plus keyed tables by convention ([Itbl], [Ptbl], ... -- any
+   module name ending in "tbl"/"Tbl", as produced by [Hashtbl.Make]). *)
+let mutating_module m =
+  m = "Hashtbl" || m = "Buffer"
+  || (let n = String.length m in
+      n >= 3
+      && (let suffix = String.lowercase_ascii (String.sub m (n - 3) 3) in
+          suffix = "tbl"))
+
+let mutating_fn =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "add_char"; "add_string";
+    "add_bytes"; "add_subbytes"; "add_substring"; "add_buffer"; "add_channel";
+    "truncate"; "filter_map_inplace" ]
+
+(* The head variable a mutation targets: [Some name] for a bare variable,
+   [Some "M.x"] for a qualified (necessarily global) path, [None] when the
+   target is computed (e.g. [arr.(i)], a function result) and therefore
+   outside this rule's scope. *)
+let target_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> Some (n, false)
+  | Pexp_ident { txt; _ } -> (
+      match path_of_longident txt with
+      | Some path -> Some (String.concat "." path, true)
+      | None -> None)
+  | _ -> None
+
+let check_closure_body ctx locals body =
+  let locals : (string, unit) Hashtbl.t = locals in
+  let is_local n = Hashtbl.mem locals n in
+  let flag loc what name =
+    report ctx ~loc ~rule:"PARA01"
+      (Printf.sprintf
+         "%s mutates `%s`, which is captured from outside this parallel \
+          closure; parallel bodies may only write disjoint indices of \
+          shared arrays (define the state inside the closure, or suppress \
+          with a `lint: allow PARA01` comment if access is provably \
+          disjoint)"
+         what name)
+  in
+  let flag_if_captured loc what target =
+    match target_head target with
+    | Some (name, qualified) when qualified || not (is_local name) ->
+        flag loc what name
+    | _ -> ()
+  in
+  let open Ast_iterator in
+  let super = default_iterator in
+  let add_pat p = List.iter (fun v -> Hashtbl.replace locals v ()) (pat_vars [] p) in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, _) -> List.iter (fun vb -> add_pat vb.pvb_pat) vbs
+    | Pexp_fun (_, _, p, _) -> add_pat p
+    | Pexp_function cases | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+        List.iter (fun c -> add_pat c.pc_lhs) cases
+    | Pexp_for (p, _, _, _, _) -> add_pat p
+    | Pexp_setfield (target, field, _) ->
+        let fname =
+          match path_of_longident field.txt with
+          | Some p -> String.concat "." p
+          | None -> "<field>"
+        in
+        flag_if_captured e.pexp_loc
+          (Printf.sprintf "record-field write `%s <-`" fname)
+          target
+    | Pexp_apply (f, args) -> (
+        match (path_of_expr f, args) with
+        | Some [ ":=" ], (_, lhs) :: _ ->
+            flag_if_captured e.pexp_loc "`:=`" lhs
+        | Some [ ("incr" | "decr") as op ], (_, lhs) :: _ ->
+            flag_if_captured e.pexp_loc (Printf.sprintf "`%s`" op) lhs
+        | Some path, (_, first) :: _ -> (
+            match List.rev path with
+            | fn :: m :: _ when mutating_module m && List.mem fn mutating_fn ->
+                flag_if_captured e.pexp_loc
+                  (Printf.sprintf "`%s.%s`" m fn)
+                  first
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it body
+
+(* Strip [fun]/[newtype] binders off a closure literal, accumulating the
+   parameter variables; returns [None] when the argument expression is not
+   a syntactic closure (an identifier, a partial application, ...). *)
+let closure_parts e =
+  let locals = Hashtbl.create 16 in
+  let add_pat p = List.iter (fun v -> Hashtbl.replace locals v ()) (pat_vars [] p) in
+  let rec strip e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, p, body) ->
+        add_pat p;
+        Some (strip_tail body)
+    | Pexp_newtype (_, body) -> strip body
+    | Pexp_function cases ->
+        List.iter (fun c -> add_pat c.pc_lhs) cases;
+        Some
+          (List.concat_map
+             (fun c -> match c.pc_guard with
+                | Some g -> [ g; c.pc_rhs ]
+                | None -> [ c.pc_rhs ])
+             cases)
+    | _ -> None
+  and strip_tail body =
+    (* Inner [fun] layers are part of the same closure. *)
+    match body.pexp_desc with
+    | Pexp_fun (_, _, p, inner) ->
+        add_pat p;
+        strip_tail inner
+    | Pexp_newtype (_, inner) -> strip_tail inner
+    | _ -> [ body ]
+  in
+  match strip e with Some bodies -> Some (locals, bodies) | None -> None
+
+let para01 =
+  {
+    id = "PARA01";
+    hot_only = false;
+    doc =
+      "Mutation of captured shared state (ref :=, incr/decr, Hashtbl/Buffer \
+       updates, record-field writes) inside a closure passed to \
+       Pool.parallel_for / parallel_for_ranges / parallel_map / \
+       parallel_map_list. Parallel bodies must only write disjoint indices \
+       of shared arrays (the Pool contract); anything else is a data race.";
+    check =
+      (fun ctx structure ->
+        let open Ast_iterator in
+        let super = default_iterator in
+        let expr it e =
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match path_of_expr f with
+              | Some path when is_pool_entry path ->
+                  List.iter
+                    (fun (_, arg) ->
+                      match closure_parts arg with
+                      | Some (locals, bodies) ->
+                          List.iter (check_closure_body ctx locals) bodies
+                      | None -> ())
+                    args
+              | _ -> ())
+          | _ -> ());
+          super.expr it e
+        in
+        let it = { super with expr } in
+        it.structure it structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* POLY01: polymorphic comparison on hot paths *)
+
+let poly_comparators = [ "compare"; "="; "<>" ]
+let poly_always = [ "min"; "max" ]
+
+let poly01 =
+  {
+    id = "POLY01";
+    hot_only = true;
+    doc =
+      "Polymorphic comparison in a hot-path module (lib/graph, \
+       lib/partition, lib/core, lib/query): min/max and Hashtbl.hash \
+       anywhere, and compare / = / <> escaping as first-class functions \
+       (e.g. Array.sort compare). Use a monomorphic version (Int.compare, \
+       Mono.imin, an FNV-1a string hash, ...) instead; the generic \
+       caml_compare walk is a memory-bound interpreter of the value's \
+       shape.";
+    check =
+      (fun ctx structure ->
+        (* Names locally rebound in the file (e.g. a module-level
+           [let compare : int -> int -> int = ...]) are monomorphic by
+           construction: bare uses from the binding's line onward are not
+           flagged.  Tracking is by line, not scope -- precise enough for
+           the shadow-at-top-of-module idiom this rule encourages. *)
+        let shadowed = Hashtbl.create 8 in
+        let collect =
+          let open Ast_iterator in
+          let super = default_iterator in
+          let value_binding it vb =
+            let line = vb.pvb_loc.loc_start.pos_lnum in
+            List.iter
+              (fun v ->
+                if List.mem v poly_comparators || List.mem v poly_always then
+                  match Hashtbl.find_opt shadowed v with
+                  | Some l when l <= line -> ()
+                  | _ -> Hashtbl.replace shadowed v line)
+              (pat_vars [] vb.pvb_pat);
+            super.value_binding it vb
+          in
+          { super with value_binding }
+        in
+        collect.structure collect structure;
+        let is_shadowed n ~(loc : Location.t) =
+          match Hashtbl.find_opt shadowed n with
+          | Some l -> l <= loc.loc_start.pos_lnum
+          | None -> false
+        in
+        let flag_hash loc =
+          report ctx ~loc ~rule:"POLY01"
+            "Hashtbl.hash is a polymorphic structure walk and its result \
+             varies across OCaml versions; hash the key monomorphically \
+             (e.g. an FNV-1a string hash, or the int itself)"
+        in
+        let flag_minmax loc name =
+          report ctx ~loc ~rule:"POLY01"
+            (Printf.sprintf
+               "`%s` dispatches through polymorphic compare on every call \
+                (it is never specialised); use a typed version such as \
+                Mono.i%s / Mono.f%s"
+               name name name)
+        in
+        let flag_escape loc name =
+          report ctx ~loc ~rule:"POLY01"
+            (Printf.sprintf
+               "`%s` escapes as a first-class function here, so the \
+                compiler cannot specialise it and every call runs the \
+                generic caml_compare walk; pass a monomorphic comparison \
+                (Int.compare, String.equal, ...) instead"
+               name)
+        in
+        (* A bare use of one of the tracked names; [applied_args] is the
+           number of explicit arguments when the ident heads an
+           application, or 0 when it escapes. *)
+        let check_ident loc path ~applied_args =
+          match path with
+          | [ "Hashtbl"; ("hash" | "seeded_hash") ] -> flag_hash loc
+          | [ name ] when List.mem name poly_always && not (is_shadowed name ~loc)
+            ->
+              flag_minmax loc name
+          | [ name ]
+            when List.mem name poly_comparators
+                 && (not (is_shadowed name ~loc))
+                 && applied_args < 2 ->
+              flag_escape loc name
+          | _ -> ()
+        in
+        let open Ast_iterator in
+        let super = default_iterator in
+        let expr it e =
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match path_of_expr f with
+              | Some path ->
+                  check_ident f.pexp_loc path ~applied_args:(List.length args)
+              | None -> ())
+          | Pexp_ident _ -> (
+              (* Escaping position: argument, binding rhs, ... (idents that
+                 head an application are handled above; the default
+                 iterator will revisit them, so applications are filtered
+                 out by the caller shape). *)
+              match path_of_expr e with
+              | Some path -> check_ident e.pexp_loc path ~applied_args:0
+              | None -> ())
+          | _ -> ());
+          match e.pexp_desc with
+          | Pexp_apply (f, args) ->
+              (* Skip the head ident (already judged with its arity); an
+                 ident in head position must not be re-flagged as
+                 escaping. *)
+              (match f.pexp_desc with
+              | Pexp_ident _ -> ()
+              | _ -> it.expr it f);
+              List.iter (fun (_, a) -> it.expr it a) args
+          | _ -> super.expr it e
+        in
+        let it = { super with expr } in
+        it.structure it structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* PARTIAL01: partial stdlib functions *)
+
+let partial_fns =
+  [
+    ([ "List"; "hd" ], "List.hd");
+    ([ "List"; "tl" ], "List.tl");
+    ([ "List"; "nth" ], "List.nth");
+    ([ "ListLabels"; "hd" ], "ListLabels.hd");
+    ([ "ListLabels"; "tl" ], "ListLabels.tl");
+    ([ "ListLabels"; "nth" ], "ListLabels.nth");
+    ([ "Option"; "get" ], "Option.get");
+  ]
+
+let partial01 =
+  {
+    id = "PARTIAL01";
+    hot_only = false;
+    doc =
+      "Partial stdlib functions (List.hd, List.tl, List.nth, Option.get) \
+       raise on the shapes they exclude with a message that names neither \
+       caller nor data. Destructure with a total match carrying a real \
+       error message instead.";
+    check =
+      (fun ctx structure ->
+        let open Ast_iterator in
+        let super = default_iterator in
+        let expr it e =
+          (match e.pexp_desc with
+          | Pexp_ident _ -> (
+              match path_of_expr e with
+              | Some path -> (
+                  match List.assoc_opt path partial_fns with
+                  | Some name ->
+                      report ctx ~loc:e.pexp_loc ~rule:"PARTIAL01"
+                        (Printf.sprintf
+                           "`%s` is partial and fails with a context-free \
+                            exception; use a total match with a real error \
+                            message"
+                           name)
+                  | None -> ())
+              | None -> ())
+          | _ -> ());
+          super.expr it e
+        in
+        let it = { super with expr } in
+        it.structure it structure);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CMP01: polymorphic hash tables in hot modules *)
+
+let cmp01 =
+  {
+    id = "CMP01";
+    hot_only = true;
+    doc =
+      "Polymorphic Hashtbl.create in a hot-path module: every operation \
+       hashes and compares keys through the generic structural walk. Use a \
+       keyed table (Hashtbl.Make) with monomorphic hash/equal -- e.g. \
+       Mono.Itbl for int keys, Mono.Ptbl for int-pair keys, Mono.Stbl for \
+       string keys.";
+    check =
+      (fun ctx structure ->
+        let open Ast_iterator in
+        let super = default_iterator in
+        let expr it e =
+          (match e.pexp_desc with
+          | Pexp_ident _ -> (
+              match path_of_expr e with
+              | Some [ "Hashtbl"; "create" ] ->
+                  report ctx ~loc:e.pexp_loc ~rule:"CMP01"
+                    "polymorphic `Hashtbl.create` in a hot-path module; use \
+                     a keyed table with monomorphic hash/equal (Mono.Itbl, \
+                     Mono.Ptbl, Mono.Stbl, or a local Hashtbl.Make)"
+              | _ -> ())
+          | _ -> ());
+          super.expr it e
+        in
+        let it = { super with expr } in
+        it.structure it structure);
+  }
+
+let () = List.iter register [ para01; poly01; partial01; cmp01 ]

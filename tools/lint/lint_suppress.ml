@@ -1,0 +1,200 @@
+(* Suppression of lint findings.
+
+   Two mechanisms, both scoped and explicit:
+
+   - Comments: [(* lint: allow RULE1 RULE2 *)] silences the named rules on
+     the comment's own line(s) and on the line immediately after the
+     comment — so both a trailing comment and a comment placed just above
+     the offending expression work.
+
+   - Attributes: [[@lint.allow "RULE"]] on an expression,
+     [[@@lint.allow "RULE"]] on a structure item or value binding, and
+     [[@@@lint.allow "RULE"]] floating at the top of a file silence the
+     named rules over the attached node's whole source span (the floating
+     form covers the rest of the file).  Several rules may be given in one
+     string, separated by spaces or commas.
+
+   Suppressions are collected as line spans and applied as a post-filter
+   over the diagnostics, which keeps rule implementations oblivious to
+   them. *)
+
+open Parsetree
+
+type span = { from_line : int; to_line : int; rules : string list }
+
+let parse_rule_list s =
+  String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) s)
+  |> List.filter (fun tok -> tok <> "")
+
+let looks_like_rule_id tok =
+  String.length tok > 0
+  && String.for_all (fun c -> (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) tok
+
+let find_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Recognise a "lint: allow RULE..." directive anywhere in a comment body
+   (so a justification and the directive can share one comment).  Rule ids
+   are the uppercase-alphanumeric tokens following "allow", up to the
+   first token that does not look like one. *)
+let parse_comment_body body =
+  match find_sub ~sub:"lint:" body with
+  | None -> None
+  | Some i ->
+      let rest =
+        String.trim (String.sub body (i + 5) (String.length body - i - 5))
+      in
+      let allow = "allow" in
+      if String.length rest >= String.length allow
+         && String.sub rest 0 (String.length allow) = allow
+      then
+        let rules =
+          parse_rule_list
+            (String.sub rest (String.length allow)
+               (String.length rest - String.length allow))
+        in
+        let rec take = function
+          | tok :: rest when looks_like_rule_id tok -> tok :: take rest
+          | _ -> []
+        in
+        Some (take rules)
+      else None
+
+(* Scan raw source text for lint-directive comments.  A tiny hand-rolled
+   scanner (tracking strings and nested comments) is more robust here than
+   re-entering the compiler's lexer for its comment side channel. *)
+let scan_comments src =
+  let n = String.length src in
+  let spans = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '"' then begin
+      (* Skip string literal. *)
+      incr i;
+      let in_str = ref true in
+      while !in_str && !i < n do
+        (match src.[!i] with
+        | '\\' -> if !i + 1 < n then begin bump src.[!i + 1]; incr i end
+        | '"' -> in_str := false
+        | c -> bump c);
+        incr i
+      done
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      i := !i + 2;
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        if src.[!i] = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          i := !i + 2
+        end
+        else if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          i := !i + 2
+        end
+        else begin
+          bump src.[!i];
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      match parse_comment_body (Buffer.contents buf) with
+      | Some rules when rules <> [] ->
+          (* Cover the comment itself plus the following line. *)
+          spans := { from_line = start_line; to_line = !line + 1; rules } :: !spans
+      | _ -> ()
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  !spans
+
+(* ------------------------------------------------------------------ *)
+(* Attribute spans *)
+
+let rules_of_attribute (attr : attribute) =
+  if attr.attr_name.txt <> "lint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        Some (parse_rule_list s)
+    | _ -> Some []  (* malformed payload: suppress nothing, but accept *)
+
+let span_of_loc (loc : Location.t) rules =
+  {
+    from_line = loc.loc_start.pos_lnum;
+    to_line = loc.loc_end.pos_lnum;
+    rules;
+  }
+
+let collect_attribute_spans structure =
+  let spans = ref [] in
+  let add loc attrs =
+    List.iter
+      (fun attr ->
+        match rules_of_attribute attr with
+        | Some rules when rules <> [] -> spans := span_of_loc loc rules :: !spans
+        | _ -> ())
+      attrs
+  in
+  let open Ast_iterator in
+  let super = default_iterator in
+  let expr it e =
+    add e.pexp_loc e.pexp_attributes;
+    super.expr it e
+  in
+  let value_binding it vb =
+    add vb.pvb_loc vb.pvb_attributes;
+    super.value_binding it vb
+  in
+  let structure_item it si =
+    (match si.pstr_desc with
+    | Pstr_attribute attr -> (
+        (* Floating attribute: covers the rest of the file. *)
+        match rules_of_attribute attr with
+        | Some rules when rules <> [] ->
+            spans :=
+              { from_line = si.pstr_loc.loc_start.pos_lnum;
+                to_line = max_int; rules }
+              :: !spans
+        | _ -> ())
+    | Pstr_eval (_, attrs) -> add si.pstr_loc attrs
+    | _ -> ());
+    super.structure_item it si
+  in
+  let it = { super with expr; value_binding; structure_item } in
+  it.structure it structure;
+  !spans
+
+let suppressed spans (d : Lint_diag.t) =
+  List.exists
+    (fun s ->
+      d.Lint_diag.line >= s.from_line
+      && d.Lint_diag.line <= s.to_line
+      && List.mem d.Lint_diag.rule s.rules)
+    spans
+
+let filter spans diags = List.filter (fun d -> not (suppressed spans d)) diags

@@ -1,0 +1,44 @@
+The CLI contract: exit 0 and no output on a clean tree, exit 1 with
+file:line:col findings when violations exist.
+
+  $ qpgc-lint --list-rules >/dev/null
+
+A clean hot-path module:
+
+  $ qpgc-lint --hot fixtures/clean.ml
+
+A fully suppressed module (every violation carries an annotation):
+
+  $ qpgc-lint --hot fixtures/suppressed.ml
+
+Violations are reported as file:line:col: RULE message, exit code 1:
+
+  $ qpgc-lint --hot fixtures/bad_partial01.ml
+  fixtures/bad_partial01.ml:3:15: PARTIAL01 `List.hd` is partial and fails with a context-free exception; use a total match with a real error message
+  fixtures/bad_partial01.ml:6:14: PARTIAL01 `List.tl` is partial and fails with a context-free exception; use a total match with a real error message
+  fixtures/bad_partial01.ml:9:15: PARTIAL01 `List.nth` is partial and fails with a context-free exception; use a total match with a real error message
+  fixtures/bad_partial01.ml:12:14: PARTIAL01 `Option.get` is partial and fails with a context-free exception; use a total match with a real error message
+  qpgc-lint: 4 finding(s)
+  [1]
+
+PARA01 does not depend on the hot classification, and --rule restricts
+the run to the named rules:
+
+  $ qpgc-lint --cold --rule PARA01 fixtures/bad_para01.ml
+  fixtures/bad_para01.ml:6:38: PARA01 `:=` mutates `total`, which is captured from outside this parallel closure; parallel bodies may only write disjoint indices of shared arrays (define the state inside the closure, or suppress with a `lint: allow PARA01` comment if access is provably disjoint)
+  fixtures/bad_para01.ml:12:38: PARA01 `incr` mutates `hits`, which is captured from outside this parallel closure; parallel bodies may only write disjoint indices of shared arrays (define the state inside the closure, or suppress with a `lint: allow PARA01` comment if access is provably disjoint)
+  fixtures/bad_para01.ml:18:38: PARA01 `Hashtbl.replace` mutates `seen`, which is captured from outside this parallel closure; parallel bodies may only write disjoint indices of shared arrays (define the state inside the closure, or suppress with a `lint: allow PARA01` comment if access is provably disjoint)
+  fixtures/bad_para01.ml:25:6: PARA01 `Buffer.add_string` mutates `buf`, which is captured from outside this parallel closure; parallel bodies may only write disjoint indices of shared arrays (define the state inside the closure, or suppress with a `lint: allow PARA01` comment if access is provably disjoint)
+  qpgc-lint: 4 finding(s)
+  [1]
+
+Hot-only rules stay quiet on cold files:
+
+  $ qpgc-lint --cold fixtures/bad_poly01.ml
+
+JSON output for machine consumption:
+
+  $ qpgc-lint --hot --format json fixtures/bad_cmp01.ml
+  [{"file":"fixtures/bad_cmp01.ml","line":3,"col":15,"rule":"CMP01","message":"polymorphic `Hashtbl.create` in a hot-path module; use a keyed table with monomorphic hash/equal (Mono.Itbl, Mono.Ptbl, Mono.Stbl, or a local Hashtbl.Make)"}]
+  qpgc-lint: 1 finding(s)
+  [1]

@@ -1,0 +1,9 @@
+(* CMP01 fixture (checked as a hot-path module). *)
+
+let table () = Hashtbl.create 64
+(* line 3: polymorphic Hashtbl.create *)
+
+(* Not flagged: keyed tables. *)
+module Itbl = Hashtbl.Make (Int)
+
+let keyed () = Itbl.create 64

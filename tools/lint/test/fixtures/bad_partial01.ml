@@ -1,0 +1,16 @@
+(* PARTIAL01 fixture. *)
+
+let first xs = List.hd xs
+(* line 3 *)
+
+let rest xs = List.tl xs
+(* line 6 *)
+
+let third xs = List.nth xs 2
+(* line 9 *)
+
+let force o = Option.get o
+(* line 12 *)
+
+(* Not flagged: total versions. *)
+let first_opt = function [] -> None | x :: _ -> Some x

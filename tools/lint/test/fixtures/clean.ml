@@ -1,0 +1,26 @@
+(* A clean hot-path module: nothing to report. *)
+
+module Itbl = Hashtbl.Make (Int)
+
+let imax (a : int) (b : int) = if a >= b then a else b
+
+let widest xs = List.fold_left imax 0 xs
+
+let sort_ids (a : int array) = Array.sort Int.compare a
+
+let first_opt = function [] -> None | x :: _ -> Some x
+
+let histogram xs =
+  let t = Itbl.create 16 in
+  List.iter
+    (fun x ->
+      match Itbl.find_opt t x with
+      | Some c -> Itbl.replace t x (c + 1)
+      | None -> Itbl.replace t x 1)
+    xs;
+  t
+
+let fill pool n =
+  let out = Array.make n 0 in
+  Pool.parallel_for pool ~n (fun i -> out.(i) <- 2 * i);
+  out

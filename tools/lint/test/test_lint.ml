@@ -1,0 +1,125 @@
+(* Unit tests for qpgc-lint: each fixture has a known set of (line, rule)
+   diagnostics, asserted exactly.  Fixtures are copied into the test's
+   sandbox by the dune [deps] clause, so paths are relative. *)
+
+let fixture name = Filename.concat "fixtures" name
+
+(* Lint a fixture as a hot-path module and return its (line, rule) pairs in
+   report order. *)
+let lint ?only name =
+  let path = fixture name in
+  let r = Lint_driver.lint_file ?only ~hot:true ~display:path path in
+  (match r.Lint_driver.errors with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "unexpected lint error on %s: %s" name e);
+  List.map (fun d -> (d.Lint_diag.line, d.Lint_diag.rule)) r.Lint_driver.diags
+
+let line_rule = Alcotest.(pair int string)
+
+let check_diags name expected actual =
+  Alcotest.check (Alcotest.list line_rule) name expected actual
+
+let test_cmp01 () = check_diags "bad_cmp01" [ (3, "CMP01") ] (lint "bad_cmp01.ml")
+
+let test_para01 () =
+  check_diags "bad_para01"
+    [
+      (6, "PARA01");
+      (12, "PARA01");
+      (17, "CMP01");
+      (18, "PARA01");
+      (25, "PARA01");
+      (36, "CMP01");
+    ]
+    (lint "bad_para01.ml")
+
+(* --rule / [only] restricts the run to the named rules. *)
+let test_para01_only () =
+  check_diags "bad_para01 --rule PARA01"
+    [ (6, "PARA01"); (12, "PARA01"); (18, "PARA01"); (25, "PARA01") ]
+    (lint ~only:[ "PARA01" ] "bad_para01.ml")
+
+let test_partial01 () =
+  check_diags "bad_partial01"
+    [ (3, "PARTIAL01"); (6, "PARTIAL01"); (9, "PARTIAL01"); (12, "PARTIAL01") ]
+    (lint "bad_partial01.ml")
+
+let test_poly01 () =
+  check_diags "bad_poly01"
+    [
+      (3, "POLY01");
+      (6, "POLY01");
+      (9, "POLY01");
+      (12, "POLY01");
+      (15, "POLY01");
+    ]
+    (lint "bad_poly01.ml")
+
+(* Lines 22-23 of bad_poly01.ml rebind [compare] monomorphically and then
+   use it; the shadow exempts uses only from its line onward, so the
+   earlier escapes (lines 3 and 15) must still be present above. *)
+
+let test_clean () = check_diags "clean" [] (lint "clean.ml")
+
+(* Every violation in suppressed.ml carries one of the suppression forms
+   (trailing comment, comment-above, expression attribute, item attribute,
+   multi-rule directive); all must silence the finding. *)
+let test_suppressed () = check_diags "suppressed" [] (lint "suppressed.ml")
+
+(* The same violations *without* hot classification: hot-only rules
+   (POLY01, CMP01) must stay quiet, path-independent ones still fire. *)
+let test_cold () =
+  let r =
+    Lint_driver.lint_file ~hot:false ~display:"bad_poly01.ml"
+      (fixture "bad_poly01.ml")
+  in
+  check_diags "bad_poly01 cold" []
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
+let test_parse_error () =
+  let tmp = Filename.temp_file "lint_broken" ".ml" in
+  let oc = open_out tmp in
+  output_string oc "let = in\n";
+  close_out oc;
+  let r = Lint_driver.lint_file ~hot:true ~display:tmp tmp in
+  Sys.remove tmp;
+  Alcotest.(check bool) "parse error reported" true (r.Lint_driver.errors <> [])
+
+let test_json () =
+  let path = fixture "bad_cmp01.ml" in
+  let r = Lint_driver.lint_file ~hot:true ~display:path path in
+  let json = Lint_diag.list_to_json r.Lint_driver.diags in
+  let has sub =
+    let n = String.length json and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub json i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json has rule" true (has {|"rule":"CMP01"|});
+  Alcotest.(check bool) "json has line" true (has {|"line":3|})
+
+let () =
+  Alcotest.run "qpgc-lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "CMP01 fixture" `Quick test_cmp01;
+          Alcotest.test_case "PARA01 fixture" `Quick test_para01;
+          Alcotest.test_case "PARA01 only" `Quick test_para01_only;
+          Alcotest.test_case "PARTIAL01 fixture" `Quick test_partial01;
+          Alcotest.test_case "POLY01 fixture" `Quick test_poly01;
+        ] );
+      ( "classification",
+        [
+          Alcotest.test_case "clean file" `Quick test_clean;
+          Alcotest.test_case "hot-only rules off cold" `Quick test_cold;
+        ] );
+      ( "suppression",
+        [ Alcotest.test_case "all forms silence" `Quick test_suppressed ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
+          Alcotest.test_case "json output" `Quick test_json;
+        ] );
+    ]
