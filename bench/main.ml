@@ -141,6 +141,76 @@ let run_ablation opts () =
   write_csv "ablation" (Experiments.Ablation.csv rows)
 
 (* ------------------------------------------------------------------ *)
+(* CSR storage microbench: BFS and compressR throughput over one generated
+   100k-node graph (scaled by --scale), written to BENCH_csr.json so the
+   storage-layer numbers are tracked in CI.  The committed baseline keeps
+   the pre-refactor (int array array adjacency) figures alongside the
+   current run for comparison. *)
+
+let run_csr opts () =
+  section "CSR storage microbench (BFS + compressR)";
+  let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
+  let m = 3 * n in
+  let rng = Random.State.make [| opts.Experiments.seed; 0xC5B |] in
+  let t0 = Unix.gettimeofday () in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let bfs_queries = 64 in
+  let pairs = Reach_query.random_pairs rng g ~count:bfs_queries in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let hits = ref 0 in
+  let (), bfs_s =
+    time (fun () ->
+        Array.iter
+          (fun (u, v) ->
+            if Reach_query.eval Reach_query.Bfs g ~source:u ~target:v then
+              incr hits)
+          pairs)
+  in
+  let c, compress_s = time (fun () -> Compress_reach.compress g) in
+  let bfs_qps = float_of_int bfs_queries /. bfs_s in
+  let compress_eps = float_of_int (Digraph.m g) /. compress_s in
+  let mem = Digraph.memory_bytes g in
+  let bytes_per_edge = float_of_int mem /. float_of_int (Digraph.m g) in
+  Format.fprintf ppf "graph: |V| = %d, |E| = %d (built in %.3fs)@."
+    (Digraph.n g) (Digraph.m g) build_s;
+  Format.fprintf ppf "memory: %d bytes (%.1f bytes/edge)@." mem bytes_per_edge;
+  Format.fprintf ppf "BFS: %d queries in %.3fs (%.0f q/s, %d reachable)@."
+    bfs_queries bfs_s bfs_qps !hits;
+  Format.fprintf ppf "compressR: %.3fs (%.0f edges/s), |Vr| = %d@." compress_s
+    compress_eps
+    (Digraph.n (Compressed.graph c));
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"nodes\": %d,\n\
+      \  \"edges\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %g,\n\
+      \  \"memory_bytes\": %d,\n\
+      \  \"bytes_per_edge\": %.2f,\n\
+      \  \"build_s\": %.4f,\n\
+      \  \"bfs_queries\": %d,\n\
+      \  \"bfs_s\": %.4f,\n\
+      \  \"bfs_qps\": %.1f,\n\
+      \  \"compress_s\": %.4f,\n\
+      \  \"compress_edges_per_s\": %.1f\n\
+       }\n"
+      (Digraph.n g) (Digraph.m g) opts.Experiments.seed
+      opts.Experiments.scale mem bytes_per_edge build_s bfs_queries bfs_s
+      bfs_qps compress_s compress_eps
+  in
+  let path = "BENCH_csr.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Format.fprintf ppf "(json written to %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel, on
    small fixed inputs so individual runs stay fast. *)
 
@@ -308,6 +378,7 @@ let experiments =
     ("ablation", run_ablation);
     ("micro", run_micro);
     ("speedup", run_speedup);
+    ("csr", run_csr);
   ]
 
 let () =

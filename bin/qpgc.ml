@@ -34,6 +34,8 @@ let setup_domains n =
   end;
   Pool.set_default_domains n
 
+(* [Graph_io.load] sniffs the snapshot magic, so every subcommand accepts
+   text and binary graph files interchangeably. *)
 let read_graph path =
   try fst (Graph_io.load path) with
   | Graph_io.Parse_error (line, msg) ->
@@ -42,6 +44,15 @@ let read_graph path =
   | Sys_error e ->
       Printf.eprintf "%s\n" e;
       exit 1
+
+let binary_arg =
+  Arg.(
+    value & flag
+    & info [ "binary" ]
+        ~doc:
+          "Write outputs as binary snapshots instead of text (loaded \
+           transparently by every subcommand; see DESIGN.md for the \
+           format).")
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -75,7 +86,7 @@ let generate_cmd =
       & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output graph file.")
   in
-  let run dataset nodes edges seed output =
+  let run dataset nodes edges seed output binary =
     match Datasets.find dataset with
     | exception Not_found ->
         Printf.eprintf "unknown dataset %S; try `qpgc datasets'\n" dataset;
@@ -84,13 +95,13 @@ let generate_cmd =
         let nodes = Option.value nodes ~default:spec.Datasets.nodes in
         let edges = Option.value edges ~default:spec.Datasets.edges in
         let g = Datasets.generate_scaled ~seed spec ~nodes ~edges in
-        Graph_io.save output g;
+        if binary then Graph_io.save_binary output g else Graph_io.save output g;
         Printf.printf "wrote %s: |V| = %d, |E| = %d, |L| = %d\n" output
           (Digraph.n g) (Digraph.m g) (Digraph.label_count g)
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Materialise a synthetic dataset stand-in.")
-    Term.(const run $ dataset $ nodes $ edges $ seed $ output)
+    Term.(const run $ dataset $ nodes $ edges $ seed $ output $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -106,6 +117,10 @@ let stats_cmd =
     setup_domains domains;
     let g = read_graph path in
     Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
+    let mem = Digraph.memory_bytes g in
+    Printf.printf "CSR memory  : %d bytes (%.1f bytes/edge)\n" mem
+      (if Digraph.m g = 0 then 0.0
+       else float_of_int mem /. float_of_int (Digraph.m g));
     let rc = Compress_reach.compress g in
     Printf.printf "reach Gr    : |Vr| = %d, |Er| = %d  (RCr = %.2f%%)\n"
       (Digraph.n (Compressed.graph rc))
@@ -155,7 +170,7 @@ let compress_cmd =
             "Write the full compression (Gr + node map) in one file, \
              loadable by $(b,qpgc cquery).")
   in
-  let run domains path mode output map_file save_file =
+  let run domains path mode output map_file save_file binary =
     setup_domains domains;
     let g = read_graph path in
     let t0 = Unix.gettimeofday () in
@@ -165,10 +180,11 @@ let compress_cmd =
       | `Pattern -> Compress_bisim.compress g
     in
     let dt = Unix.gettimeofday () -. t0 in
-    Graph_io.save output (Compressed.graph c);
+    (if binary then Graph_io.save_binary else Graph_io.save)
+      output (Compressed.graph c);
     (match save_file with
     | None -> ()
-    | Some sf -> Compressed_io.save sf c);
+    | Some sf -> (if binary then Compressed_io.save_binary else Compressed_io.save) sf c);
     (match map_file with
     | None -> ()
     | Some mf ->
@@ -186,7 +202,7 @@ let compress_cmd =
     (Cmd.info "compress" ~doc:"Compress a graph, preserving a query class.")
     Term.(
       const run $ domains_arg $ graph_arg $ mode_arg $ output $ map_file
-      $ save_file)
+      $ save_file $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query *)

@@ -83,6 +83,64 @@ let of_string s =
   | c -> c
   | exception Invalid_argument msg -> fail 1 "%s" msg
 
+(* ------------------------------------------------------------------ *)
+(* Binary snapshots: magic "QPGC", kind 'C', version byte, two reserved
+   bytes, then the compressed graph Gr as an embedded Graph_io graph blob,
+   the original node count, and the node map R as int32 entries.  The
+   inverse index (members) is rederived by [Compressed.v] on load, exactly
+   as for the text format. *)
+
+let bad fmt = fail 0 fmt
+
+let binary_version = 1
+
+let to_binary_string c =
+  let gr = Compressed.graph c in
+  let original_n = Compressed.original_n c in
+  let buf = Buffer.create (64 + (12 * Digraph.n gr) + (4 * Digraph.m gr) + (4 * original_n)) in
+  Buffer.add_string buf "QPGC";
+  Buffer.add_char buf 'C';
+  Buffer.add_char buf (Char.chr binary_version);
+  Buffer.add_char buf '\000';
+  Buffer.add_char buf '\000';
+  Graph_io.add_graph_blob buf gr;
+  Buffer.add_int64_le buf (Int64.of_int original_n);
+  for v = 0 to original_n - 1 do
+    Buffer.add_int32_le buf (Int32.of_int (Compressed.hypernode c v))
+  done;
+  Buffer.contents buf
+
+let of_binary_string s =
+  if String.length s < 8 || String.sub s 0 4 <> "QPGC" then
+    bad "bad magic: not a qpgc binary snapshot";
+  if s.[4] <> 'C' then
+    bad "wrong snapshot kind '%c' (expected 'C')" s.[4];
+  let v = Char.code s.[5] in
+  if v <> binary_version then bad "unsupported snapshot version %d" v;
+  let (graph, _table), pos =
+    try Graph_io.of_binary_substring s 8
+    with Graph_io.Parse_error (line, msg) -> raise (Parse_error (line, msg))
+  in
+  if pos + 8 > String.length s then bad "binary snapshot truncated reading original count";
+  let original_n = Int64.to_int (String.get_int64_le s pos) in
+  if original_n < 0 then bad "negative original node count";
+  let pos = pos + 8 in
+  if pos + (4 * original_n) > String.length s then
+    bad "binary snapshot truncated reading node map";
+  let node_map =
+    Array.init original_n (fun i ->
+        Int32.to_int (String.get_int32_le s (pos + (4 * i))))
+  in
+  match Compressed.v ~graph ~node_map with
+  | c -> c
+  | exception Invalid_argument msg -> bad "%s" msg
+
+let save_binary path c =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_binary_string c))
+
 let save path c =
   let oc = open_out path in
   Fun.protect
@@ -90,7 +148,9 @@ let save path c =
     (fun () -> output_string oc (to_string c))
 
 let load path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () ->
+      let s = In_channel.input_all ic in
+      if Graph_io.has_magic s then of_binary_string s else of_string s)

@@ -18,5 +18,21 @@ val to_string : Compressed.t -> string
     every original node or point at unknown hypernodes). *)
 val of_string : string -> Compressed.t
 
+(** {1 Binary snapshots}
+
+    Magic ["QPGC"], kind ['C'], version byte, then [Gr] as an embedded
+    {!Graph_io} binary graph blob, the original node count, and the node
+    map [R] as int32 entries.  The inverse index is rederived on load. *)
+
+val to_binary_string : Compressed.t -> string
+
+(** @raise Parse_error on a corrupt or truncated snapshot. *)
+val of_binary_string : string -> Compressed.t
+
+val save_binary : string -> Compressed.t -> unit
+
+(** [save path c] writes the text format. *)
 val save : string -> Compressed.t -> unit
+
+(** [load path] reads either format, sniffing the binary magic. *)
 val load : string -> Compressed.t

@@ -1,37 +1,29 @@
+(* Flat compressed-sparse-row storage.
+
+   Out-adjacency lives in one flat [out_adj] array indexed by an [n+1]-entry
+   offset array: the successors of [v] are [out_adj.(out_off.(v))
+   .. out_adj.(out_off.(v+1) - 1)], strictly sorted.  The in-adjacency is
+   the same structure mirrored.  Two flat arrays per direction instead of
+   [n] heap blocks means traversals scan contiguous memory with no pointer
+   chase and no per-node GC header, and [reverse] is free (swap the
+   mirrors). *)
+
 type t = {
   n : int;
   m : int;
   labels : int array;
   label_count : int;
-  out_adj : int array array;
-  in_adj : int array array;
+  out_off : int array;  (* length n+1, out_off.(0) = 0, monotone *)
+  out_adj : int array;  (* length m, per-node slices strictly sorted *)
+  in_off : int array;
+  in_adj : int array;
 }
-
-(* Monomorphic int comparison: the polymorphic [compare] dispatches through
-   the runtime on every call, which dominates adjacency construction. *)
-let int_compare (x : int) (y : int) = if x < y then -1 else if x > y then 1 else 0
 
 let int_array_equal (a : int array) (b : int array) =
   let n = Array.length a in
   n = Array.length b
   && (let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
       go 0)
-
-let sort_dedup (a : int array) =
-  Array.sort int_compare a;
-  let len = Array.length a in
-  if len <= 1 then a
-  else begin
-    (* Compact in place, then trim. *)
-    let k = ref 1 in
-    for i = 1 to len - 1 do
-      if a.(i) <> a.(!k - 1) then begin
-        a.(!k) <- a.(i);
-        incr k
-      end
-    done;
-    if !k = len then a else Array.sub a 0 !k
-  end
 
 let compute_label_count labels =
   Array.fold_left (fun acc l -> if l >= acc then l + 1 else acc) 1 labels
@@ -46,57 +38,153 @@ let check_labels n = function
         l;
       Array.copy l
 
-let of_adjacency ~n ~labels ~out_lists =
-  (* out_lists: per-node arrays, not yet sorted/deduped. *)
-  let out_adj = Array.map sort_dedup out_lists in
-  let in_deg = Array.make n 0 in
-  Array.iter (Array.iter (fun v -> in_deg.(v) <- in_deg.(v) + 1)) out_adj;
-  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
-  let fill = Array.make n 0 in
-  for u = 0 to n - 1 do
-    Array.iter
-      (fun v ->
-        in_adj.(v).(fill.(v)) <- u;
-        fill.(v) <- fill.(v) + 1)
-      out_adj.(u)
+(* CSR construction by two stable counting sorts: sorting the edge array by
+   destination and then (stably) by source leaves it in (src, dst)
+   lexicographic order in O(n + m) with no comparison sort; duplicates are
+   then adjacent and collapse in one compaction pass. *)
+let csr_of_edges ~n (src : int array) (dst : int array) =
+  let m0 = Array.length src in
+  (* Pass 1: stable counting sort by dst. *)
+  let cnt = Array.make (n + 1) 0 in
+  for i = 0 to m0 - 1 do
+    cnt.(dst.(i)) <- cnt.(dst.(i)) + 1
   done;
-  (* in_adj is already sorted because u increases monotonically. *)
-  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 out_adj in
-  { n; m; labels; label_count = compute_label_count labels; out_adj; in_adj }
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    let c = cnt.(v) in
+    cnt.(v) <- !pos;
+    pos := !pos + c
+  done;
+  let s1 = Array.make m0 0 and d1 = Array.make m0 0 in
+  for i = 0 to m0 - 1 do
+    let p = cnt.(dst.(i)) in
+    cnt.(dst.(i)) <- p + 1;
+    s1.(p) <- src.(i);
+    d1.(p) <- dst.(i)
+  done;
+  (* Pass 2: stable counting sort by src; result is (src, dst)-sorted. *)
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to m0 - 1 do
+    off.(s1.(i) + 1) <- off.(s1.(i) + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v + 1) + off.(v)
+  done;
+  (* The source column after this pass would be [u] repeated across each
+     [off]-range, so only the destination column is materialised. *)
+  let cursor = Array.sub off 0 n in
+  let d2 = Array.make m0 0 in
+  for i = 0 to m0 - 1 do
+    let u = s1.(i) in
+    let p = cursor.(u) in
+    cursor.(u) <- p + 1;
+    d2.(p) <- d1.(i)
+  done;
+  (* Compact adjacent duplicates, rebuilding the offsets. *)
+  let out_off = Array.make (n + 1) 0 in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    out_off.(u) <- !k;
+    let lo = off.(u) and hi = off.(u + 1) in
+    for i = lo to hi - 1 do
+      if i = lo || d2.(i) <> d2.(i - 1) then begin
+        d2.(!k) <- d2.(i);
+        incr k
+      end
+    done
+  done;
+  out_off.(n) <- !k;
+  let out_adj = if !k = m0 then d2 else Array.sub d2 0 !k in
+  (out_off, out_adj)
+
+(* Mirror a CSR: counting sort of the (u, v) pairs by v.  Scanning u in
+   ascending order keeps each in-slice sorted. *)
+let mirror_csr ~n (out_off : int array) (out_adj : int array) =
+  let m = Array.length out_adj in
+  let in_off = Array.make (n + 1) 0 in
+  for i = 0 to m - 1 do
+    in_off.(out_adj.(i) + 1) <- in_off.(out_adj.(i) + 1) + 1
+  done;
+  for v = 0 to n - 1 do
+    in_off.(v + 1) <- in_off.(v + 1) + in_off.(v)
+  done;
+  let cursor = Array.sub in_off 0 n in
+  let in_adj = Array.make m 0 in
+  for u = 0 to n - 1 do
+    for i = out_off.(u) to out_off.(u + 1) - 1 do
+      let v = out_adj.(i) in
+      let p = cursor.(v) in
+      cursor.(v) <- p + 1;
+      in_adj.(p) <- u
+    done
+  done;
+  (in_off, in_adj)
+
+let of_edge_arrays ~n ~labels src dst =
+  let out_off, out_adj = csr_of_edges ~n src dst in
+  let in_off, in_adj = mirror_csr ~n out_off out_adj in
+  {
+    n;
+    m = Array.length out_adj;
+    labels;
+    label_count = compute_label_count labels;
+    out_off;
+    out_adj;
+    in_off;
+    in_adj;
+  }
 
 let make_arrays ~n ?labels edges =
   if n < 0 then invalid_arg "Digraph.make: negative node count";
   let labels = check_labels n labels in
-  let out_deg = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
+  let m0 = Array.length edges in
+  let src = Array.make m0 0 and dst = Array.make m0 0 in
+  Array.iteri
+    (fun i (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg
           (Printf.sprintf "Digraph.make: edge (%d,%d) out of range [0,%d)" u v n);
-      out_deg.(u) <- out_deg.(u) + 1)
+      src.(i) <- u;
+      dst.(i) <- v)
     edges;
-  let out_lists = Array.init n (fun u -> Array.make out_deg.(u) 0) in
-  let fill = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      out_lists.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1)
-    edges;
-  of_adjacency ~n ~labels ~out_lists
+  of_edge_arrays ~n ~labels src dst
 
 let make ~n ?labels edges = make_arrays ~n ?labels (Array.of_list edges)
 let empty = make ~n:0 []
+
+(* Trusted constructor for I/O paths that already hold a canonical CSR
+   (strictly sorted, deduplicated slices): skips the counting sorts and
+   only rebuilds the mirror.  Caller-checked; [validate] re-verifies. *)
+let of_csr_unchecked ~n ~labels ~out_off ~out_adj =
+  let in_off, in_adj = mirror_csr ~n out_off out_adj in
+  {
+    n;
+    m = Array.length out_adj;
+    labels;
+    label_count = compute_label_count labels;
+    out_off;
+    out_adj;
+    in_off;
+    in_adj;
+  }
 
 module Builder = struct
   type t = {
     mutable labels : int array;
     mutable count : int;
-    mutable edges : (int * int) list;
+    mutable src : int array;
+    mutable dst : int array;
     mutable edge_count : int;
   }
 
   let create ?(expected_nodes = 16) () =
-    { labels = Array.make (Mono.imax 1 expected_nodes) 0; count = 0; edges = []; edge_count = 0 }
+    {
+      labels = Array.make (Mono.imax 1 expected_nodes) 0;
+      count = 0;
+      src = Array.make 16 0;
+      dst = Array.make 16 0;
+      edge_count = 0;
+    }
 
   let add_node b ~label =
     if label < 0 then invalid_arg "Builder.add_node: negative label";
@@ -112,64 +200,114 @@ module Builder = struct
   let add_edge b u v =
     if u < 0 || u >= b.count || v < 0 || v >= b.count then
       invalid_arg "Builder.add_edge: unknown endpoint";
-    b.edges <- (u, v) :: b.edges;
+    if b.edge_count = Array.length b.src then begin
+      let cap = 2 * b.edge_count in
+      let s = Array.make cap 0 and d = Array.make cap 0 in
+      Array.blit b.src 0 s 0 b.edge_count;
+      Array.blit b.dst 0 d 0 b.edge_count;
+      b.src <- s;
+      b.dst <- d
+    end;
+    b.src.(b.edge_count) <- u;
+    b.dst.(b.edge_count) <- v;
     b.edge_count <- b.edge_count + 1
 
   let node_count b = b.count
 
   let build b =
     let labels = Array.sub b.labels 0 b.count in
-    make_arrays ~n:b.count ~labels (Array.of_list b.edges)
+    of_edge_arrays ~n:b.count ~labels
+      (Array.sub b.src 0 b.edge_count)
+      (Array.sub b.dst 0 b.edge_count)
 end
 
 let n g = g.n
 let m g = g.m
 let size g = g.n + g.m
 
+(* Exact resident size of the CSR structure: five flat int arrays (labels,
+   two offset arrays of n+1, two adjacency arrays of m), one word of header
+   per array, plus the 9-word record (8 fields + header); a word is 8
+   bytes. *)
 let memory_bytes g =
-  (* out and in adjacency entries + 3-word headers per array + labels. *)
-  (8 * 2 * g.m) + (24 * 2 * g.n) + (8 * g.n)
+  8 * ((2 * (g.n + 1)) + (2 * g.m) + g.n + 5 + 9)
+
 let label g v = g.labels.(v)
 let labels g = g.labels
 let label_count g = g.label_count
-let succ g v = g.out_adj.(v)
-let pred g v = g.in_adj.(v)
-let out_degree g v = Array.length g.out_adj.(v)
-let in_degree g v = Array.length g.in_adj.(v)
+let out_degree g v = g.out_off.(v + 1) - g.out_off.(v)
+let in_degree g v = g.in_off.(v + 1) - g.in_off.(v)
+let succ_slice g v = (g.out_adj, g.out_off.(v), g.out_off.(v + 1) - g.out_off.(v))
+let pred_slice g v = (g.in_adj, g.in_off.(v), g.in_off.(v + 1) - g.in_off.(v))
+let out_csr g = (g.out_off, g.out_adj)
+let in_csr g = (g.in_off, g.in_adj)
 
-let mem_sorted (a : int array) (x : int) =
-  let lo = ref 0 and hi = ref (Array.length a) in
+(* Binary search for [x] in the slice [a.(lo) .. a.(hi-1)]. *)
+let mem_slice (a : int array) lo hi (x : int) =
+  let limit = hi in
+  let lo = ref lo and hi = ref hi in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if a.(mid) < x then lo := mid + 1 else hi := mid
   done;
-  !lo < Array.length a && a.(!lo) = x
+  !lo < limit && a.(!lo) = x
 
-let mem_edge g u v = mem_sorted g.out_adj.(u) v
-let iter_succ g v f = Array.iter f g.out_adj.(v)
-let iter_pred g v f = Array.iter f g.in_adj.(v)
-let fold_succ g v f init = Array.fold_left f init g.out_adj.(v)
+let mem_edge g u v = mem_slice g.out_adj g.out_off.(u) g.out_off.(u + 1) v
 
-let iter_edges g f =
-  for u = 0 to g.n - 1 do
-    Array.iter (fun v -> f u v) g.out_adj.(u)
+let iter_succ g v f =
+  for i = g.out_off.(v) to g.out_off.(v + 1) - 1 do
+    f g.out_adj.(i)
   done
 
-let edges g =
-  let acc = ref [] in
-  for u = g.n - 1 downto 0 do
-    let a = g.out_adj.(u) in
-    for i = Array.length a - 1 downto 0 do
-      acc := (u, a.(i)) :: !acc
-    done
+let iter_pred g v f =
+  for i = g.in_off.(v) to g.in_off.(v + 1) - 1 do
+    f g.in_adj.(i)
+  done
+
+let fold_succ g v f init =
+  let acc = ref init in
+  for i = g.out_off.(v) to g.out_off.(v + 1) - 1 do
+    acc := f !acc g.out_adj.(i)
   done;
   !acc
 
+let fold_pred g v f init =
+  let acc = ref init in
+  for i = g.in_off.(v) to g.in_off.(v + 1) - 1 do
+    acc := f !acc g.in_adj.(i)
+  done;
+  !acc
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    for i = g.out_off.(u) to g.out_off.(u + 1) - 1 do
+      f u g.out_adj.(i)
+    done
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let edge_array g =
+  let out = Array.make g.m (0, 0) in
+  let k = ref 0 in
+  iter_edges g (fun u v ->
+      out.(!k) <- (u, v);
+      incr k);
+  out
+
+(* The in-CSR of [g] is exactly the out-CSR of the reversed graph, so
+   reversing is just swapping the two mirrors — no copying, the arrays are
+   immutable by contract. *)
 let reverse g =
   {
     g with
-    out_adj = Array.map Array.copy g.in_adj;
-    in_adj = Array.map Array.copy g.out_adj;
+    out_off = g.in_off;
+    out_adj = g.in_adj;
+    in_off = g.out_off;
+    in_adj = g.out_adj;
   }
 
 let with_labels g labels =
@@ -177,33 +315,55 @@ let with_labels g labels =
     invalid_arg "Digraph.with_labels: length mismatch";
   { g with labels = Array.copy labels; label_count = compute_label_count labels }
 
+let append_edges g extra =
+  (* Existing edges are already (src, dst)-sorted and deduplicated, so the
+     counting sorts in [csr_of_edges] treat them as a stable prefix. *)
+  let k = List.length extra in
+  let src = Array.make (g.m + k) 0 and dst = Array.make (g.m + k) 0 in
+  let i = ref 0 in
+  iter_edges g (fun u v ->
+      src.(!i) <- u;
+      dst.(!i) <- v;
+      incr i);
+  List.iter
+    (fun (u, v) ->
+      src.(!i) <- u;
+      dst.(!i) <- v;
+      incr i)
+    extra;
+  of_edge_arrays ~n:g.n ~labels:g.labels src dst
+
 let add_edges g es =
-  let extra = Array.make g.n [] in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= g.n || v < 0 || v >= g.n then
-        invalid_arg "Digraph.add_edges: endpoint out of range";
-      extra.(u) <- v :: extra.(u))
+        invalid_arg "Digraph.add_edges: endpoint out of range")
     es;
-  let out_lists =
-    Array.init g.n (fun u ->
-        if extra.(u) = [] then Array.copy g.out_adj.(u)
-        else Array.append g.out_adj.(u) (Array.of_list extra.(u)))
-  in
-  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+  append_edges g es
+
+let filter_rebuild g ~removed ~extra =
+  let k = List.length extra in
+  let src = Array.make (g.m + k) 0 and dst = Array.make (g.m + k) 0 in
+  let i = ref 0 in
+  iter_edges g (fun u v ->
+      if not (Mono.Ptbl.mem removed (u, v)) then begin
+        src.(!i) <- u;
+        dst.(!i) <- v;
+        incr i
+      end);
+  List.iter
+    (fun (u, v) ->
+      src.(!i) <- u;
+      dst.(!i) <- v;
+      incr i)
+    extra;
+  of_edge_arrays ~n:g.n ~labels:g.labels (Array.sub src 0 !i)
+    (Array.sub dst 0 !i)
 
 let remove_edges g es =
   let removed = Mono.Ptbl.create (List.length es * 2 + 1) in
   List.iter (fun (u, v) -> Mono.Ptbl.replace removed (u, v) ()) es;
-  let out_lists =
-    Array.init g.n (fun u ->
-        let keep =
-          Array.to_list g.out_adj.(u)
-          |> List.filter (fun v -> not (Mono.Ptbl.mem removed (u, v)))
-        in
-        Array.of_list keep)
-  in
-  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+  filter_rebuild g ~removed ~extra:[]
 
 let edit g ~add ~remove =
   let removed = Mono.Ptbl.create (2 * List.length remove + 1) in
@@ -213,25 +373,13 @@ let edit g ~add ~remove =
         invalid_arg "Digraph.edit: endpoint out of range";
       Mono.Ptbl.replace removed (u, v) ())
     remove;
-  let extra = Array.make g.n [] in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= g.n || v < 0 || v >= g.n then
         invalid_arg "Digraph.edit: endpoint out of range";
-      Mono.Ptbl.remove removed (u, v);
-      extra.(u) <- v :: extra.(u))
+      Mono.Ptbl.remove removed (u, v))
     add;
-  let out_lists =
-    Array.init g.n (fun u ->
-        let kept =
-          if Mono.Ptbl.length removed = 0 then Array.to_list g.out_adj.(u)
-          else
-            Array.to_list g.out_adj.(u)
-            |> List.filter (fun v -> not (Mono.Ptbl.mem removed (u, v)))
-        in
-        Array.of_list (List.rev_append extra.(u) kept))
-  in
-  of_adjacency ~n:g.n ~labels:g.labels ~out_lists
+  filter_rebuild g ~removed ~extra:add
 
 let induced g nodes =
   let k = Array.length nodes in
@@ -244,53 +392,70 @@ let induced g nodes =
       Mono.Itbl.replace old_to_new v i)
     nodes;
   let labels = Array.map (fun v -> g.labels.(v)) nodes in
-  let out_lists =
-    Array.init k (fun i ->
-        let v = nodes.(i) in
-        let keep =
-          Array.to_list g.out_adj.(v)
-          |> List.filter_map (fun w -> Mono.Itbl.find_opt old_to_new w)
-        in
-        Array.of_list keep)
-  in
-  (of_adjacency ~n:k ~labels ~out_lists, Array.copy nodes)
+  (* Count, then fill: no intermediate boxing. *)
+  let count = ref 0 in
+  Array.iter
+    (fun v ->
+      iter_succ g v (fun w ->
+          if Mono.Itbl.mem old_to_new w then incr count))
+    nodes;
+  let src = Array.make !count 0 and dst = Array.make !count 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun ni v ->
+      iter_succ g v (fun w ->
+          match Mono.Itbl.find_opt old_to_new w with
+          | Some nw ->
+              src.(!i) <- ni;
+              dst.(!i) <- nw;
+              incr i
+          | None -> ()))
+    nodes;
+  (of_edge_arrays ~n:k ~labels src dst, Array.copy nodes)
 
 let equal a b =
   a.n = b.n && a.m = b.m
   && int_array_equal a.labels b.labels
-  && (let rec go u =
-        u >= a.n || (int_array_equal a.out_adj.(u) b.out_adj.(u) && go (u + 1))
-      in
-      go 0)
+  && int_array_equal a.out_off b.out_off
+  && int_array_equal a.out_adj b.out_adj
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
   for v = 0 to g.n - 1 do
+    let succs = ref [] in
+    for i = g.out_off.(v + 1) - 1 downto g.out_off.(v) do
+      succs := g.out_adj.(i) :: !succs
+    done;
     Format.fprintf ppf "  %d[l%d] -> %a@," v g.labels.(v)
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          Format.pp_print_int)
-      (Array.to_list g.out_adj.(v))
+      !succs
   done;
   Format.fprintf ppf "@]"
 
 let validate g =
   let fail fmt = Format.kasprintf failwith fmt in
   if Array.length g.labels <> g.n then fail "labels length";
-  let count = ref 0 in
-  let check_sorted name v a =
-    for i = 0 to Array.length a - 1 do
-      if a.(i) < 0 || a.(i) >= g.n then fail "%s(%d): out of range" name v;
-      if i > 0 && a.(i - 1) >= a.(i) then fail "%s(%d): not strictly sorted" name v
+  let check_csr name off adj =
+    if Array.length off <> g.n + 1 then fail "%s offsets length" name;
+    if g.n >= 0 && Array.length off > 0 && off.(0) <> 0 then
+      fail "%s offsets do not start at 0" name;
+    for v = 0 to g.n - 1 do
+      if off.(v) > off.(v + 1) then fail "%s offsets not monotone at %d" name v
+    done;
+    if off.(g.n) <> Array.length adj then fail "%s offsets/adjacency mismatch" name;
+    if Array.length adj <> g.m then fail "%s edge count" name;
+    for v = 0 to g.n - 1 do
+      for i = off.(v) to off.(v + 1) - 1 do
+        if adj.(i) < 0 || adj.(i) >= g.n then fail "%s(%d): out of range" name v;
+        if i > off.(v) && adj.(i - 1) >= adj.(i) then
+          fail "%s(%d): slice not strictly sorted" name v
+      done
     done
   in
-  for v = 0 to g.n - 1 do
-    check_sorted "succ" v g.out_adj.(v);
-    check_sorted "pred" v g.in_adj.(v);
-    count := !count + Array.length g.out_adj.(v)
-  done;
-  if !count <> g.m then fail "edge count";
+  check_csr "succ" g.out_off g.out_adj;
+  check_csr "pred" g.in_off g.in_adj;
   iter_edges g (fun u v ->
-      if not (mem_sorted g.in_adj.(v) u) then fail "missing mirror edge (%d,%d)" u v);
-  let in_count = Array.fold_left (fun acc a -> acc + Array.length a) 0 g.in_adj in
-  if in_count <> g.m then fail "in-edge count"
+      if not (mem_slice g.in_adj g.in_off.(v) g.in_off.(v + 1) u) then
+        fail "missing mirror edge (%d,%d)" u v)

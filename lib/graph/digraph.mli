@@ -3,9 +3,15 @@
     Nodes are dense integers [0 .. n-1]; each node carries an integer label
     drawn from [0 .. label_count-1] (string label names are handled by
     {!Graph_io.Label_table} at the I/O boundary, so the core algorithms stay
-    allocation-free).  The structure is immutable once built; adjacency lists
-    are sorted, deduplicated arrays, so membership tests are binary searches
-    and traversals scan contiguous memory. *)
+    allocation-free).  The structure is immutable once built.
+
+    Storage is flat compressed-sparse-row (CSR): one shared successor array
+    indexed by an [n+1]-entry offset array, mirrored for predecessors.  Each
+    node's slice is strictly sorted and deduplicated, so membership tests
+    are binary searches and traversals scan contiguous memory with no
+    per-node pointer chase.  Adjacency is exposed as allocation-free
+    iteration/folds and O(1) views into the shared arrays — never as
+    freshly materialised per-node arrays. *)
 
 type t
 
@@ -24,6 +30,15 @@ val make_arrays : n:int -> ?labels:int array -> (int * int) array -> t
 
 (** [empty] is the graph with no nodes and no edges. *)
 val empty : t
+
+(** [of_csr_unchecked ~n ~labels ~out_off ~out_adj] wraps an
+    already-canonical out-CSR (offsets monotone from 0, slices strictly
+    sorted and deduplicated) without re-sorting, deriving the in-mirror.
+    Trusted constructor for the binary snapshot loader; the caller owns the
+    canonicity proof ({!validate} re-checks it).  The arrays are taken over,
+    not copied. *)
+val of_csr_unchecked :
+  n:int -> labels:int array -> out_off:int array -> out_adj:int array -> t
 
 (** A mutable staging area for incremental construction. *)
 module Builder : sig
@@ -58,10 +73,10 @@ val m : t -> int
 (** [size g] is [|V| + |E|], the paper's [|G|]. *)
 val size : t -> int
 
-(** [memory_bytes g] estimates the resident size of the structure: 8 bytes
-    per adjacency entry (stored twice, out and in), plus per-node array
-    headers and the label array.  Used for the Fig 12(d)-style memory
-    comparisons. *)
+(** [memory_bytes g] is the actual resident size of the CSR structure: the
+    five flat int arrays (labels, two offset arrays, two adjacency arrays)
+    with their headers, plus the record.  Used for the Fig 12(d)-style
+    memory comparisons and the bytes-per-edge figure in [qpgc stats]. *)
 val memory_bytes : t -> int
 
 (** [label g v] is [L(v)]. *)
@@ -73,31 +88,52 @@ val labels : t -> int array
 (** [label_count g] is [1 + max label] (at least 1 even for empty graphs). *)
 val label_count : t -> int
 
-(** [succ g v] is the sorted array of successors of [v] (do not mutate). *)
-val succ : t -> int -> int array
-
-(** [pred g v] is the sorted array of predecessors of [v] (do not mutate). *)
-val pred : t -> int -> int array
-
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 
 (** [mem_edge g u v] is [true] iff [(u,v) ∈ E]; O(log out_degree(u)). *)
 val mem_edge : t -> int -> int -> bool
 
+(** {1 Adjacency views}
+
+    The slice accessors return O(1) views [(base, start, len)] into the
+    {e shared} flat adjacency array: the neighbours of [v] are
+    [base.(start) .. base.(start + len - 1)], strictly sorted.  Do not
+    mutate [base], and do not read outside the slice. *)
+
+val succ_slice : t -> int -> int array * int * int
+val pred_slice : t -> int -> int array * int * int
+
+(** [out_csr g] is the raw [(offsets, adjacency)] pair of the out-CSR:
+    [offsets] has [n+1] entries and the successors of [v] occupy
+    [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)].  Fetch once
+    per kernel for zero-allocation indexed scans.  Do not mutate. *)
+val out_csr : t -> int array * int array
+
+(** [in_csr g] is the in-mirror of {!out_csr}. *)
+val in_csr : t -> int array * int array
+
 val iter_succ : t -> int -> (int -> unit) -> unit
 val iter_pred : t -> int -> (int -> unit) -> unit
 val fold_succ : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_pred : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
 (** [iter_edges g f] applies [f u v] to every edge in lexicographic order. *)
 val iter_edges : t -> (int -> int -> unit) -> unit
 
-(** [edges g] lists all edges in lexicographic order. *)
-val edges : t -> (int * int) list
+(** [fold_edges g f init] folds [f] over the edges in lexicographic order. *)
+val fold_edges : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+(** [edge_array g] materialises the edge list as a fresh array in
+    lexicographic order — O(m) allocation, for shufflers and samplers that
+    genuinely need random access to edges.  Prefer {!iter_edges} for plain
+    iteration. *)
+val edge_array : t -> (int * int) array
 
 (** {1 Derived graphs} *)
 
-(** [reverse g] flips every edge; labels are preserved. *)
+(** [reverse g] flips every edge; labels are preserved.  O(1): the CSR
+    mirrors swap roles, no arrays are copied. *)
 val reverse : t -> t
 
 (** [with_labels g labels] is [g] with its label array replaced. *)
@@ -110,8 +146,8 @@ val add_edges : t -> (int * int) list -> t
     ignored). *)
 val remove_edges : t -> (int * int) list -> t
 
-(** [edit g ~add ~remove] applies both changes with a single adjacency
-    rebuild; an edge in both lists ends up present. *)
+(** [edit g ~add ~remove] applies both changes with a single CSR rebuild;
+    an edge in both lists ends up present. *)
 val edit : t -> add:(int * int) list -> remove:(int * int) list -> t
 
 (** [induced g nodes] is the subgraph induced by [nodes]: result node [i]
@@ -127,7 +163,9 @@ val equal : t -> t -> bool
 (** [pp] prints a compact textual form, for debugging and expect tests. *)
 val pp : Format.formatter -> t -> unit
 
-(** [validate g] re-checks internal invariants (sorted, deduplicated, in/out
-    adjacency mirror each other); used by property tests.
+(** [validate g] re-checks the CSR invariants: offset arrays start at 0,
+    are monotone and end at [m]; every slice is strictly sorted (hence
+    deduplicated) and in range; the in- and out-mirrors agree edge for
+    edge.  Used by property tests and the binary snapshot loader.
     @raise Failure when an invariant is broken. *)
 val validate : t -> unit

@@ -106,11 +106,152 @@ let to_string ?labels g =
       Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v));
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Binary snapshots.
+
+   Layout (all integers little-endian):
+
+     offset  size          field
+     0       4             magic "QPGC"
+     4       1             kind 'G' (graph)
+     5       1             version (1)
+     6       2             reserved (0)
+     8       8             n
+     16      8             m
+     24      8*(n+1)       out-CSR offsets (int64)
+     ...     4*m           out-CSR adjacency (int32)
+     ...     4*n           labels (int32)
+     ...     8             label-name count k
+     ...     per name      int32 length + bytes, ids 0..k-1 in order
+
+   The adjacency and label blobs are the graph's canonical CSR, so loading
+   is a header check plus three array reads — no parsing, no sorting; only
+   the in-mirror is rebuilt (O(n + m) counting sort).  Node ids and labels
+   are stored as int32: graphs beyond 2^31 nodes do not fit the dense-int
+   node model anyway. *)
+
+let magic = "QPGC"
+let version = 1
+
+let bad fmt = fail 0 fmt
+
+let add_graph_blob buf ?labels g =
+  let n = Digraph.n g and m = Digraph.m g in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf 'G';
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf '\000';
+  Buffer.add_char buf '\000';
+  Buffer.add_int64_le buf (Int64.of_int n);
+  Buffer.add_int64_le buf (Int64.of_int m);
+  let out_off, out_adj = Digraph.out_csr g in
+  Array.iter (fun o -> Buffer.add_int64_le buf (Int64.of_int o)) out_off;
+  Array.iter (fun v -> Buffer.add_int32_le buf (Int32.of_int v)) out_adj;
+  Array.iter (fun l -> Buffer.add_int32_le buf (Int32.of_int l)) (Digraph.labels g);
+  match labels with
+  | None -> Buffer.add_int64_le buf 0L
+  | Some t ->
+      let k = Label_table.count t in
+      Buffer.add_int64_le buf (Int64.of_int k);
+      for id = 0 to k - 1 do
+        let name = Label_table.name t id in
+        Buffer.add_int32_le buf (Int32.of_int (String.length name));
+        Buffer.add_string buf name
+      done
+
+let to_binary_string ?labels g =
+  let buf = Buffer.create (32 + (12 * Digraph.n g) + (4 * Digraph.m g)) in
+  add_graph_blob buf ?labels g;
+  Buffer.contents buf
+
+(* Cursor-style readers over an in-memory blob; every access is
+   bounds-checked so a truncated or corrupt file fails with Parse_error,
+   never an ugly out-of-bounds exception. *)
+let need s pos k what =
+  if pos < 0 || pos + k > String.length s then
+    bad "binary snapshot truncated reading %s" what
+
+let read_i64 s pos what =
+  need s pos 8 what;
+  let x = Int64.to_int (String.get_int64_le s pos) in
+  if x < 0 then bad "negative %s in binary snapshot" what;
+  (x, pos + 8)
+
+let read_i32 s pos what =
+  need s pos 4 what;
+  let x = Int32.to_int (String.get_int32_le s pos) in
+  if x < 0 then bad "negative %s in binary snapshot" what;
+  (x, pos + 4)
+
+let read_i32_array s pos count what =
+  need s pos (4 * count) what;
+  (Array.init count (fun i -> Int32.to_int (String.get_int32_le s (pos + (4 * i)))),
+   pos + (4 * count))
+
+let has_magic s = String.length s >= 4 && String.sub s 0 4 = magic
+
+(* Checks magic + kind + version at [start] and returns the position just
+   past the 8-byte header. *)
+let check_header s start kind =
+  need s start 8 "header";
+  if String.sub s start 4 <> magic then
+    bad "bad magic: not a qpgc binary snapshot";
+  if s.[start + 4] <> kind then
+    bad "wrong snapshot kind '%c' (expected '%c')" s.[start + 4] kind;
+  let v = Char.code s.[start + 5] in
+  if v <> version then bad "unsupported snapshot version %d" v;
+  start + 8
+
+let of_binary_substring s start =
+  let pos = check_header s start 'G' in
+  let n, pos = read_i64 s pos "node count" in
+  let m, pos = read_i64 s pos "edge count" in
+  need s pos (8 * (n + 1)) "offsets";
+  let out_off =
+    Array.init (n + 1) (fun i -> Int64.to_int (String.get_int64_le s (pos + (8 * i))))
+  in
+  let pos = pos + (8 * (n + 1)) in
+  let out_adj, pos = read_i32_array s pos m "adjacency" in
+  let labels, pos = read_i32_array s pos n "labels" in
+  if Array.exists (fun l -> l < 0) labels then bad "negative label";
+  let k, pos = read_i64 s pos "label-name count" in
+  let table = Label_table.create () in
+  let pos = ref pos in
+  for id = 0 to k - 1 do
+    let len, p = read_i32 s !pos "label-name length" in
+    need s p len "label name";
+    let name = String.sub s p len in
+    if Label_table.intern table name <> id then
+      bad "duplicate label name %S in binary snapshot" name;
+    pos := p + len
+  done;
+  let g =
+    match Digraph.of_csr_unchecked ~n ~labels ~out_off ~out_adj with
+    | g -> g
+    | exception Invalid_argument msg -> bad "%s" msg
+  in
+  (match Digraph.validate g with
+  | () -> ()
+  | exception Failure msg -> bad "invalid CSR in binary snapshot: %s" msg);
+  ((g, table), !pos)
+
+let of_binary_string s =
+  let (g, table), _end = of_binary_substring s 0 in
+  (g, table)
+
+let save_binary ?labels path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_binary_string ?labels g))
+
 let load path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_string (In_channel.input_all ic))
+    (fun () ->
+      let s = In_channel.input_all ic in
+      if has_magic s then of_binary_string s else of_string s)
 
 let to_dot ?labels ?(name = "g") ?cluster g =
   let buf = Buffer.create 1024 in

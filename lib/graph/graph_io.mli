@@ -36,10 +36,46 @@ val of_string : string -> Digraph.t * Label_table.t
     label names come from it; otherwise labels print as [l<id>]. *)
 val to_string : ?labels:Label_table.t -> Digraph.t -> string
 
-(** [load path] reads and parses a graph file. *)
+(** {1 Binary snapshots}
+
+    A versioned binary form of the same data: magic ["QPGC"], kind ['G'],
+    version byte, then the graph's canonical CSR (int64 offsets, int32
+    adjacency, int32 labels) and the label-name table.  Loading skips
+    text parsing entirely: three blob reads plus an O(n + m) in-mirror
+    rebuild.  See DESIGN.md "Storage layer" for the byte layout. *)
+
+(** [to_binary_string ?labels g] serialises [g] (and, when given, its
+    label names) into the binary snapshot format. *)
+val to_binary_string : ?labels:Label_table.t -> Digraph.t -> string
+
+(** [of_binary_string s] parses a binary snapshot.  The loaded CSR is
+    re-validated, so corrupt or truncated input fails with {!Parse_error}
+    (line 0) rather than undefined behaviour. *)
+val of_binary_string : string -> Digraph.t * Label_table.t
+
+(** [of_binary_substring s start] parses a binary graph snapshot embedded
+    at offset [start], returning the result and the position one past the
+    blob; used by {!Compressed_io} to nest a graph inside its own
+    snapshot. *)
+val of_binary_substring : string -> int -> (Digraph.t * Label_table.t) * int
+
+(** [add_graph_blob buf ?labels g] appends the binary snapshot of [g] to
+    [buf]; the writer counterpart of {!of_binary_substring}. *)
+val add_graph_blob : Buffer.t -> ?labels:Label_table.t -> Digraph.t -> unit
+
+(** [save_binary ?labels path g] writes the binary snapshot of [g]. *)
+val save_binary : ?labels:Label_table.t -> string -> Digraph.t -> unit
+
+(** [has_magic s] is [true] when [s] starts with the snapshot magic —
+    the sniff {!load} uses to pick a parser. *)
+val has_magic : string -> bool
+
+(** [load path] reads a graph file in either format, sniffing the magic:
+    binary snapshots are detected by their first four bytes, anything else
+    parses as text. *)
 val load : string -> Digraph.t * Label_table.t
 
-(** [save ?labels path g] writes [g] to [path]. *)
+(** [save ?labels path g] writes [g] to [path] in the text format. *)
 val save : ?labels:Label_table.t -> string -> Digraph.t -> unit
 
 (** [to_dot ?labels ?name ?cluster g] renders Graphviz DOT.  Nodes show

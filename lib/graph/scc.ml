@@ -9,6 +9,7 @@ type t = {
    frames; lowlink is folded back when a frame is popped. *)
 let compute g =
   let n = Digraph.n g in
+  let out_off, out_adj = Digraph.out_csr g in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -26,9 +27,8 @@ let compute g =
     on_stack.(root) <- true;
     while not (Stack.is_empty frames) do
       let v, i = Stack.pop frames in
-      let adj = Digraph.succ g v in
-      if i < Array.length adj then begin
-        let w = adj.(i) in
+      if out_off.(v) + i < out_off.(v + 1) then begin
+        let w = out_adj.(out_off.(v) + i) in
         Stack.push (v, i + 1) frames;
         if index.(w) < 0 then begin
           index.(w) <- !next_index;

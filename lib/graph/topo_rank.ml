@@ -23,55 +23,49 @@ let topological_order dag =
    condensation (if SCC a reaches SCC b, a ≠ b, then a > b), so a simple
    ascending scan visits every component after all of its successors. *)
 
-let scc_children g scc =
-  let cond = Scc.condensation g scc in
-  fun c -> Digraph.succ cond c
-
 let reach_ranks g scc =
-  let children = scc_children g scc in
+  let cond = Scc.condensation g scc in
   let rank_c = Array.make scc.Scc.count 0 in
   for c = 0 to scc.Scc.count - 1 do
     let best = ref (-1) in
-    Array.iter (fun c' -> if rank_c.(c') > !best then best := rank_c.(c')) (children c);
+    Digraph.iter_succ cond c (fun c' ->
+        if rank_c.(c') > !best then best := rank_c.(c'));
     rank_c.(c) <- if !best < 0 then 0 else !best + 1
   done;
   Array.map (fun c -> rank_c.(c)) scc.Scc.comp
 
 let well_founded g scc =
-  let children = scc_children g scc in
+  let cond = Scc.condensation g scc in
   let wf_c = Array.make scc.Scc.count true in
   for c = 0 to scc.Scc.count - 1 do
     wf_c.(c) <-
       (not scc.Scc.nontrivial.(c))
-      && Array.for_all (fun c' -> wf_c.(c')) (children c)
+      && Digraph.fold_succ cond c (fun acc c' -> acc && wf_c.(c')) true
   done;
   Array.map (fun c -> wf_c.(c)) scc.Scc.comp
 
 let bisim_ranks g scc =
-  let children = scc_children g scc in
+  let cond = Scc.condensation g scc in
   let wf_c = Array.make scc.Scc.count true in
   for c = 0 to scc.Scc.count - 1 do
     wf_c.(c) <-
       (not scc.Scc.nontrivial.(c))
-      && Array.for_all (fun c' -> wf_c.(c')) (children c)
+      && Digraph.fold_succ cond c (fun acc c' -> acc && wf_c.(c')) true
   done;
   let rank_c = Array.make scc.Scc.count 0 in
   for c = 0 to scc.Scc.count - 1 do
-    let cs = children c in
-    if Array.length cs = 0 then
+    if Digraph.out_degree cond c = 0 then
       (* Sink SCC: rank 0 for a lone acyclic node, -∞ when it has a cycle
          (its members have children inside the SCC but none outside). *)
       rank_c.(c) <- (if scc.Scc.nontrivial.(c) then neg_inf else 0)
     else begin
       let best = ref neg_inf in
-      Array.iter
-        (fun c' ->
+      Digraph.iter_succ cond c (fun c' ->
           let contrib =
             if wf_c.(c') then rank_c.(c') + 1
             else rank_c.(c')
           in
-          if contrib > !best then best := contrib)
-        cs;
+          if contrib > !best then best := contrib);
       rank_c.(c) <- !best
     end
   done;

@@ -24,7 +24,8 @@ let label_once rng cond =
     order.(j) <- t
   done;
   let shuffled_succ v =
-    let a = Array.copy (Digraph.succ cond v) in
+    let base, start, len = Digraph.succ_slice cond v in
+    let a = Array.sub base start len in
     for i = Array.length a - 1 downto 1 do
       let j = Random.State.int rng (i + 1) in
       let t = a.(i) in

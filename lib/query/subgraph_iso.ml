@@ -14,7 +14,7 @@ let matching_order pattern =
       if not placed.(v) then begin
         let adjacent =
           Digraph.fold_succ pattern v (fun acc w -> acc || placed.(w)) false
-          || Array.exists (fun w -> placed.(w)) (Digraph.pred pattern v)
+          || Digraph.fold_pred pattern v (fun acc w -> acc || placed.(w)) false
         in
         if adjacent && (!best = -1 || degree v > degree !best) then best := v
       end
@@ -53,16 +53,20 @@ let search ?limit ~pattern g ~on_found =
       && Digraph.in_degree g v >= Digraph.in_degree pattern u
       (* every already-assigned neighbour must map to a real edge; a
          pattern self-loop constrains v itself *)
-      && Array.for_all
-           (fun u' ->
+      && Digraph.fold_succ pattern u
+           (fun acc u' ->
+             acc
+             &&
              if u' = u then Digraph.mem_edge g v v
              else assignment.(u') < 0 || Digraph.mem_edge g v assignment.(u'))
-           (Digraph.succ pattern u)
-      && Array.for_all
-           (fun u' ->
+           true
+      && Digraph.fold_pred pattern u
+           (fun acc u' ->
+             acc
+             &&
              if u' = u then Digraph.mem_edge g v v
              else assignment.(u') < 0 || Digraph.mem_edge g assignment.(u') v)
-           (Digraph.pred pattern u)
+           true
     in
     let rec go i =
       if not (stop ()) then

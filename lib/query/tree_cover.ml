@@ -35,6 +35,7 @@ let build g =
   let k = Digraph.n cond in
   (* spanning forest post-order: DFS over the condensation following tree
      children in adjacency order *)
+  let cond_off, cond_adj = Digraph.out_csr cond in
   let post = Array.make k (-1) in
   let next = ref 0 in
   let frames = Stack.create () in
@@ -44,10 +45,9 @@ let build g =
       Stack.push (root, 0) frames;
       while not (Stack.is_empty frames) do
         let v, i = Stack.pop frames in
-        let succs = Digraph.succ cond v in
-        if i < Array.length succs then begin
+        if cond_off.(v) + i < cond_off.(v + 1) then begin
           Stack.push (v, i + 1) frames;
-          let w = succs.(i) in
+          let w = cond_adj.(cond_off.(v) + i) in
           if post.(w) = -1 then begin
             post.(w) <- -2;
             Stack.push (w, 0) frames

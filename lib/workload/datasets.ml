@@ -261,7 +261,7 @@ let p2p rng ~n ~m ~labels ~leaf_frac =
   let leaves = n - ultra_n in
   let leaf_edges = min (max 0 (m - ultra_n)) (3 * leaves) in
   let overlay = Generators.erdos_renyi rng ~n:ultra_n ~m:(max 0 (m - leaf_edges)) in
-  let edges = ref (Digraph.edges overlay) in
+  let edges = ref (Digraph.fold_edges overlay (fun acc u v -> (u, v) :: acc) []) in
   for v = ultra_n to n - 1 do
     let d = 1 + Random.State.int rng 2 in
     for _ = 1 to d do
@@ -278,7 +278,9 @@ let duplicate_out rng g ~frac =
   if n < 2 then g
   else begin
     let labels = Array.copy (Digraph.labels g) in
-    let out = Array.init n (fun v -> Array.to_list (Digraph.succ g v)) in
+    let out =
+      Array.init n (fun v -> Digraph.fold_succ g v (fun acc w -> w :: acc) [])
+    in
     let k = int_of_float (frac *. float_of_int n) in
     for _ = 1 to k do
       let v = Random.State.int rng n in

@@ -446,7 +446,11 @@ module Fig12c = struct
             (* duplicate ~half the nodes' out-lists to create twins *)
             let rng2 = Random.State.make [| opts.seed; l |] in
             let labels = Array.copy (Digraph.labels g) in
-            let out = Array.init n (fun v -> Digraph.succ g v) in
+            let out =
+              Array.init n (fun v ->
+                  let base, start, len = Digraph.succ_slice g v in
+                  Array.sub base start len)
+            in
             for _ = 1 to n / 2 do
               let v = Random.State.int rng2 n in
               let t = Random.State.int rng2 n in

@@ -54,8 +54,10 @@ let deletions rng g ~count =
   let m = Digraph.m g in
   if m = 0 then []
   else begin
-    (* Reservoir-free: materialise the edge list once and shuffle a prefix. *)
-    let edges = Array.of_list (Digraph.edges g) in
+    (* Reservoir-free: materialise the edge array once and shuffle a
+       prefix (the shuffle needs random access, so this is the one place a
+       materialised copy is warranted). *)
+    let edges = Digraph.edge_array g in
     let len = Array.length edges in
     let count = min count len in
     for i = 0 to count - 1 do

@@ -365,6 +365,20 @@ let compressed_io_errors () =
   expect "n 1\nm 0 0\n";
   expect "n 1\ne 0 3\no 1\nm 0 0\n"
 
+let compressed_io_binary_errors () =
+  let g = Testutil.recommendation () in
+  let s = Compressed_io.to_binary_string (Compress_reach.compress g) in
+  let expect what s =
+    match Compressed_io.of_binary_string s with
+    | exception Compressed_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected Parse_error: " ^ what)
+  in
+  expect "empty input" "";
+  expect "header only" "QPGC";
+  expect "truncated node map" (String.sub s 0 (String.length s - 2));
+  expect "graph kind where compressed expected"
+    ("QPGCG" ^ String.sub s 5 (String.length s - 5))
+
 let compressed_io_props =
   [
     qtest "serialisation roundtrip on random graphs"
@@ -377,6 +391,23 @@ let compressed_io_props =
         let cb = Compress_bisim.compress g in
         let cb' = Compressed_io.of_string (Compressed_io.to_string cb) in
         Verify.same_compression cb cb');
+    qtest "binary roundtrip on random graphs"
+      (Testutil.arbitrary_digraph ())
+      (fun g ->
+        let check c =
+          let c' = Compressed_io.of_binary_string (Compressed_io.to_binary_string c) in
+          Verify.same_compression c c'
+          && Digraph.equal (Compressed.graph c) (Compressed.graph c')
+        in
+        check (Compress_reach.compress g) && check (Compress_bisim.compress g));
+    (* The embedded CSR blob is canonical, so a loaded snapshot must
+       re-serialise bit-identically. *)
+    qtest "binary serialisation is canonical"
+      (Testutil.arbitrary_digraph ())
+      (fun g ->
+        let s = Compressed_io.to_binary_string (Compress_reach.compress g) in
+        let c' = Compressed_io.of_binary_string s in
+        String.equal (Compressed_io.to_binary_string c') s);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -402,7 +433,7 @@ let verify_rejects_missing_edge () =
   let g = chain_graph () in
   let c = Compress_reach.compress g in
   let gr = Compressed.graph c in
-  match Digraph.edges gr with
+  match Testutil.edges_list gr with
   | [] -> Alcotest.fail "expected edges in Gr"
   | e :: _ ->
       let broken =
@@ -472,6 +503,7 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick compressed_io_roundtrip;
           Alcotest.test_case "errors" `Quick compressed_io_errors;
+          Alcotest.test_case "binary errors" `Quick compressed_io_binary_errors;
         ]
         @ compressed_io_props );
       ( "verify (mutation)",

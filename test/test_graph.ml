@@ -165,7 +165,7 @@ let digraph_props =
         Digraph.equal g (Digraph.reverse (Digraph.reverse g)));
     qtest "reverse flips edges" arb_g (fun g ->
         let r = Digraph.reverse g in
-        List.for_all (fun (u, v) -> Digraph.mem_edge r v u) (Digraph.edges g)
+        List.for_all (fun (u, v) -> Digraph.mem_edge r v u) (Testutil.edges_list g)
         && Digraph.m r = Digraph.m g);
     qtest "validate accepts all built graphs" arb_g (fun g ->
         Digraph.validate g;
@@ -173,7 +173,7 @@ let digraph_props =
     qtest "edges round-trips through make" arb_g (fun g ->
         Digraph.equal g
           (Digraph.make ~n:(Digraph.n g) ~labels:(Digraph.labels g)
-             (Digraph.edges g)));
+             (Testutil.edges_list g)));
     qtest "edit equals remove-then-add"
       (Testutil.arbitrary_graph_updates ())
       (fun (g, updates) ->
@@ -486,7 +486,7 @@ let reduction_dag_props =
           (fun (u, v) ->
             let without = Digraph.remove_edges red [ (u, v) ] in
             not (Traversal.bfs_reaches without u v))
-          (Digraph.edges red));
+          (Testutil.edges_list red));
     qtest "reduction is idempotent" arb_dag (fun dag ->
         let r1 = Transitive.reduction_dag dag in
         Digraph.equal r1 (Transitive.reduction_dag r1));
@@ -642,14 +642,61 @@ let dot_export () =
     (Invalid_argument "Graph_io.to_dot: cluster array length mismatch")
     (fun () -> ignore (Graph_io.to_dot ~cluster:[| 0 |] g))
 
+let io_binary_roundtrip () =
+  let g =
+    Digraph.make ~n:4 ~labels:[| 0; 1; 0; 1 |] [ (0, 1); (1, 2); (2, 3); (3, 0) ]
+  in
+  let table = Graph_io.Label_table.create () in
+  ignore (Graph_io.Label_table.intern table "alpha");
+  ignore (Graph_io.Label_table.intern table "beta");
+  let s = Graph_io.to_binary_string ~labels:table g in
+  let g', table' = Graph_io.of_binary_string s in
+  Alcotest.(check bool) "graph equal" true (Digraph.equal g g');
+  Alcotest.(check int) "label count" 2 (Graph_io.Label_table.count table');
+  Alcotest.(check string) "name 0" "alpha" (Graph_io.Label_table.name table' 0);
+  Alcotest.(check string) "name 1" "beta" (Graph_io.Label_table.name table' 1)
+
+let io_binary_errors () =
+  let g = Digraph.make ~n:2 [ (0, 1) ] in
+  let s = Graph_io.to_binary_string g in
+  let expect what s =
+    match Graph_io.of_binary_string s with
+    | exception Graph_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected Parse_error: " ^ what)
+  in
+  expect "empty input" "";
+  expect "header only" "QPGC";
+  expect "truncated tail" (String.sub s 0 (String.length s - 1));
+  expect "bad magic" ("XXXX" ^ String.sub s 4 (String.length s - 4));
+  expect "wrong kind" ("QPGCX" ^ String.sub s 5 (String.length s - 5));
+  (* Corrupt the first CSR offset (byte 24, low byte of an int64 that must
+     be 0): validation has to catch it, not crash. *)
+  let b = Bytes.of_string s in
+  Bytes.set b 24 '\xff';
+  expect "corrupt offset" (Bytes.to_string b)
+
 let io_props =
   [
     qtest "to_string/of_string structural roundtrip" arb_g (fun g ->
         let g', _ = Graph_io.of_string (Graph_io.to_string g) in
         Digraph.n g' = Digraph.n g
         && Digraph.m g' = Digraph.m g
-        && List.for_all (fun (u, v) -> Digraph.mem_edge g' u v) (Digraph.edges g)
+        && List.for_all (fun (u, v) -> Digraph.mem_edge g' u v) (Testutil.edges_list g)
         && Partition.equivalent (Digraph.labels g) (Digraph.labels g'));
+    qtest "binary roundtrip is exact" arb_g (fun g ->
+        let g', _ = Graph_io.of_binary_string (Graph_io.to_binary_string g) in
+        Digraph.equal g g');
+    (* The CSR is canonical, so re-serialising a loaded snapshot must be
+       bit-identical; and a graph that went through the text parser binary
+       round-trips to the same text. *)
+    qtest "binary serialisation is canonical" arb_g (fun g ->
+        let s = Graph_io.to_binary_string g in
+        let g', _ = Graph_io.of_binary_string s in
+        String.equal (Graph_io.to_binary_string g') s);
+    qtest "text -> binary -> text fixpoint" arb_g (fun g ->
+        let g1, _ = Graph_io.of_string (Graph_io.to_string g) in
+        let g2, _ = Graph_io.of_binary_string (Graph_io.to_binary_string g1) in
+        String.equal (Graph_io.to_string g2) (Graph_io.to_string g1));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -741,6 +788,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick io_roundtrip;
           Alcotest.test_case "parse errors" `Quick io_parse_errors;
           Alcotest.test_case "comments" `Quick io_comments_and_blanks;
+          Alcotest.test_case "binary roundtrip" `Quick io_binary_roundtrip;
+          Alcotest.test_case "binary errors" `Quick io_binary_errors;
           Alcotest.test_case "dot export" `Quick dot_export;
         ]
         @ io_props );

@@ -45,7 +45,7 @@ let arb_gu_inserts =
 let arb_gu_deletes =
   ( (let open QCheck2.Gen in
      let* g = Testutil.digraph_gen () in
-     let edges = Digraph.edges g in
+     let edges = Testutil.edges_list g in
      match edges with
      | [] -> pure (g, [])
      | _ ->

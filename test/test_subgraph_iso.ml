@@ -93,7 +93,7 @@ let iso_props =
                = Array.length m
             && List.for_all
                  (fun (u, v) -> Digraph.mem_edge g m.(u) m.(v))
-                 (Digraph.edges pattern))
+                 (Testutil.edges_list pattern))
           (Subgraph_iso.find_all ~pattern g));
   ]
 

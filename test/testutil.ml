@@ -210,6 +210,11 @@ let graph_pattern_print (g, p) =
 let arbitrary_graph_pattern ?max_n () =
   (graph_pattern_gen ?max_n (), graph_pattern_print)
 
+(* Edge list in lexicographic order, via the allocation-free iterator (the
+   core API no longer materialises boxed edge lists). *)
+let edges_list g =
+  List.rev (Digraph.fold_edges g (fun acc u v -> (u, v) :: acc) [])
+
 (* Register a qcheck property as an alcotest case. *)
 let qtest ?(count = 200) name (gen, print) prop =
   QCheck_alcotest.to_alcotest

@@ -36,6 +36,17 @@ Hot-only rules stay quiet on cold files:
 
   $ qpgc-lint --cold fixtures/bad_poly01.ml
 
+CSR01 is not hot-only -- the retired accessors are flagged in cold
+modules (bin/, bench/) too:
+
+  $ qpgc-lint --cold --rule CSR01 fixtures/bad_csr01.ml
+  fixtures/bad_csr01.ml:3:12: CSR01 `Digraph.succ` materializes an adjacency array per call and is retired from the CSR core; use Digraph.iter_succ / fold_succ / succ_slice
+  fixtures/bad_csr01.ml:6:12: CSR01 `Digraph.pred` materializes an adjacency array per call and is retired from the CSR core; use Digraph.iter_pred / fold_pred / pred_slice
+  fixtures/bad_csr01.ml:9:12: CSR01 `Digraph.edges` materializes an adjacency array per call and is retired from the CSR core; use Digraph.iter_edges / fold_edges (or edge_array when random access is genuinely needed)
+  fixtures/bad_csr01.ml:12:27: CSR01 `Digraph.succ` materializes an adjacency array per call and is retired from the CSR core; use Digraph.iter_succ / fold_succ / succ_slice
+  qpgc-lint: 4 finding(s)
+  [1]
+
 JSON output for machine consumption:
 
   $ qpgc-lint --hot --format json fixtures/bad_cmp01.ml

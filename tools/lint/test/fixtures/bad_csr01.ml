@@ -1,0 +1,22 @@
+(* CSR01 fixture: retired array-materializing adjacency accessors. *)
+
+let s g v = Digraph.succ g v
+(* line 3 *)
+
+let p g v = Digraph.pred g v
+(* line 6 *)
+
+let all g = Digraph.edges g
+(* line 9 *)
+
+let escaped g = Array.map (Digraph.succ g) [| 0; 1 |]
+(* line 12 *)
+
+(* Not flagged: the slice/fold replacements, and other modules' names. *)
+let ok g v = Digraph.fold_succ g v (fun acc w -> w :: acc) []
+let ok2 g v = Digraph.succ_slice g v
+let ok3 g = Digraph.edge_array g
+let ok4 m = Overlay.edges m
+
+(* Suppression works for CSR01 like any other rule. *)
+let legacy g v = Digraph.succ g v (* lint: allow CSR01 *)

@@ -44,6 +44,25 @@ let test_partial01 () =
     [ (3, "PARTIAL01"); (6, "PARTIAL01"); (9, "PARTIAL01"); (12, "PARTIAL01") ]
     (lint "bad_partial01.ml")
 
+let test_csr01 () =
+  check_diags "bad_csr01"
+    [ (3, "CSR01"); (6, "CSR01"); (9, "CSR01"); (12, "CSR01") ]
+    (lint "bad_csr01.ml")
+
+(* CSR01 is not hot-only: the retired accessors are wrong in cold modules
+   (bin/, bench/) too, so the same findings must fire without the hot
+   classification. *)
+let test_csr01_cold () =
+  let r =
+    Lint_driver.lint_file ~hot:false ~display:"bad_csr01.ml"
+      (fixture "bad_csr01.ml")
+  in
+  check_diags "bad_csr01 cold"
+    [ (3, "CSR01"); (6, "CSR01"); (9, "CSR01"); (12, "CSR01") ]
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
 let test_poly01 () =
   check_diags "bad_poly01"
     [
@@ -109,6 +128,8 @@ let () =
           Alcotest.test_case "PARA01 only" `Quick test_para01_only;
           Alcotest.test_case "PARTIAL01 fixture" `Quick test_partial01;
           Alcotest.test_case "POLY01 fixture" `Quick test_poly01;
+          Alcotest.test_case "CSR01 fixture" `Quick test_csr01;
+          Alcotest.test_case "CSR01 fires cold" `Quick test_csr01_cold;
         ] );
       ( "classification",
         [
