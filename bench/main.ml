@@ -211,6 +211,74 @@ let run_csr opts () =
   Format.fprintf ppf "(json written to %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Bisimulation microbench: compressB and bare Paige-Tarjan throughput over
+   one generated 100k-node labeled graph (scaled by --scale), written to
+   BENCH_bisim.json so the refinement-engine numbers are tracked in CI.
+   The committed baseline keeps the pre-rewrite (hashtable counts, int-list
+   X-blocks) figures alongside the current run for comparison.  Measured
+   single-domain: the parallel pre-split is bit-identical and CI has one
+   CPU. *)
+
+let run_bisim opts () =
+  section "Bisimulation microbench (compressB + Paige-Tarjan)";
+  let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
+  let m = 3 * n in
+  let rng = Random.State.make [| opts.Experiments.seed; 0xB15 |] in
+  let t0 = Unix.gettimeofday () in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  let g = Generators.with_random_labels rng g ~label_count:8 in
+  let build_s = Unix.gettimeofday () -. t0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let c, compress_s = time (fun () -> Compress_bisim.compress g) in
+  let a, refine_s = time (fun () -> Bisimulation.max_bisimulation g) in
+  let blocks = Array.fold_left (fun acc b -> Mono.imax acc (b + 1)) 0 a in
+  let compress_eps = float_of_int (Digraph.m g) /. compress_s in
+  let refine_eps = float_of_int (Digraph.m g) /. refine_s in
+  (* Self-check: the refinement output must be a stable partition. *)
+  let stable = Bisimulation.is_stable_partition g a in
+  if not stable then
+    failwith "bench bisim: refinement output is not a stable partition";
+  Format.fprintf ppf "graph: |V| = %d, |E| = %d (built in %.3fs)@."
+    (Digraph.n g) (Digraph.m g) build_s;
+  Format.fprintf ppf "compressB: %.3fs (%.0f edges/s), |Vr| = %d@." compress_s
+    compress_eps
+    (Digraph.n (Compressed.graph c));
+  Format.fprintf ppf
+    "max_bisimulation: %.3fs (%.0f edges/s), %d blocks, stable: %b@." refine_s
+    refine_eps blocks stable;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"nodes\": %d,\n\
+      \  \"edges\": %d,\n\
+      \  \"labels\": 8,\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %g,\n\
+      \  \"build_s\": %.4f,\n\
+      \  \"compress_s\": %.4f,\n\
+      \  \"compress_edges_per_s\": %.1f,\n\
+      \  \"hypernodes\": %d,\n\
+      \  \"refine_s\": %.4f,\n\
+      \  \"refine_edges_per_s\": %.1f,\n\
+      \  \"blocks\": %d,\n\
+      \  \"stable\": %b\n\
+       }\n"
+      (Digraph.n g) (Digraph.m g) opts.Experiments.seed opts.Experiments.scale
+      build_s compress_s compress_eps
+      (Digraph.n (Compressed.graph c))
+      refine_s refine_eps blocks stable
+  in
+  let path = "BENCH_bisim.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Format.fprintf ppf "(json written to %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure kernel, on
    small fixed inputs so individual runs stay fast. *)
 
@@ -379,6 +447,7 @@ let experiments =
     ("micro", run_micro);
     ("speedup", run_speedup);
     ("csr", run_csr);
+    ("bisim", run_bisim);
   ]
 
 let () =

@@ -20,7 +20,8 @@ let compress_of_partition g assignment =
     Compressed.v ~graph ~node_map:assignment
   end
 
-let compress g = compress_of_partition g (Bisimulation.max_bisimulation g)
+let compress ?pool g =
+  compress_of_partition g (Bisimulation.max_bisimulation ?pool g)
 
 let answer ?cache p c =
   Compressed.expand_result c

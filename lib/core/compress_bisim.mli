@@ -11,8 +11,10 @@
     matched hypernode by its members ({!Compressed.expand_result}), linear
     in the answer size; Boolean pattern queries skip [P]. *)
 
-(** [compress g] computes [Gr = R(G)] in O(|E| log |V|) via Paige–Tarjan. *)
-val compress : Digraph.t -> Compressed.t
+(** [compress ?pool g] computes [Gr = R(G)] in O(|E| log |V|) via
+    Paige–Tarjan on the flat refinement engine; [pool] parallelises the
+    initial pre-split (bit-identical for any domain count). *)
+val compress : ?pool:Pool.t -> Digraph.t -> Compressed.t
 
 (** [compress_of_partition g assignment] builds [Gr] from a given stable
     partition (shared with the incremental layer).  The assignment must be

@@ -43,7 +43,7 @@ module Patterns = struct
 
   let name = "patterns"
   let evaluate g p = Bounded_sim.eval p g
-  let compress = Compress_bisim.compress
+  let compress g = Compress_bisim.compress g
   let rewrite _ p = p
   let post_process c r = Compressed.expand_result c r
 end
@@ -58,7 +58,7 @@ module Path_queries = struct
     let a = Array.of_list (Bitset.to_list (Rpq.matches r g)) in
     a
 
-  let compress = Compress_bisim.compress
+  let compress g = Compress_bisim.compress g
   let rewrite _ r = r
 
   let post_process c hypernodes =

@@ -45,7 +45,9 @@ let group_by_signature signatures =
             c)
       signatures
   in
-  (class_of, Mono.imax 1 !count)
+  (* An empty signature array has zero classes, not one: [!count] is only
+     ever incremented on a fresh key, so it is already exact. *)
+  (class_of, !count)
 
 let compute g =
   let n = Digraph.n g in
@@ -54,63 +56,94 @@ let compute g =
     let scc = Scc.compute g in
     let cond = Scc.condensation g scc in
     let k = scc.Scc.count in
-    (* Descendant sets over SCC ids: ascending id is reverse topological
-       order.  A cyclic SCC contains itself. *)
-    let desc = Array.init k (fun _ -> Bitset.create k) in
-    for c = 0 to k - 1 do
-      Digraph.iter_succ cond c (fun c' ->
-          Bitset.add desc.(c) c';
-          ignore (Bitset.union_into ~into:desc.(c) desc.(c')));
-      if scc.Scc.nontrivial.(c) then Bitset.add desc.(c) c
-    done;
-    let anc = Array.init k (fun _ -> Bitset.create k) in
-    for c = k - 1 downto 0 do
-      Digraph.iter_pred cond c (fun c' ->
-          Bitset.add anc.(c) c';
-          ignore (Bitset.union_into ~into:anc.(c) anc.(c')));
-      if scc.Scc.nontrivial.(c) then Bitset.add anc.(c) c
-    done;
-    (* Group SCCs on the (ancestors, descendants) pair.  Two SCCs with equal
-       SCC-level sets have members with equal node-level sets and vice
-       versa. *)
-    let signatures =
-      Array.init k (fun c ->
-          (Bitset.hash anc.(c), Bitset.hash desc.(c), c))
+    (* Group SCCs on the (descendants, ancestors) pair of reachability sets.
+       Two SCCs with equal SCC-level sets have members with equal node-level
+       sets and vice versa.
+
+       Materialising both set families at once costs 2·k²/64 words.
+       Instead: one pass per direction, each refining the previous grouping,
+       and within a pass each SCC's bitset is released at its last use —
+       either right after its group is sealed (non-representatives) or when
+       its final consumer has folded it in (every set is read once per
+       condensation edge into it).  Only group representatives survive to
+       the end of a pass, so peak memory is
+       (#classes + live frontier)·k/64 words per direction instead of
+       k²/64 (see the memory note in DESIGN.md). *)
+    let dummy = Bitset.create 0 in
+    let pass ~prev ~asc =
+      (* [asc]: ascending ids with successor unions builds descendant sets
+         (ascending SCC id is reverse topological order); descending with
+         predecessor unions builds ancestor sets.  A cyclic SCC contains
+         itself.  Returns the refined grouping (classes dense in discovery
+         order) and its class count. *)
+      let sets = Array.make k dummy in
+      let uses = Array.make k 0 in
+      for c = 0 to k - 1 do
+        (if asc then Digraph.iter_succ else Digraph.iter_pred) cond c
+          (fun c' -> uses.(c') <- uses.(c') + 1)
+      done;
+      let cls = Array.make k (-1) in
+      let is_rep = Array.make k false in
+      let count = ref 0 in
+      (* Hash then verify: bucket representatives by (previous class, set
+         hash), compare candidates against them by true set equality to
+         rule out collisions. *)
+      let buckets : int list ref Mono.Ptbl.t = Mono.Ptbl.create (2 * k) in
+      let release c = if not is_rep.(c) then sets.(c) <- dummy in
+      let process c =
+        let s = Bitset.create k in
+        sets.(c) <- s;
+        if scc.Scc.nontrivial.(c) then Bitset.add s c;
+        (if asc then Digraph.iter_succ else Digraph.iter_pred) cond c
+          (fun c' ->
+            (* The sets are transitively closed, so once c' is a member an
+               earlier edge has absorbed its whole set: skip the O(k/64)
+               union sweep.  When the union does run, its changed flag
+               spares the separate membership update for cyclic SCCs: they
+               contain themselves, so any growth carried c' in with it. *)
+            if not (Bitset.mem s c') then
+              if Bitset.union_into ~into:s sets.(c') && scc.Scc.nontrivial.(c')
+              then ()
+              else Bitset.add s c';
+            (* that was one of c''s scheduled reads; drop its set after the
+               last one *)
+            uses.(c') <- uses.(c') - 1;
+            if uses.(c') = 0 then release c');
+        let key = (prev.(c), Bitset.hash s) in
+        (match Mono.Ptbl.find_opt buckets key with
+        | Some reps ->
+            let rec assign = function
+              | [] ->
+                  is_rep.(c) <- true;
+                  cls.(c) <- !count;
+                  incr count;
+                  reps := c :: !reps
+              | r :: tl ->
+                  if Bitset.equal s sets.(r) then cls.(c) <- cls.(r)
+                  else assign tl
+            in
+            assign !reps
+        | None ->
+            is_rep.(c) <- true;
+            cls.(c) <- !count;
+            incr count;
+            Mono.Ptbl.replace buckets key (ref [ c ]));
+        (* sinks of the sweep direction have no consumers at all *)
+        if uses.(c) = 0 then release c
+      in
+      if asc then
+        for c = 0 to k - 1 do
+          process c
+        done
+      else
+        for c = k - 1 downto 0 do
+          process c
+        done;
+      (cls, !count)
     in
-    (* Hash then verify: bucket by hash pair, split buckets by true set
-       equality to rule out collisions. *)
-    let buckets : int list ref Mono.Ptbl.t = Mono.Ptbl.create (2 * k) in
-    Array.iter
-      (fun (ha, hd, c) ->
-        match Mono.Ptbl.find_opt buckets (ha, hd) with
-        | Some l -> l := c :: !l
-        | None -> Mono.Ptbl.replace buckets (ha, hd) (ref [ c ]))
-      signatures;
-    let scc_class = Array.make k (-1) in
-    let count = ref 0 in
-    Mono.Ptbl.iter
-      (fun _ l ->
-        let remaining = ref !l in
-        while !remaining <> [] do
-          match !remaining with
-          | [] -> ()
-          | rep :: rest ->
-              let cls = !count in
-              incr count;
-              scc_class.(rep) <- cls;
-              let keep = ref [] in
-              List.iter
-                (fun c ->
-                  if
-                    Bitset.equal anc.(c) anc.(rep)
-                    && Bitset.equal desc.(c) desc.(rep)
-                  then scc_class.(c) <- cls
-                  else keep := c :: !keep)
-                rest;
-              remaining := !keep
-        done)
-      buckets;
-    of_scc_grouping g scc ~scc_class ~class_count:!count
+    let dclass, _ = pass ~prev:(Array.make k 0) ~asc:true in
+    let scc_class, class_count = pass ~prev:dclass ~asc:false in
+    of_scc_grouping g scc ~scc_class ~class_count
   end
 
 let equivalent t u v = t.class_of.(u) = t.class_of.(v)

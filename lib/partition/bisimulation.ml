@@ -15,8 +15,14 @@ module Sig_tbl = Hashtbl.Make (struct
       (Mono.mix_int b) s
 end)
 
-let max_bisimulation g =
-  Paige_tarjan.coarsest_stable_refinement g ~initial:(Digraph.labels g)
+let max_bisimulation ?pool g =
+  Paige_tarjan.coarsest_stable_refinement ?pool g ~initial:(Digraph.labels g)
+
+(* Everything below is either a test oracle (naive / ranked refinement, the
+   stability checker) or inherently signature-keyed (refine_step); hash
+   tables are the right tool there, and none of it is on the compressB hot
+   path — that is [max_bisimulation] above, which allocates no tables. *)
+[@@@lint.allow "ALLOC01"]
 
 (* Signature refinement: re-key every node by (current block, sorted set of
    successor blocks) until the block count stops growing. *)

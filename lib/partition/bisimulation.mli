@@ -6,9 +6,11 @@
     equivalence relation (Lemma 5); its classes are the hypernodes of the
     pattern preserving compression. *)
 
-(** [max_bisimulation g] is the partition of [V] into [Rb]-classes, one dense
-    block id per node, computed by Paige–Tarjan in O(|E| log |V|). *)
-val max_bisimulation : Digraph.t -> int array
+(** [max_bisimulation ?pool g] is the partition of [V] into [Rb]-classes, one
+    dense block id per node, computed by Paige–Tarjan in O(|E| log |V|) on
+    the flat refinable-partition engine.  [pool] parallelises the initial
+    pre-split (bit-identical for any domain count). *)
+val max_bisimulation : ?pool:Pool.t -> Digraph.t -> int array
 
 (** [max_bisimulation_naive g] computes the same partition by iterated
     signature refinement (quadratic worst case).  Kept as the independent

@@ -38,7 +38,8 @@ let compute_dk g ~k_of =
       partitions.(k) <- Bisimulation.refine_once rev partitions.(k - 1)
     done;
     (* group by the pair (own k, class at that k) *)
-    let tbl = Mono.Ptbl.create (2 * n + 1) in
+    (* keyed grouping by (k, class) pair — not on the refinement hot path *)
+    let tbl = Mono.Ptbl.create (2 * n + 1) (* lint: allow ALLOC01 *) in
     let next = ref 0 in
     Array.init n (fun v ->
         let key = (ks.(v), partitions.(ks.(v)).(v)) in
@@ -52,5 +53,5 @@ let compute_dk g ~k_of =
     |> Partition.normalize_assignment
   end
 
-let one_index g =
-  quotient_of g (Bisimulation.max_bisimulation (Digraph.reverse g))
+let one_index ?pool g =
+  quotient_of g (Bisimulation.max_bisimulation ?pool (Digraph.reverse g))

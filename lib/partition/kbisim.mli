@@ -40,4 +40,4 @@ val compute_dk : Digraph.t -> k_of:(int -> int) -> int array
 (** [one_index g] is the 1-index of Milo & Suciu [19]: the quotient by
     {e maximum} incoming bisimilarity — the k → ∞ limit of the A(k)
     family. *)
-val one_index : Digraph.t -> Digraph.t * int array
+val one_index : ?pool:Pool.t -> Digraph.t -> Digraph.t * int array

@@ -1,109 +1,185 @@
-(* X-blocks group P-blocks; the worklist holds (potentially) compound
-   X-blocks.  Lazy deletion: an X-block popped with fewer than two P-blocks is
-   skipped. *)
+(* Flat-array Paige–Tarjan.
 
-type xblock = { mutable pblocks : int list; mutable queued : bool }
+   Super-blocks (the X-blocks of the classic algorithm) are kept as
+   contiguous ranges [first, first+size) over the Partition's element
+   permutation: every P-block inside a super-block occupies a sub-range, so
+   "the first P-block of S" is [Partition.block_of] of the element at S's
+   first position, and S is compound iff that block is smaller than S.
+   Splits carve new blocks inside their parent's range, so ranges never need
+   repair; detaching a block from the front costs O(detached) via
+   [Partition.rotate_adjacent].
 
-let coarsest_stable_refinement g ~initial =
+   count(u, S) — the number of edges from u into super-block S — lives in a
+   flat counter pool: [cnt_of_edge.(e)] maps in-CSR edge position e to a
+   pool slot shared by all edges with the same source and target
+   super-block.  Moving an edge from count(u, S) to count(u, B) is two
+   array updates; the "no edge left into S \ B" test of the three-way split
+   is one array load.  No hash table is touched anywhere in the loop.
+
+   Slots are recycled through a free list.  Capacity m + n + 1 suffices:
+   live slots with positive count sum to m (every edge contributes to
+   exactly one), and at any instant at most n old counters sit transiently
+   at zero awaiting end-of-round recycling.
+
+   The worklist is a flat stack of super-block ids with a [queued] flag per
+   id (each id enqueued at most once); entries that turn out simple are
+   skipped at pop (lazy deletion).  Processing order differs from the
+   classic FIFO but the coarsest stable refinement is unique, so the
+   normalized output is identical. *)
+
+let coarsest_stable_refinement ?pool g ~initial =
   let n = Digraph.n g in
   if Array.length initial <> n then
     invalid_arg "Paige_tarjan: initial partition length mismatch";
-  (* Pre-split every initial class on "has a successor", which makes the
-     partition stable w.r.t. the universe block. *)
-  let keys =
-    Array.init n (fun v ->
-        (initial.(v) * 2) + if Digraph.out_degree g v > 0 then 1 else 0)
-  in
-  let p = Partition.create_with keys in
-  (* Growable structures for X-blocks. *)
-  let xblocks = ref (Array.init 4 (fun _ -> { pblocks = []; queued = false })) in
-  let x_count = ref 0 in
-  let new_xblock pbs =
-    if !x_count = Array.length !xblocks then begin
-      let bigger =
-        Array.init (2 * !x_count) (fun i ->
-            if i < !x_count then !xblocks.(i)
-            else { pblocks = []; queued = false })
-      in
-      xblocks := bigger
-    end;
-    let id = !x_count in
-    incr x_count;
-    !xblocks.(id) <- { pblocks = pbs; queued = false };
-    id
-  in
-  let p2x = ref (Array.make (Mono.imax 4 (Partition.block_count p)) 0) in
-  let set_p2x b x =
-    if b >= Array.length !p2x then begin
-      let bigger = Array.make (2 * (b + 1)) 0 in
-      Array.blit !p2x 0 bigger 0 (Array.length !p2x);
-      p2x := bigger
-    end;
-    !p2x.(b) <- x
-  in
-  let all_pblocks = List.init (Partition.block_count p) Fun.id in
-  let x0 = new_xblock all_pblocks in
-  List.iter (fun b -> set_p2x b x0) all_pblocks;
-  (* count(u, x) = number of edges from u into X-block x. *)
-  let counts : int Mono.Ptbl.t = Mono.Ptbl.create (2 * n + 1) in
-  for u = 0 to n - 1 do
-    let d = Digraph.out_degree g u in
-    if d > 0 then Mono.Ptbl.replace counts (u, x0) d
-  done;
-  let worklist = Queue.create () in
-  let enqueue x =
-    let xb = !xblocks.(x) in
-    if (not xb.queued) && List.length xb.pblocks >= 2 then begin
-      xb.queued <- true;
-      Queue.add x worklist
-    end
-  in
-  enqueue x0;
-  let attach_split ~old_block ~new_block =
-    let x = !p2x.(old_block) in
-    set_p2x new_block x;
-    let xb = !xblocks.(x) in
-    xb.pblocks <- new_block :: xb.pblocks;
-    enqueue x
-  in
-  while not (Queue.is_empty worklist) do
-    let xs = Queue.pop worklist in
-    let xb = !xblocks.(xs) in
-    xb.queued <- false;
-    match xb.pblocks with
-    | [] | [ _ ] -> () (* stale entry *)
-    | b1 :: b2 :: rest ->
-        (* Detach the smaller of the first two P-blocks as its own X-block. *)
-        let b, remaining =
-          if Partition.block_size p b1 <= Partition.block_size p b2 then
-            (b1, b2 :: rest)
-          else (b2, b1 :: rest)
+  if n = 0 then [||]
+  else begin
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let out_off, _ = Digraph.out_csr g in
+    let in_off, in_adj = Digraph.in_csr g in
+    let m = Array.length in_adj in
+    (* Pre-split every initial class on "has a successor", which makes the
+       partition stable w.r.t. the universe block.  Per-node key
+       computation is embarrassingly parallel (disjoint writes), so the
+       result is bit-identical to the sequential fill. *)
+    let keys = Array.make n 0 in
+    Pool.parallel_for pool ~n (fun v ->
+        keys.(v) <-
+          (initial.(v) * 2) + if out_off.(v + 1) > out_off.(v) then 1 else 0);
+    let p = Partition.create_with keys in
+    (* Super-blocks: contiguous element ranges.  At most one super-block per
+       P-block ever exists, and P-blocks never exceed n. *)
+    let cap = n + 1 in
+    let sb_first = Array.make cap 0 in
+    let sb_size = Array.make cap 0 in
+    let sb_of_blk = Array.make n 0 in
+    let sb_count = ref 1 in
+    sb_size.(0) <- n;
+    (* Counter pool. *)
+    let ccap = m + n + 1 in
+    let cval = Array.make ccap 0 in
+    let free = Array.make ccap 0 in
+    let free_len = ref 0 in
+    let next_slot = ref 0 in
+    let alloc_slot () =
+      if !free_len > 0 then begin
+        decr free_len;
+        free.(!free_len)
+      end
+      else begin
+        let c = !next_slot in
+        incr next_slot;
+        c
+      end
+    in
+    (* Initially every out-edge of u counts toward super-block 0, so u's
+       edges all share one slot holding its out-degree. *)
+    let node_cnt = Array.make n (-1) in
+    for u = 0 to n - 1 do
+      let d = out_off.(u + 1) - out_off.(u) in
+      if d > 0 then begin
+        let c = alloc_slot () in
+        cval.(c) <- d;
+        node_cnt.(u) <- c
+      end
+    done;
+    let cnt_of_edge = Array.make (Mono.imax 1 m) 0 in
+    Pool.parallel_for pool ~n:m (fun e ->
+        cnt_of_edge.(e) <- node_cnt.(in_adj.(e)));
+    (* Per-round scratch: E⁻¹(B) and each member's old/new counter slot. *)
+    let preds = Array.make n 0 in
+    let old_cnt = Array.make n 0 in
+    let new_cnt = Array.make n (-1) in
+    (* Worklist stack with lazy deletion. *)
+    let work = Array.make cap 0 in
+    let work_len = ref 0 in
+    let queued = Array.make cap false in
+    let enqueue x =
+      if not queued.(x) then begin
+        queued.(x) <- true;
+        work.(!work_len) <- x;
+        incr work_len
+      end
+    in
+    enqueue 0;
+    let attach_split ~old_block ~new_block =
+      let x = sb_of_blk.(old_block) in
+      sb_of_blk.(new_block) <- x;
+      enqueue x
+    in
+    while !work_len > 0 do
+      decr work_len;
+      let xs = work.(!work_len) in
+      queued.(xs) <- false;
+      let sf = sb_first.(xs) and ssz = sb_size.(xs) in
+      let b1 = Partition.block_of p (Partition.element_at p sf) in
+      let s1 = Partition.block_size p b1 in
+      if s1 < ssz then begin
+        (* Compound: detach the smaller of the two leading P-blocks as its
+           own super-block B (smaller-half rule). *)
+        let b2 = Partition.block_of p (Partition.element_at p (sf + s1)) in
+        let b =
+          if s1 <= Partition.block_size p b2 then b1
+          else begin
+            Partition.rotate_adjacent p ~front:b1 ~back:b2;
+            b2
+          end
         in
-        xb.pblocks <- remaining;
-        let xn = new_xblock [ b ] in
-        set_p2x b xn;
+        let bs = Partition.block_size p b in
+        let xn = !sb_count in
+        incr sb_count;
+        sb_first.(xn) <- sf;
+        sb_size.(xn) <- bs;
+        sb_of_blk.(b) <- xn;
+        sb_first.(xs) <- sf + bs;
+        sb_size.(xs) <- ssz - bs;
         enqueue xs;
-        (* Move edge counts from xs to xn, collecting E⁻¹(B). *)
-        let preds = ref [] in
+        (* Move edge counts from (·, xs) to (·, xn), collecting E⁻¹(B).
+           The first edge of each predecessor allocates its (u, xn) slot
+           and records its (u, xs) slot for the phase-2 test. *)
+        let preds_len = ref 0 in
         Partition.iter_block p b (fun v ->
-            Digraph.iter_pred g v (fun u ->
-                (match Mono.Ptbl.find_opt counts (u, xs) with
-                | Some 1 -> Mono.Ptbl.remove counts (u, xs)
-                | Some c -> Mono.Ptbl.replace counts (u, xs) (c - 1)
-                | None -> assert false);
-                (match Mono.Ptbl.find_opt counts (u, xn) with
-                | Some c -> Mono.Ptbl.replace counts (u, xn) (c + 1)
-                | None ->
-                    Mono.Ptbl.replace counts (u, xn) 1;
-                    preds := u :: !preds)));
+            for e = in_off.(v) to in_off.(v + 1) - 1 do
+              let u = in_adj.(e) in
+              let c = cnt_of_edge.(e) in
+              let cn =
+                let cn = new_cnt.(u) in
+                if cn >= 0 then cn
+                else begin
+                  preds.(!preds_len) <- u;
+                  incr preds_len;
+                  old_cnt.(u) <- c;
+                  let cn = alloc_slot () in
+                  cval.(cn) <- 0;
+                  new_cnt.(u) <- cn;
+                  cn
+                end
+              in
+              cval.(c) <- cval.(c) - 1;
+              cval.(cn) <- cval.(cn) + 1;
+              cnt_of_edge.(e) <- cn
+            done);
         (* Three-way split: first on membership in E⁻¹(B)... *)
-        List.iter (fun u -> Partition.mark p u) !preds;
+        for i = 0 to !preds_len - 1 do
+          Partition.mark p preds.(i)
+        done;
         Partition.split_marked p attach_split;
         (* ... then, within E⁻¹(B), on having no edge left into S \ B. *)
-        List.iter
-          (fun u ->
-            if not (Mono.Ptbl.mem counts (u, xs)) then Partition.mark p u)
-          !preds;
-        Partition.split_marked p attach_split
-  done;
-  Partition.normalize_assignment (Partition.assignment p)
+        for i = 0 to !preds_len - 1 do
+          let u = preds.(i) in
+          if cval.(old_cnt.(u)) = 0 then Partition.mark p u
+        done;
+        Partition.split_marked p attach_split;
+        (* Recycle drained (u, S) slots and reset the per-round scratch. *)
+        for i = 0 to !preds_len - 1 do
+          let u = preds.(i) in
+          let c = old_cnt.(u) in
+          if cval.(c) = 0 then begin
+            free.(!free_len) <- c;
+            incr free_len
+          end;
+          new_cnt.(u) <- -1
+        done
+      end
+    done;
+    Partition.normalize_assignment (Partition.assignment p)
+  end

@@ -7,10 +7,17 @@
     bisimulation equivalence relation (paper Sec 4.1, [8, 24]).
 
     Uses the classic three-way split with per-(node, splitter) edge counts so
-    each refinement step charges the smaller half. *)
+    each refinement step charges the smaller half.  The implementation is
+    fully flat-array (Valmari-style): super-blocks are contiguous ranges over
+    the partition's element permutation and edge counts live in a recycled
+    counter pool indexed by CSR edge position — the refinement loop performs
+    no hashing and no allocation. *)
 
-(** [coarsest_stable_refinement g ~initial] returns the block id per node.
-    [initial.(v)] is any integer key; nodes with different keys are never
-    merged.  Block ids are dense.
+(** [coarsest_stable_refinement ?pool g ~initial] returns the block id per
+    node.  [initial.(v)] is any integer key; nodes with different keys are
+    never merged.  Block ids are dense.  [pool] (default {!Pool.default})
+    parallelises the initial per-node key pre-split and the edge-counter
+    fill; the result is bit-identical for any domain count.
     @raise Invalid_argument if [initial] has the wrong length. *)
-val coarsest_stable_refinement : Digraph.t -> initial:int array -> int array
+val coarsest_stable_refinement :
+  ?pool:Pool.t -> Digraph.t -> initial:int array -> int array

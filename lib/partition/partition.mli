@@ -6,7 +6,13 @@
     block; splitting turns each marked prefix into a fresh block in O(marked).
 
     Blocks are dense ids [0 .. block_count-1].  Splitting never renames the
-    unmarked remainder: the marked part receives the new id. *)
+    unmarked remainder: the marked part receives the new id.
+
+    All per-block storage is preallocated at creation (a universe of [n]
+    nodes never holds more than [n] blocks), so {!mark} and {!split_marked}
+    allocate nothing.  The permutation layout is exposed read-only through
+    {!element_at} / {!block_first} so clients (e.g. {!Paige_tarjan}) can
+    maintain contiguous super-block ranges over it. *)
 
 type t
 
@@ -31,6 +37,16 @@ val block_of : t -> int -> int
 (** [block_size p b] is the number of members of block [b]. *)
 val block_size : t -> int -> int
 
+(** [block_first p b] is the index in the element permutation where block
+    [b]'s members start: they occupy positions
+    [block_first p b .. block_first p b + block_size p b - 1]. *)
+val block_first : t -> int -> int
+
+(** [element_at p i] is the node at position [i] of the element permutation,
+    [0 <= i < universe_size p].  Unchecked: out-of-range indices are a
+    programming error. *)
+val element_at : t -> int -> int
+
 (** [iter_block p b f] applies [f] to each member of [b] (unspecified
     order). *)
 val iter_block : t -> int -> (int -> unit) -> unit
@@ -50,6 +66,15 @@ val marked_size : t -> int -> int
     [f ~old_block ~new_block] is called once per such split.  Fully marked
     blocks are left intact.  All marks are cleared. *)
 val split_marked : t -> (old_block:int -> new_block:int -> unit) -> unit
+
+(** [rotate_adjacent p ~front ~back] exchanges the positions of two adjacent
+    blocks in the element permutation: [back]'s range must immediately
+    follow [front]'s, [block_size p back <= block_size p front], and neither
+    block may have pending marks.  Afterwards [back] occupies the leading
+    positions.  O(size of [back]) — callers splitting super-block ranges use
+    this to detach the smaller of two leading blocks at smaller-half cost.
+    @raise Invalid_argument if a precondition fails. *)
+val rotate_adjacent : t -> front:int -> back:int -> unit
 
 (** [assignment p] is the block id per node (a fresh array). *)
 val assignment : t -> int array

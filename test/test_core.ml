@@ -24,6 +24,16 @@ let reach_equiv_recommendation () =
   Alcotest.(check bool) "C1 ~ FA1 (same SCC)" true
     (Reach_equiv.equivalent re c1 fa1)
 
+(* Regression: an empty signature array has zero classes — [imax 1] used to
+   force a phantom class for zero items. *)
+let group_by_signature_empty () =
+  let class_of, count = Reach_equiv.group_by_signature [||] in
+  Alcotest.(check int) "zero classes" 0 count;
+  Alcotest.(check (array int)) "no items" [||] class_of;
+  let class_of, count = Reach_equiv.group_by_signature [| "a"; "b"; "a" |] in
+  Alcotest.(check int) "two classes" 2 count;
+  Alcotest.(check (array int)) "first-appearance ids" [| 0; 1; 0 |] class_of
+
 let reach_equiv_props =
   [
     qtest ~count:300 "optimised equals naive oracle" arb_g (fun g ->
@@ -474,6 +484,8 @@ let () =
       ( "reach_equiv",
         Alcotest.test_case "recommendation network (Example 2)" `Quick
           reach_equiv_recommendation
+        :: Alcotest.test_case "group_by_signature empty (regression)" `Quick
+             group_by_signature_empty
         :: reach_equiv_props );
       ( "compress_reach",
         [

@@ -143,6 +143,171 @@ let pt_props =
              a));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Flat engine vs the pre-rewrite hashtable engine *)
+
+(* The pre-rewrite Paige-Tarjan, kept verbatim as an independent oracle:
+   X-blocks as int lists, a (u, x) hash table of edge counts, FIFO
+   worklist.  The library's flat-array engine must produce the identical
+   normalized assignment on every graph. *)
+module Reference_pt = struct
+  type xblock = { mutable pblocks : int list; mutable queued : bool }
+
+  let coarsest_stable_refinement g ~initial =
+    let n = Digraph.n g in
+    let keys =
+      Array.init n (fun v ->
+          (initial.(v) * 2) + if Digraph.out_degree g v > 0 then 1 else 0)
+    in
+    let p = Partition.create_with keys in
+    let xblocks =
+      ref (Array.init 4 (fun _ -> { pblocks = []; queued = false }))
+    in
+    let x_count = ref 0 in
+    let new_xblock pbs =
+      if !x_count = Array.length !xblocks then begin
+        let bigger =
+          Array.init (2 * !x_count) (fun i ->
+              if i < !x_count then !xblocks.(i)
+              else { pblocks = []; queued = false })
+        in
+        xblocks := bigger
+      end;
+      let id = !x_count in
+      incr x_count;
+      !xblocks.(id) <- { pblocks = pbs; queued = false };
+      id
+    in
+    let p2x = ref (Array.make (max 4 (Partition.block_count p)) 0) in
+    let set_p2x b x =
+      if b >= Array.length !p2x then begin
+        let bigger = Array.make (2 * (b + 1)) 0 in
+        Array.blit !p2x 0 bigger 0 (Array.length !p2x);
+        p2x := bigger
+      end;
+      !p2x.(b) <- x
+    in
+    let all_pblocks = List.init (Partition.block_count p) Fun.id in
+    let x0 = new_xblock all_pblocks in
+    List.iter (fun b -> set_p2x b x0) all_pblocks;
+    let counts : int Mono.Ptbl.t = Mono.Ptbl.create (2 * n + 1) in
+    for u = 0 to n - 1 do
+      let d = Digraph.out_degree g u in
+      if d > 0 then Mono.Ptbl.replace counts (u, x0) d
+    done;
+    let worklist = Queue.create () in
+    let enqueue x =
+      let xb = !xblocks.(x) in
+      if (not xb.queued) && List.length xb.pblocks >= 2 then begin
+        xb.queued <- true;
+        Queue.add x worklist
+      end
+    in
+    enqueue x0;
+    let attach_split ~old_block ~new_block =
+      let x = !p2x.(old_block) in
+      set_p2x new_block x;
+      let xb = !xblocks.(x) in
+      xb.pblocks <- new_block :: xb.pblocks;
+      enqueue x
+    in
+    while not (Queue.is_empty worklist) do
+      let xs = Queue.pop worklist in
+      let xb = !xblocks.(xs) in
+      xb.queued <- false;
+      match xb.pblocks with
+      | [] | [ _ ] -> ()
+      | b1 :: b2 :: rest ->
+          let b, remaining =
+            if Partition.block_size p b1 <= Partition.block_size p b2 then
+              (b1, b2 :: rest)
+            else (b2, b1 :: rest)
+          in
+          xb.pblocks <- remaining;
+          let xn = new_xblock [ b ] in
+          set_p2x b xn;
+          enqueue xs;
+          let preds = ref [] in
+          Partition.iter_block p b (fun v ->
+              Digraph.iter_pred g v (fun u ->
+                  (match Mono.Ptbl.find_opt counts (u, xs) with
+                  | Some 1 -> Mono.Ptbl.remove counts (u, xs)
+                  | Some c -> Mono.Ptbl.replace counts (u, xs) (c - 1)
+                  | None -> assert false);
+                  (match Mono.Ptbl.find_opt counts (u, xn) with
+                  | Some c -> Mono.Ptbl.replace counts (u, xn) (c + 1)
+                  | None ->
+                      Mono.Ptbl.replace counts (u, xn) 1;
+                      preds := u :: !preds)));
+          List.iter (fun u -> Partition.mark p u) !preds;
+          Partition.split_marked p attach_split;
+          List.iter
+            (fun u ->
+              if not (Mono.Ptbl.mem counts (u, xs)) then Partition.mark p u)
+            !preds;
+          Partition.split_marked p attach_split
+    done;
+    Partition.normalize_assignment (Partition.assignment p)
+end
+
+(* Pools shared across qcheck iterations (see test_parallel.ml); domains = 1
+   exercises the sequential fallback of the parallel pre-split. *)
+let pool2 = lazy (Pool.create ~domains:2 ())
+let pool4 = lazy (Pool.create ~domains:4 ())
+
+let pools () =
+  [ (1, Pool.create ~domains:1 ()); (2, Lazy.force pool2); (4, Lazy.force pool4) ]
+
+(* Both engines end in [normalize_assignment], so agreement is asserted
+   bit-for-bit with [=], not just up to renaming. *)
+let engines_agree ?(initial_of = Digraph.labels) g =
+  let reference = Reference_pt.coarsest_stable_refinement g ~initial:(initial_of g) in
+  List.for_all
+    (fun (_, pool) ->
+      Paige_tarjan.coarsest_stable_refinement ~pool g ~initial:(initial_of g)
+      = reference)
+    (pools ())
+
+let with_all_self_loops g =
+  let n = Digraph.n g in
+  let edges =
+    List.init n (fun v -> (v, v)) @ Testutil.edges_list g
+  in
+  Digraph.make ~n ~labels:(Digraph.labels g) edges
+
+let flat_engine_props =
+  [
+    qtest ~count:300 "flat engine matches naive oracle (domains 1,2,4)" arb_g
+      (fun g ->
+        let naive = Bisimulation.max_bisimulation_naive g in
+        List.for_all
+          (fun (_, pool) ->
+            Partition.equivalent (Bisimulation.max_bisimulation ~pool g) naive)
+          (pools ()));
+    qtest ~count:300 "flat engine bit-identical to pre-rewrite engine" arb_g
+      engines_agree;
+    qtest ~count:200 "engines agree with every node self-looped" arb_g
+      (fun g -> engines_agree (with_all_self_loops g));
+    qtest ~count:200 "engines agree on single-label graphs"
+      (Testutil.arbitrary_digraph ~max_labels:1 ())
+      engines_agree;
+    qtest ~count:200 "engines agree on all-distinct initial keys" arb_g
+      (engines_agree ~initial_of:(fun g -> Array.init (Digraph.n g) Fun.id));
+  ]
+
+let flat_engine_empty () =
+  List.iter
+    (fun (d, pool) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "empty graph (domains=%d)" d)
+        [||]
+        (Paige_tarjan.coarsest_stable_refinement ~pool Digraph.empty
+           ~initial:[||]))
+    (pools ());
+  Alcotest.(check (array int))
+    "empty graph via max_bisimulation" [||]
+    (Bisimulation.max_bisimulation Digraph.empty)
+
 let bisim_examples () =
   (* Fig 6 G1: the B nodes split by their child labels. *)
   let graph1 = Testutil.Fig6.g1 () in
@@ -260,6 +425,9 @@ let () =
           Alcotest.test_case "recommendation network" `Quick recommendation_bisim;
         ]
         @ pt_props );
+      ( "flat-engine",
+        [ Alcotest.test_case "empty graph" `Quick flat_engine_empty ]
+        @ flat_engine_props );
       ( "kbisim",
         [
           Alcotest.test_case "A(1) counterexample" `Quick kbisim_counterexample;

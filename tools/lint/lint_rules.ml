@@ -20,7 +20,11 @@
              [Hashtbl.Make] table hashes and compares monomorphically.
    - CSR01   retired array-materializing adjacency accessors
              ([Digraph.succ] / [Digraph.pred] / [Digraph.edges]): the CSR
-             core answers these with slices and folds, no allocation. *)
+             core answers these with slices and folds, no allocation.
+   - ALLOC01 hash-table creation ([Hashtbl.create] or any keyed [*tbl]
+             table) inside [lib/partition], the flat-array refinement
+             substrate whose hot loops are contractually allocation-free.
+             Scoped by display path, not by the hot classification. *)
 
 open Parsetree
 
@@ -504,4 +508,70 @@ let cmp01 =
         it.structure it structure);
   }
 
-let () = List.iter register [ para01; poly01; partial01; cmp01; csr01 ]
+(* ------------------------------------------------------------------ *)
+(* ALLOC01: hash tables in the refinement substrate *)
+
+(* Self-scoped by path rather than by the hot classification: the other
+   hot directories (lib/graph, lib/core, lib/query) use keyed tables
+   legitimately, but lib/partition is the flat-array refinement engine —
+   its whole point is that mark/split/refine run on preallocated arrays. *)
+let alloc01_scope = "lib/partition"
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Hash-table modules: the stdlib [Hashtbl] plus keyed tables by convention
+   ([Mono.Itbl], [Sig_tbl], ... -- any module name ending "tbl"/"Tbl", as
+   produced by [Hashtbl.Make]). *)
+let table_module m =
+  m = "Hashtbl"
+  || (let n = String.length m in
+      n >= 3 && String.lowercase_ascii (String.sub m (n - 3) 3) = "tbl")
+
+let alloc01 =
+  {
+    id = "ALLOC01";
+    hot_only = false;
+    doc =
+      "Hash-table creation (Hashtbl.create or a keyed *tbl table such as \
+       Mono.Itbl / Mono.Ptbl) inside lib/partition, the flat-array \
+       partition-refinement substrate: its hot loops (mark, split, the \
+       Paige-Tarjan rounds) are contractually zero-allocation, with edge \
+       counts in a flat counter pool indexed by CSR edge position. Keep \
+       tables out of refinement code, or suppress with `lint: allow \
+       ALLOC01` for set-up / oracle / normalization code that runs once.";
+    check =
+      (fun ctx structure ->
+        if contains_sub ~sub:alloc01_scope ctx.display then begin
+          let open Ast_iterator in
+          let super = default_iterator in
+          let expr it e =
+            (match e.pexp_desc with
+            | Pexp_ident _ -> (
+                match path_of_expr e with
+                | Some path -> (
+                    match List.rev path with
+                    | "create" :: m :: _ when table_module m ->
+                        report ctx ~loc:e.pexp_loc ~rule:"ALLOC01"
+                          (Printf.sprintf
+                             "`%s.create` allocates a hash table inside \
+                              lib/partition, the zero-allocation refinement \
+                              substrate; keep tables out of refinement \
+                              loops (flat arrays indexed by node / block / \
+                              CSR edge position), or suppress with `lint: \
+                              allow ALLOC01` for one-shot set-up or oracle \
+                              code"
+                             m)
+                    | _ -> ())
+                | None -> ())
+            | _ -> ());
+            super.expr it e
+          in
+          let it = { super with expr } in
+          it.structure it structure
+        end);
+  }
+
+let () = List.iter register [ para01; poly01; partial01; cmp01; csr01; alloc01 ]

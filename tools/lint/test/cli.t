@@ -53,3 +53,17 @@ JSON output for machine consumption:
   [{"file":"fixtures/bad_cmp01.ml","line":3,"col":15,"rule":"CMP01","message":"polymorphic `Hashtbl.create` in a hot-path module; use a keyed table with monomorphic hash/equal (Mono.Itbl, Mono.Ptbl, Mono.Stbl, or a local Hashtbl.Make)"}]
   qpgc-lint: 1 finding(s)
   [1]
+
+ALLOC01 is scoped to lib/partition; --prefix places the fixture there:
+
+  $ qpgc-lint --rule ALLOC01 --prefix lib/partition/ fixtures/bad_alloc01.ml
+  lib/partition/fixtures/bad_alloc01.ml:3:17: ALLOC01 `Hashtbl.create` allocates a hash table inside lib/partition, the zero-allocation refinement substrate; keep tables out of refinement loops (flat arrays indexed by node / block / CSR edge position), or suppress with `lint: allow ALLOC01` for one-shot set-up or oracle code
+  lib/partition/fixtures/bad_alloc01.ml:5:16: ALLOC01 `Itbl.create` allocates a hash table inside lib/partition, the zero-allocation refinement substrate; keep tables out of refinement loops (flat arrays indexed by node / block / CSR edge position), or suppress with `lint: allow ALLOC01` for one-shot set-up or oracle code
+  lib/partition/fixtures/bad_alloc01.ml:7:17: ALLOC01 `Ptbl.create` allocates a hash table inside lib/partition, the zero-allocation refinement substrate; keep tables out of refinement loops (flat arrays indexed by node / block / CSR edge position), or suppress with `lint: allow ALLOC01` for one-shot set-up or oracle code
+  lib/partition/fixtures/bad_alloc01.ml:9:18: ALLOC01 `Sig_tbl.create` allocates a hash table inside lib/partition, the zero-allocation refinement substrate; keep tables out of refinement loops (flat arrays indexed by node / block / CSR edge position), or suppress with `lint: allow ALLOC01` for one-shot set-up or oracle code
+  qpgc-lint: 4 finding(s)
+  [1]
+
+The same file outside that directory is clean for ALLOC01:
+
+  $ qpgc-lint --rule ALLOC01 --prefix lib/graph/ fixtures/bad_alloc01.ml

@@ -1,0 +1,13 @@
+(* ALLOC01 fixture: linted with a display path under lib/partition. *)
+
+let bad_poly n = Hashtbl.create n
+
+let bad_int n = Mono.Itbl.create n
+
+let bad_pair n = Mono.Ptbl.create (2 * n)
+
+let bad_keyed n = Sig_tbl.create n
+
+let ok_suppressed n = Mono.Itbl.create n (* lint: allow ALLOC01 *)
+
+let ok_buffer n = Buffer.create n

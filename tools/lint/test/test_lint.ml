@@ -63,6 +63,34 @@ let test_csr01_cold () =
        (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
        r.Lint_driver.diags)
 
+(* ALLOC01 is scoped by display path, not by the hot classification: it
+   fires only when the linted file sits under lib/partition.  [only]
+   isolates it from CMP01, which also dislikes the Hashtbl.create line. *)
+let test_alloc01 () =
+  let r =
+    Lint_driver.lint_file ~hot:true ~only:[ "ALLOC01" ]
+      ~display:"lib/partition/bad_alloc01.ml"
+      (fixture "bad_alloc01.ml")
+  in
+  check_diags "bad_alloc01"
+    [ (3, "ALLOC01"); (5, "ALLOC01"); (7, "ALLOC01"); (9, "ALLOC01") ]
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
+(* The same file outside lib/partition is clean: other hot directories use
+   keyed tables legitimately. *)
+let test_alloc01_out_of_scope () =
+  let r =
+    Lint_driver.lint_file ~hot:true ~only:[ "ALLOC01" ]
+      ~display:"lib/graph/bad_alloc01.ml"
+      (fixture "bad_alloc01.ml")
+  in
+  check_diags "bad_alloc01 out of scope" []
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
 let test_poly01 () =
   check_diags "bad_poly01"
     [
@@ -130,6 +158,9 @@ let () =
           Alcotest.test_case "POLY01 fixture" `Quick test_poly01;
           Alcotest.test_case "CSR01 fixture" `Quick test_csr01;
           Alcotest.test_case "CSR01 fires cold" `Quick test_csr01_cold;
+          Alcotest.test_case "ALLOC01 fixture" `Quick test_alloc01;
+          Alcotest.test_case "ALLOC01 scoped to lib/partition" `Quick
+            test_alloc01_out_of_scope;
         ] );
       ( "classification",
         [
