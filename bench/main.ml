@@ -141,6 +141,25 @@ let run_ablation opts () =
   write_csv "ablation" (Experiments.Ablation.csv rows)
 
 (* ------------------------------------------------------------------ *)
+(* Phases breakdown for the BENCH JSONs: re-run a kernel once with tracing
+   on — outside the timed measurement, so the throughput numbers above it
+   stay overhead-free — and render [Obs.phase_totals] as a JSON object
+   body. *)
+
+let phases_json f =
+  Obs.reset ();
+  Obs.set_tracing true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_tracing false)
+    (fun () -> ignore (f ()));
+  let totals = Obs.phase_totals () in
+  Obs.reset ();
+  String.concat ",\n"
+    (List.map
+       (fun (name, s) -> Printf.sprintf "    \"%s\": %.4f" name s)
+       totals)
+
+(* ------------------------------------------------------------------ *)
 (* CSR storage microbench: BFS and compressR throughput over one generated
    100k-node graph (scaled by --scale), written to BENCH_csr.json so the
    storage-layer numbers are tracked in CI.  The committed baseline keeps
@@ -152,16 +171,10 @@ let run_csr opts () =
   let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
   let m = 3 * n in
   let rng = Random.State.make [| opts.Experiments.seed; 0xC5B |] in
-  let t0 = Unix.gettimeofday () in
-  let g = Generators.erdos_renyi rng ~n ~m in
-  let build_s = Unix.gettimeofday () -. t0 in
+  let g, build_s = Obs.time (fun () -> Generators.erdos_renyi rng ~n ~m) in
   let bfs_queries = 64 in
   let pairs = Reach_query.random_pairs rng g ~count:bfs_queries in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let time = Obs.time in
   let hits = ref 0 in
   let (), bfs_s =
     time (fun () ->
@@ -198,11 +211,13 @@ let run_csr opts () =
       \  \"bfs_s\": %.4f,\n\
       \  \"bfs_qps\": %.1f,\n\
       \  \"compress_s\": %.4f,\n\
-      \  \"compress_edges_per_s\": %.1f\n\
+      \  \"compress_edges_per_s\": %.1f,\n\
+      \  \"phases\": {\n%s\n  }\n\
        }\n"
       (Digraph.n g) (Digraph.m g) opts.Experiments.seed
       opts.Experiments.scale mem bytes_per_edge build_s bfs_queries bfs_s
       bfs_qps compress_s compress_eps
+      (phases_json (fun () -> Compress_reach.compress g))
   in
   let path = "BENCH_csr.json" in
   let oc = open_out path in
@@ -224,15 +239,12 @@ let run_bisim opts () =
   let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
   let m = 3 * n in
   let rng = Random.State.make [| opts.Experiments.seed; 0xB15 |] in
-  let t0 = Unix.gettimeofday () in
-  let g = Generators.erdos_renyi rng ~n ~m in
-  let g = Generators.with_random_labels rng g ~label_count:8 in
-  let build_s = Unix.gettimeofday () -. t0 in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+  let g, build_s =
+    Obs.time (fun () ->
+        let g = Generators.erdos_renyi rng ~n ~m in
+        Generators.with_random_labels rng g ~label_count:8)
   in
+  let time = Obs.time in
   let c, compress_s = time (fun () -> Compress_bisim.compress g) in
   let a, refine_s = time (fun () -> Bisimulation.max_bisimulation g) in
   let blocks = Array.fold_left (fun acc b -> Mono.imax acc (b + 1)) 0 a in
@@ -265,12 +277,14 @@ let run_bisim opts () =
       \  \"refine_s\": %.4f,\n\
       \  \"refine_edges_per_s\": %.1f,\n\
       \  \"blocks\": %d,\n\
-      \  \"stable\": %b\n\
+      \  \"stable\": %b,\n\
+      \  \"phases\": {\n%s\n  }\n\
        }\n"
       (Digraph.n g) (Digraph.m g) opts.Experiments.seed opts.Experiments.scale
       build_s compress_s compress_eps
       (Digraph.n (Compressed.graph c))
       refine_s refine_eps blocks stable
+      (phases_json (fun () -> Compress_bisim.compress g))
   in
   let path = "BENCH_bisim.json" in
   let oc = open_out path in
@@ -344,11 +358,7 @@ let run_speedup opts () =
   let par_pool = Pool.default () in
   let domains = Pool.domains par_pool in
   section (Printf.sprintf "seq vs parallel (domains=%d)" domains);
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
+  let time = Obs.time in
   let n = max 512 (int_of_float (20000. *. opts.Experiments.scale)) in
   let m = 3 * n / 2 in
   let rng = Random.State.make [| opts.Experiments.seed; 2024 |] in
@@ -495,6 +505,6 @@ let () =
     | [] -> List.map fst experiments
     | picked -> picked
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_ns () in
   List.iter (fun name -> (List.assoc name experiments) opts ()) to_run;
-  Format.fprintf ppf "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  Format.fprintf ppf "@.total bench time: %.1fs@." (Obs.Clock.elapsed_s t0)

@@ -34,6 +34,52 @@ let setup_domains n =
   end;
   Pool.set_default_domains n
 
+(* Shared observability flags, accepted by every subcommand.  Exports are
+   registered [at_exit] so they capture whatever ran, including early
+   [exit 1] paths; the stdlib's flush handler was registered first and
+   therefore runs last, so the output is flushed. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans around the instrumented kernel phases and write \
+           them to $(docv) as Chrome trace_event JSON on exit (load it at \
+           $(b,ui.perfetto.dev)).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record kernel counters and histograms (per-domain, merged at \
+           the end) and print the table on exit.")
+
+let trace_gc_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-gc" ]
+        ~doc:
+          "With $(b,--trace): also record GC deltas (minor/promoted words, \
+           major collections) per span.")
+
+let setup_obs trace metrics trace_gc =
+  (match trace with
+  | Some file ->
+      Obs.set_tracing true;
+      Obs.set_gc_sampling trace_gc;
+      at_exit (fun () ->
+          try Obs.write_trace file
+          with Sys_error e -> Printf.eprintf "--trace: %s\n" e)
+  | None -> ());
+  if metrics then begin
+    Obs.set_metrics true;
+    at_exit (fun () -> print_string (Obs.metrics_table ()))
+  end
+
+let obs_term = Term.(const setup_obs $ trace_arg $ metrics_arg $ trace_gc_arg)
+
 (* [Graph_io.load] sniffs the snapshot magic, so every subcommand accepts
    text and binary graph files interchangeably. *)
 let read_graph path =
@@ -86,7 +132,7 @@ let generate_cmd =
       & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output graph file.")
   in
-  let run dataset nodes edges seed output binary =
+  let run () dataset nodes edges seed output binary =
     match Datasets.find dataset with
     | exception Not_found ->
         Printf.eprintf "unknown dataset %S; try `qpgc datasets'\n" dataset;
@@ -101,7 +147,9 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Materialise a synthetic dataset stand-in.")
-    Term.(const run $ dataset $ nodes $ edges $ seed $ output $ binary_arg)
+    Term.(
+      const run $ obs_term $ dataset $ nodes $ edges $ seed $ output
+      $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -113,7 +161,7 @@ let graph_arg =
     & info [] ~docv:"GRAPH" ~doc:"Graph file (see README for the format).")
 
 let stats_cmd =
-  let run domains path =
+  let run () domains path =
     setup_domains domains;
     let g = read_graph path in
     Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
@@ -134,7 +182,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Structural statistics and compression ratios.")
-    Term.(const run $ domains_arg $ graph_arg)
+    Term.(const run $ obs_term $ domains_arg $ graph_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compress *)
@@ -170,16 +218,15 @@ let compress_cmd =
             "Write the full compression (Gr + node map) in one file, \
              loadable by $(b,qpgc cquery).")
   in
-  let run domains path mode output map_file save_file binary =
+  let run () domains path mode output map_file save_file binary =
     setup_domains domains;
     let g = read_graph path in
-    let t0 = Unix.gettimeofday () in
-    let c =
-      match mode with
-      | `Reach -> Compress_reach.compress g
-      | `Pattern -> Compress_bisim.compress g
+    let c, dt =
+      Obs.time (fun () ->
+          match mode with
+          | `Reach -> Compress_reach.compress g
+          | `Pattern -> Compress_bisim.compress g)
     in
-    let dt = Unix.gettimeofday () -. t0 in
     (if binary then Graph_io.save_binary else Graph_io.save)
       output (Compressed.graph c);
     (match save_file with
@@ -201,8 +248,8 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Compress a graph, preserving a query class.")
     Term.(
-      const run $ domains_arg $ graph_arg $ mode_arg $ output $ map_file
-      $ save_file $ binary_arg)
+      const run $ obs_term $ domains_arg $ graph_arg $ mode_arg $ output
+      $ map_file $ save_file $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* query *)
@@ -214,7 +261,7 @@ let query_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
   in
-  let run domains path source target =
+  let run () domains path source target =
     setup_domains domains;
     let g = read_graph path in
     let n = Digraph.n g in
@@ -233,7 +280,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
-    Term.(const run $ domains_arg $ graph_arg $ source $ target)
+    Term.(const run $ obs_term $ domains_arg $ graph_arg $ source $ target)
 
 (* ------------------------------------------------------------------ *)
 (* match *)
@@ -245,7 +292,7 @@ let match_cmd =
       & opt (some file) None
       & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern query file.")
   in
-  let run path pattern_file =
+  let run () path pattern_file =
     let g = read_graph path in
     let p =
       try Pattern_io.load pattern_file
@@ -267,7 +314,7 @@ let match_cmd =
   Cmd.v
     (Cmd.info "match"
        ~doc:"Evaluate a pattern query on the compressed graph.")
-    Term.(const run $ graph_arg $ pattern_file)
+    Term.(const run $ obs_term $ graph_arg $ pattern_file)
 
 (* ------------------------------------------------------------------ *)
 (* cquery: query a saved compression without the original graph *)
@@ -286,7 +333,7 @@ let cquery_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node (original id).")
   in
-  let run path source target =
+  let run () path source target =
     let c =
       try Compressed_io.load path
       with Compressed_io.Parse_error (line, msg) ->
@@ -310,7 +357,7 @@ let cquery_cmd =
     (Cmd.info "cquery"
        ~doc:
          "Answer a reachability query from a saved compression, without the           original graph.")
-    Term.(const run $ comp_file $ source $ target)
+    Term.(const run $ obs_term $ comp_file $ source $ target)
 
 (* ------------------------------------------------------------------ *)
 (* rpq *)
@@ -325,7 +372,7 @@ let rpq_cmd =
             "Regular path query over node labels: atoms $(b,l<id>) and \
              $(b,.), postfix $(b,*)/$(b,+)/$(b,?), infix $(b,|), parentheses.")
   in
-  let run path regex =
+  let run () path regex =
     let g = read_graph path in
     let r =
       try Rpq.parse regex
@@ -347,7 +394,7 @@ let rpq_cmd =
        ~doc:
          "Evaluate a regular path query on the compressed graph (the \
           paper's Sec 7 extension).")
-    Term.(const run $ graph_arg $ regex)
+    Term.(const run $ obs_term $ graph_arg $ regex)
 
 (* ------------------------------------------------------------------ *)
 (* dot: Graphviz export, optionally clustered by the compression *)
@@ -364,7 +411,7 @@ let dot_cmd =
           ~doc:
             "Group nodes into Graphviz clusters by their hypernode under              the $(b,reach) or $(b,pattern) compression.")
   in
-  let run path cluster_mode =
+  let run () path cluster_mode =
     let g = read_graph path in
     let cluster =
       match cluster_mode with
@@ -382,7 +429,7 @@ let dot_cmd =
     (Cmd.info "dot"
        ~doc:
          "Render the graph as Graphviz DOT, optionally clustered by           hypernode.")
-    Term.(const run $ graph_arg $ cluster_mode)
+    Term.(const run $ obs_term $ graph_arg $ cluster_mode)
 
 (* ------------------------------------------------------------------ *)
 (* workload: run a query workload file over G and over Gr, verify, time *)
@@ -396,7 +443,7 @@ let workload_cmd =
           ~doc:
             "Workload file: one query per line — $(b,r <u> <v>) for              reachability, $(b,p <pattern-file>) for a pattern query,              $(b,x <regex>) for a regular path query.")
   in
-  let run domains path workload_file =
+  let run () domains path workload_file =
     setup_domains domains;
     let g = read_graph path in
     let lines =
@@ -404,14 +451,10 @@ let workload_cmd =
       |> List.mapi (fun i l -> (i + 1, String.trim l))
       |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_ns () in
     let rc = lazy (Compress_reach.compress g) in
     let pc = lazy (Compress_bisim.compress g) in
-    let time f =
-      let t = Unix.gettimeofday () in
-      let r = f () in
-      (r, Unix.gettimeofday () -. t)
-    in
+    let time = Obs.time in
     let g_time = ref 0.0 and gr_time = ref 0.0 in
     let count = ref 0 and mismatches = ref 0 in
     List.iter
@@ -465,20 +508,20 @@ let workload_cmd =
       "%d queries: %.3fs on G, %.3fs via compression (%.3fs total with the \
        one-time compression), %d mismatches\n"
       !count !g_time !gr_time
-      (Unix.gettimeofday () -. t0)
+      (Obs.Clock.elapsed_s t0)
       !mismatches;
     if !mismatches > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "workload"
        ~doc:"Run a query workload over a graph and its compression, verifying agreement.")
-    Term.(const run $ domains_arg $ graph_arg $ workload_file)
+    Term.(const run $ obs_term $ domains_arg $ graph_arg $ workload_file)
 
 (* ------------------------------------------------------------------ *)
 (* datasets *)
 
 let datasets_cmd =
-  let run () =
+  let run () () =
     Printf.printf "%-12s %10s %10s %6s   %s\n" "name" "|V|" "|E|" "|L|"
       "models";
     List.iter
@@ -490,7 +533,7 @@ let datasets_cmd =
   in
   Cmd.v
     (Cmd.info "datasets" ~doc:"List the built-in dataset stand-ins.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 let () =
   let doc = "query preserving graph compression (Fan et al., SIGMOD 2012)" in

@@ -5,10 +5,7 @@
 
    Run with:  dune exec examples/social_updates.exe *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Obs.time
 
 let () =
   let spec = Datasets.find "socEpinions" in

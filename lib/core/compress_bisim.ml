@@ -21,7 +21,12 @@ let compress_of_partition g assignment =
   end
 
 let compress ?pool g =
-  compress_of_partition g (Bisimulation.max_bisimulation ?pool g)
+  Obs.span "compressB" (fun () ->
+      let part =
+        Obs.span "compressB.partition" (fun () ->
+            Bisimulation.max_bisimulation ?pool g)
+      in
+      Obs.span "compressB.quotient" (fun () -> compress_of_partition g part))
 
 let answer ?cache p c =
   Compressed.expand_result c

@@ -7,17 +7,23 @@ let compress_of_equiv ?pool g re =
     (* Class-level edges, without self-loops: between distinct classes the
        quotient is a DAG, so the redundant-edge rule of Fig 5 is its unique
        transitive reduction. *)
-    let seen = Mono.Ptbl.create 1024 in
-    let edges = ref [] in
-    Digraph.iter_edges g (fun u v ->
-        let cu = re.Reach_equiv.class_of.(u)
-        and cv = re.Reach_equiv.class_of.(v) in
-        if cu <> cv && not (Mono.Ptbl.mem seen (cu, cv)) then begin
-          Mono.Ptbl.replace seen (cu, cv) ();
-          edges := (cu, cv) :: !edges
-        end);
-    let quotient = Digraph.make ~n:k !edges in
-    let reduced = Transitive.reduction_dag ?pool quotient in
+    let quotient =
+      Obs.span "compressR.quotient" (fun () ->
+          let seen = Mono.Ptbl.create 1024 in
+          let edges = ref [] in
+          Digraph.iter_edges g (fun u v ->
+              let cu = re.Reach_equiv.class_of.(u)
+              and cv = re.Reach_equiv.class_of.(v) in
+              if cu <> cv && not (Mono.Ptbl.mem seen (cu, cv)) then begin
+                Mono.Ptbl.replace seen (cu, cv) ();
+                edges := (cu, cv) :: !edges
+              end);
+          Digraph.make ~n:k !edges)
+    in
+    let reduced =
+      Obs.span "compressR.reduce" (fun () ->
+          Transitive.reduction_dag ?pool quotient)
+    in
     (* Self-loops mark cyclic classes: a member reaches itself by a nonempty
        path iff its hypernode does. *)
     let self_loops = ref [] in
@@ -28,7 +34,9 @@ let compress_of_equiv ?pool g re =
     Compressed.v ~graph ~node_map:re.Reach_equiv.class_of
   end
 
-let compress ?pool g = compress_of_equiv ?pool g (Reach_equiv.compute g)
+let compress ?pool g =
+  Obs.span "compressR" (fun () ->
+      compress_of_equiv ?pool g (Reach_equiv.compute g))
 
 (* Fig 5 verbatim: per-node forward/backward BFS, then group nodes with
    equal (ancestors, descendants).  Quadratic, like the paper's bound.

@@ -53,7 +53,7 @@ let compute g =
   let n = Digraph.n g in
   if n = 0 then { count = 0; class_of = [||]; members = [||]; cyclic = [||] }
   else begin
-    let scc = Scc.compute g in
+    let scc = Obs.span "compressR.scc" (fun () -> Scc.compute g) in
     let cond = Scc.condensation g scc in
     let k = scc.Scc.count in
     (* Group SCCs on the (descendants, ancestors) pair of reachability sets.
@@ -141,8 +141,13 @@ let compute g =
         done;
       (cls, !count)
     in
-    let dclass, _ = pass ~prev:(Array.make k 0) ~asc:true in
-    let scc_class, class_count = pass ~prev:dclass ~asc:false in
+    let dclass, _ =
+      Obs.span "compressR.desc_pass" (fun () ->
+          pass ~prev:(Array.make k 0) ~asc:true)
+    in
+    let scc_class, class_count =
+      Obs.span "compressR.anc_pass" (fun () -> pass ~prev:dclass ~asc:false)
+    in
     of_scc_grouping g scc ~scc_class ~class_count
   end
 

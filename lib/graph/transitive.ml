@@ -23,24 +23,28 @@ let scc_descendant_sets ~pool g scc =
       fill c
     done
   else begin
-    let level = Array.make k 0 in
-    let max_level = ref 0 in
-    for c = 0 to k - 1 do
-      let l = ref 0 in
-      Digraph.iter_succ cond c (fun c' ->
-          if level.(c') >= !l then l := level.(c') + 1);
-      level.(c) <- !l;
-      if !l > !max_level then max_level := !l
-    done;
-    let counts = Array.make (!max_level + 1) 0 in
-    Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level;
-    let buckets = Array.map (fun cnt -> Array.make cnt 0) counts in
-    let fill_pos = Array.make (!max_level + 1) 0 in
-    for c = 0 to k - 1 do
-      let l = level.(c) in
-      buckets.(l).(fill_pos.(l)) <- c;
-      fill_pos.(l) <- fill_pos.(l) + 1
-    done;
+    let buckets =
+      Obs.span "transitive.topo_rank" (fun () ->
+          let level = Array.make k 0 in
+          let max_level = ref 0 in
+          for c = 0 to k - 1 do
+            let l = ref 0 in
+            Digraph.iter_succ cond c (fun c' ->
+                if level.(c') >= !l then l := level.(c') + 1);
+            level.(c) <- !l;
+            if !l > !max_level then max_level := !l
+          done;
+          let counts = Array.make (!max_level + 1) 0 in
+          Array.iter (fun l -> counts.(l) <- counts.(l) + 1) level;
+          let buckets = Array.map (fun cnt -> Array.make cnt 0) counts in
+          let fill_pos = Array.make (!max_level + 1) 0 in
+          for c = 0 to k - 1 do
+            let l = level.(c) in
+            buckets.(l).(fill_pos.(l)) <- c;
+            fill_pos.(l) <- fill_pos.(l) + 1
+          done;
+          buckets)
+    in
     Array.iter
       (fun bucket ->
         Pool.parallel_for pool ~n:(Array.length bucket) (fun i ->

@@ -1,3 +1,12 @@
+(* Observability handles.  Visited counts are read off the result bitsets
+   after the loops, and frontier sizes reuse lengths the algorithms already
+   have, so the disabled cost stays out of the inner loops entirely. *)
+let c_visited = Obs.counter "traversal.nodes_visited"
+let h_frontier = Obs.histogram "traversal.frontier"
+
+let note_visited visited =
+  if Obs.metrics_on () then Obs.add c_visited (Bitset.cardinal visited)
+
 let bfs_generic g ~starts ~seed_visited =
   (* Returns the visited bitset after exhausting the frontier. [seed_visited]
      controls whether the start nodes are marked before expansion, which is
@@ -17,6 +26,7 @@ let bfs_generic g ~starts ~seed_visited =
           Queue.add v q
         end)
   done;
+  note_visited visited;
   visited
 
 let bfs_reaches g u v =
@@ -42,6 +52,7 @@ let ancestors g u =
           Queue.add p q
         end)
   done;
+  note_visited visited;
   visited
 
 let bounded_descendants g u k =
@@ -60,8 +71,11 @@ let bounded_descendants g u k =
               next := v :: !next
             end))
       !frontier;
+    if Obs.metrics_on () then
+      Obs.observe h_frontier (float_of_int (List.length !next));
     frontier := !next
   done;
+  note_visited visited;
   visited
 
 let bibfs_reaches g u v =
@@ -93,12 +107,16 @@ let bibfs_reaches g u v =
       (* Expand the smaller frontier first; an empty side means that search is
          exhausted and only the other side can still make progress. *)
       let flen = List.length !fq and blen = List.length !bq in
+      if Obs.metrics_on () then
+        Obs.observe h_frontier (float_of_int (flen + blen));
       if flen = 0 && blen = 0 then ()
       else if blen = 0 || (flen <= blen && flen > 0) then
         fq := expand !fq fwd bwd ~forward:true
       else bq := expand !bq bwd fwd ~forward:false;
       if !fq = [] && !bq = [] then ()
     done;
+    if Obs.metrics_on () then
+      Obs.add c_visited (Bitset.cardinal fwd + Bitset.cardinal bwd);
     !found
   end
 
@@ -121,6 +139,7 @@ let dfs_reaches g u v =
                 stack := w :: !stack
               end)
     done;
+    note_visited visited;
     !found
   end
 
@@ -170,6 +189,7 @@ let budgeted_reaches g u v ~budget =
      (* Frontier exhausted: v is definitely unreachable by a nonempty path. *)
      result := Some false
    with Exit -> ());
+  Obs.add c_visited !expanded;
   !result
 
 let distance g u v =

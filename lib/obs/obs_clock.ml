@@ -1,0 +1,16 @@
+(* The one module in the repo allowed to touch a raw clock (OBS01 enforces
+   this).  CLOCK_MONOTONIC via a local C stub: wall-clock time is not
+   monotonic (NTP steps produce negative durations), and [Sys.time] is
+   per-process CPU time, which under a domain pool counts every worker's
+   cycles at once. *)
+
+external now_ns : unit -> int = "qpgc_obs_monotonic_ns" [@@noalloc]
+
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3
+let elapsed_s t0 = ns_to_s (now_ns () - t0)
+
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_s t0)

@@ -1,0 +1,26 @@
+(** Monotonic clock — the only raw clock in the repo (rule OBS01).
+
+    Backed by [CLOCK_MONOTONIC] through a local C stub; readings never go
+    backwards, so durations are always non-negative, unlike
+    [Unix.gettimeofday] (stepped by NTP) or [Sys.time] (CPU time, summed
+    over every domain of the pool). *)
+
+(** [now_ns ()] is nanoseconds since an arbitrary fixed origin, as an
+    immediate (allocation-free) int.  62 bits of nanoseconds cover ~146
+    years, so wrap-around is not a practical concern. *)
+val now_ns : unit -> int
+
+(** [ns_to_s ns] / [ns_to_us ns] convert a nanosecond count to (micro)
+    seconds. *)
+val ns_to_s : int -> float
+
+val ns_to_us : int -> float
+
+(** [elapsed_s t0] is the seconds elapsed since the reading [t0]. *)
+val elapsed_s : int -> float
+
+(** [time f] runs [f ()] and returns its result with the monotonic wall
+    time it took, in seconds.  The shared replacement for the ad-hoc
+    [let t0 = ... in (r, ... -. t0)] closures that used to be copied
+    around the bench and CLI front ends. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,31 @@
+/* Monotonic clock primitive for Obs_clock.
+
+   CLOCK_MONOTONIC nanoseconds since an arbitrary epoch, returned as an
+   immediate OCaml int: 62 bits of nanoseconds cover ~146 years of uptime,
+   so no int64 boxing (and therefore no allocation) is needed — the
+   external is declared [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+CAMLprim value qpgc_obs_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER freq = {0};
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0) QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return Val_long((intnat)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value qpgc_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+#endif

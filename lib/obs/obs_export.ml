@@ -1,0 +1,71 @@
+(* Text exporters for the metrics registry: a Prometheus-style exposition
+   dump and the aligned table `qpgc --metrics` prints. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* %g with enough digits, but "+Inf" and integral floats kept short the
+   way Prometheus convention writes them. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let prometheus metrics =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let m = "qpgc_" ^ sanitize name in
+      match (v : Obs_metrics.value) with
+      | Counter_v n ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" m m n)
+      | Gauge_v g ->
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" m m (float_str g))
+      | Hist_v { buckets; counts; sum } ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" m);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length buckets then float_str buckets.(i)
+                else "+Inf"
+              in
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" m le !cum))
+            counts;
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n%s_count %d\n" m (float_str sum) m !cum))
+    metrics;
+  Buffer.contents b
+
+let table metrics =
+  let rows =
+    List.map
+      (fun (name, v) ->
+        match (v : Obs_metrics.value) with
+        | Counter_v n -> (name, "counter", string_of_int n)
+        | Gauge_v g -> (name, "gauge", float_str g)
+        | Hist_v { counts; sum; _ } ->
+            let count = Array.fold_left ( + ) 0 counts in
+            ( name,
+              "histogram",
+              Printf.sprintf "count=%d sum=%s" count (float_str sum) ))
+      metrics
+  in
+  let rows = ("metric", "type", "value") :: rows in
+  let w1 = List.fold_left (fun w (a, _, _) -> max w (String.length a)) 0 rows in
+  let w2 = List.fold_left (fun w (_, b, _) -> max w (String.length b)) 0 rows in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (a, c, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s  %-*s  %s\n" w1 a w2 c v))
+    rows;
+  Buffer.contents b

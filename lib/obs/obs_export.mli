@@ -1,0 +1,10 @@
+(** Text exporters over an {!Obs_metrics.snapshot}. *)
+
+(** Prometheus text exposition format.  Names are prefixed with [qpgc_]
+    and sanitized (dots become underscores); histograms emit cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+val prometheus : (string * Obs_metrics.value) list -> string
+
+(** Human-readable aligned table (what [--metrics] prints): one row per
+    metric with its type and merged value. *)
+val table : (string * Obs_metrics.value) list -> string

@@ -1,0 +1,17 @@
+(* Global observability switches.
+
+   Read on every record call from every domain, so they are Atomic.t —
+   plain mutable bools would be a (benign but formally racy) data race
+   under the multicore memory model.  Disabled-mode cost is one atomic
+   load and one branch per instrumentation site. *)
+
+let tracing_flag = Atomic.make false
+let metrics_flag = Atomic.make false
+let gc_flag = Atomic.make false
+
+let tracing () = Atomic.get tracing_flag
+let metrics () = Atomic.get metrics_flag
+let gc_sampling () = Atomic.get gc_flag
+let set_tracing b = Atomic.set tracing_flag b
+let set_metrics b = Atomic.set metrics_flag b
+let set_gc_sampling b = Atomic.set gc_flag b

@@ -1,0 +1,14 @@
+(** Global observability switches, shared by every instrumentation site.
+
+    [tracing] gates span recording, [metrics] gates counter / gauge /
+    histogram recording, [gc_sampling] gates the per-span
+    [Gc.quick_stat] delta capture (only meaningful while tracing).  All
+    default to off; when off, every instrumentation call is one atomic
+    load and one branch. *)
+
+val tracing : unit -> bool
+val metrics : unit -> bool
+val gc_sampling : unit -> bool
+val set_tracing : bool -> unit
+val set_metrics : bool -> unit
+val set_gc_sampling : bool -> unit

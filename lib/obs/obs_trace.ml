@@ -1,0 +1,218 @@
+(* Span recording and the Chrome trace_event exporter.
+
+   Spans nest lexically per domain: each domain keeps its own event list
+   and a current depth in domain-local storage, so pool workers record
+   without synchronisation.  Completed spans are stored as Chrome "X"
+   (complete) events — start timestamp plus duration — and nesting is
+   recovered by Perfetto from containment on the same tid (we emit the
+   domain id as the tid).
+
+   Timestamps are relative to a process-local epoch captured at module
+   init, keeping the microsecond values small enough to read by eye. *)
+
+type event = {
+  name : string;
+  dom : int;
+  ts_ns : int;  (* relative to [epoch] *)
+  dur_ns : int;
+  depth : int;
+  gc_sampled : bool;
+  minor_words : float;
+  promoted_words : float;
+  major_collections : int;
+}
+
+let epoch = Obs_clock.now_ns ()
+
+type frame = { f_name : string; f_t0 : int; f_gc0 : Gc.stat option }
+
+type slot = {
+  dom : int;
+  mutable depth : int;
+  mutable events : event list;
+  mutable open_frames : frame list;  (* begin_span/end_span stack *)
+}
+
+let slots : slot list ref = ref []
+let slots_lock = Mutex.create ()
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          dom = (Domain.self () :> int);
+          depth = 0;
+          events = [];
+          open_frames = [];
+        }
+      in
+      Mutex.lock slots_lock;
+      slots := s :: !slots;
+      Mutex.unlock slots_lock;
+      s)
+
+let finish s name t0 depth gc0 =
+  let t1 = Obs_clock.now_ns () in
+  let gc_sampled, minor_words, promoted_words, major_collections =
+    match gc0 with
+    | None -> (false, 0.0, 0.0, 0)
+    | Some (g0 : Gc.stat) ->
+        let g1 = Gc.quick_stat () in
+        ( true,
+          g1.minor_words -. g0.minor_words,
+          g1.promoted_words -. g0.promoted_words,
+          g1.major_collections - g0.major_collections )
+  in
+  s.events <-
+    {
+      name;
+      dom = s.dom;
+      ts_ns = t0 - epoch;
+      dur_ns = t1 - t0;
+      depth;
+      gc_sampled;
+      minor_words;
+      promoted_words;
+      major_collections;
+    }
+    :: s.events;
+  s.depth <- depth
+
+let span name f =
+  if not (Obs_state.tracing ()) then f ()
+  else begin
+    let s = Domain.DLS.get slot_key in
+    let depth = s.depth in
+    s.depth <- depth + 1;
+    let gc0 = if Obs_state.gc_sampling () then Some (Gc.quick_stat ()) else None in
+    let t0 = Obs_clock.now_ns () in
+    match f () with
+    | r ->
+        finish s name t0 depth gc0;
+        r
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish s name t0 depth gc0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+(* Closure-free span form for hot loops: [span] would force the loop
+   body into a closure, costing register allocation on every captured
+   local even while tracing is off.  [begin_span]/[end_span] keep the
+   loop in its lexical position; the price is that an exception between
+   the two drops the span (and any frame begun while tracing was off is
+   simply never closed — [end_span] pops nothing then). *)
+let begin_span name =
+  if Obs_state.tracing () then begin
+    let s = Domain.DLS.get slot_key in
+    s.depth <- s.depth + 1;
+    let gc0 =
+      if Obs_state.gc_sampling () then Some (Gc.quick_stat ()) else None
+    in
+    s.open_frames <-
+      { f_name = name; f_t0 = Obs_clock.now_ns (); f_gc0 = gc0 }
+      :: s.open_frames
+  end
+
+let end_span () =
+  if Obs_state.tracing () then begin
+    let s = Domain.DLS.get slot_key in
+    match s.open_frames with
+    | [] -> ()
+    | f :: rest ->
+        s.open_frames <- rest;
+        finish s f.f_name f.f_t0 (s.depth - 1) f.f_gc0
+  end
+
+let events () =
+  Mutex.lock slots_lock;
+  let ss = !slots in
+  Mutex.unlock slots_lock;
+  List.concat_map (fun s -> s.events) ss
+  |> List.sort (fun a b ->
+         match Int.compare a.ts_ns b.ts_ns with
+         | 0 -> Int.compare b.dur_ns a.dur_ns  (* parents before children *)
+         | c -> c)
+
+(* Quiescent use only, like Obs_metrics.clear. *)
+let clear () =
+  Mutex.lock slots_lock;
+  let ss = !slots in
+  Mutex.unlock slots_lock;
+  List.iter
+    (fun s ->
+      s.events <- [];
+      s.depth <- 0;
+      s.open_frames <- [])
+    ss
+
+let phase_totals () =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem tbl e.name) then order := e.name :: !order;
+      let prev = try Hashtbl.find tbl e.name with Not_found -> 0 in
+      Hashtbl.replace tbl e.name (prev + e.dur_ns))
+    (events ());
+  List.rev_map (fun n -> (n, Obs_clock.ns_to_s (Hashtbl.find tbl n))) !order
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON *)
+
+let escape_json b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_chrome_json () =
+  let evs = events () in
+  let b = Buffer.create (4096 + (160 * List.length evs)) in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n "
+  in
+  (* Name the rows after the recording domains. *)
+  let doms =
+    List.sort_uniq Int.compare (List.map (fun (e : event) -> e.dom) evs)
+  in
+  List.iter
+    (fun d ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           d d))
+    doms;
+  List.iter
+    (fun e ->
+      sep ();
+      Buffer.add_string b "{\"name\":\"";
+      escape_json b e.name;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\",\"cat\":\"qpgc\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d"
+           e.dom
+           (Obs_clock.ns_to_us e.ts_ns)
+           (Obs_clock.ns_to_us e.dur_ns)
+           e.depth);
+      if e.gc_sampled then
+        Buffer.add_string b
+          (Printf.sprintf
+             ",\"gc_minor_words\":%.0f,\"gc_promoted_words\":%.0f,\"gc_major_collections\":%d"
+             e.minor_words e.promoted_words e.major_collections);
+      Buffer.add_string b "}}")
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

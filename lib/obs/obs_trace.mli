@@ -1,0 +1,50 @@
+(** Span recording and Chrome trace_event export.
+
+    Spans nest lexically per domain; each domain records into its own
+    event list through domain-local storage, so pool workers never
+    synchronise.  Recording is gated on {!Obs_state.tracing} — disabled,
+    {!span} is one atomic load, one branch, and a tail call. *)
+
+type event = {
+  name : string;
+  dom : int;  (** recording domain's id (Chrome [tid]) *)
+  ts_ns : int;  (** start, relative to the process-local trace epoch *)
+  dur_ns : int;
+  depth : int;  (** nesting depth within the recording domain *)
+  gc_sampled : bool;
+  minor_words : float;  (** [Gc.quick_stat] deltas across the span *)
+  promoted_words : float;
+  major_collections : int;
+}
+
+(** [span name f] runs [f ()]; when tracing is on, records a completed
+    span around it (also on exception, which is re-raised with its
+    backtrace).  GC deltas are captured when {!Obs_state.gc_sampling} is
+    also on. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** Closure-free span form for hot loops, where {!span} would force the
+    loop body into a closure and cost register allocation on every
+    captured local even while tracing is off.  Calls must pair
+    lexically; an exception between the two drops the span. *)
+val begin_span : string -> unit
+
+val end_span : unit -> unit
+
+(** All completed spans from every domain, sorted by start time (parents
+    before their children). *)
+val events : unit -> event list
+
+(** Total seconds per span name, in first-recorded order — the
+    ["phases"] breakdown the bench JSON reports. *)
+val phase_totals : unit -> (string * float) list
+
+(** Serialize to Chrome trace_event JSON ([{"traceEvents":[...]}]),
+    loadable in Perfetto ({{:https://ui.perfetto.dev}ui.perfetto.dev}).
+    Events are "X" (complete) events with [ts]/[dur] in microseconds and
+    the domain id as [tid]. *)
+val to_chrome_json : unit -> string
+
+(** Drop all recorded spans.  Only safe when no other domain is
+    recording. *)
+val clear : unit -> unit

@@ -30,10 +30,17 @@ let inside_job = Domain.DLS.new_key (fun () -> false)
 
 let recommended () = min 8 (Domain.recommended_domain_count ())
 
+let m_chunks = Obs.counter "pool.chunks"
+let m_busy_ns = Obs.counter "pool.busy_ns"
+
 let run_chunks job =
+  let observing = Obs.metrics_on () in
+  let t0 = if observing then Obs.Clock.now_ns () else 0 in
+  let chunks = ref 0 in
   let rec loop () =
     let start = Atomic.fetch_and_add job.next job.chunk in
     if start < job.n then begin
+      incr chunks;
       let stop = min job.n (start + job.chunk) in
       (try job.body start stop
        with e ->
@@ -49,7 +56,11 @@ let run_chunks job =
   in
   Domain.DLS.set inside_job true;
   loop ();
-  Domain.DLS.set inside_job false
+  Domain.DLS.set inside_job false;
+  if observing then begin
+    Obs.add m_chunks !chunks;
+    Obs.add m_busy_ns (Obs.Clock.now_ns () - t0)
+  end
 
 let participate job =
   run_chunks job;

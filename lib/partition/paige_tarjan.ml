@@ -27,6 +27,15 @@
    classic FIFO but the coarsest stable refinement is unique, so the
    normalized output is identical. *)
 
+(* Observability handles.  Each record call is one branch while metrics
+   are off, and the per-round block below is hoisted behind a single
+   [Obs.metrics_on] check, so the refinement loop stays within the bench
+   overhead budget when observability is disabled. *)
+let c_rounds = Obs.counter "pt.rounds"
+let c_splits = Obs.counter "pt.splits"
+let c_marks = Obs.counter "pt.marks"
+let h_detach = Obs.histogram "pt.detach_size"
+
 let coarsest_stable_refinement ?pool g ~initial =
   let n = Digraph.n g in
   if Array.length initial <> n then
@@ -41,11 +50,15 @@ let coarsest_stable_refinement ?pool g ~initial =
        partition stable w.r.t. the universe block.  Per-node key
        computation is embarrassingly parallel (disjoint writes), so the
        result is bit-identical to the sequential fill. *)
-    let keys = Array.make n 0 in
-    Pool.parallel_for pool ~n (fun v ->
-        keys.(v) <-
-          (initial.(v) * 2) + if out_off.(v + 1) > out_off.(v) then 1 else 0);
-    let p = Partition.create_with keys in
+    let p =
+      Obs.span "compressB.presplit" (fun () ->
+          let keys = Array.make n 0 in
+          Pool.parallel_for pool ~n (fun v ->
+              keys.(v) <-
+                (initial.(v) * 2)
+                + if out_off.(v + 1) > out_off.(v) then 1 else 0);
+          Partition.create_with keys)
+    in
     (* Super-blocks: contiguous element ranges.  At most one super-block per
        P-block ever exists, and P-blocks never exceed n. *)
     let cap = n + 1 in
@@ -74,17 +87,18 @@ let coarsest_stable_refinement ?pool g ~initial =
     (* Initially every out-edge of u counts toward super-block 0, so u's
        edges all share one slot holding its out-degree. *)
     let node_cnt = Array.make n (-1) in
-    for u = 0 to n - 1 do
-      let d = out_off.(u + 1) - out_off.(u) in
-      if d > 0 then begin
-        let c = alloc_slot () in
-        cval.(c) <- d;
-        node_cnt.(u) <- c
-      end
-    done;
     let cnt_of_edge = Array.make (Mono.imax 1 m) 0 in
-    Pool.parallel_for pool ~n:m (fun e ->
-        cnt_of_edge.(e) <- node_cnt.(in_adj.(e)));
+    Obs.span "compressB.init_counters" (fun () ->
+        for u = 0 to n - 1 do
+          let d = out_off.(u + 1) - out_off.(u) in
+          if d > 0 then begin
+            let c = alloc_slot () in
+            cval.(c) <- d;
+            node_cnt.(u) <- c
+          end
+        done;
+        Pool.parallel_for pool ~n:m (fun e ->
+            cnt_of_edge.(e) <- node_cnt.(in_adj.(e))));
     (* Per-round scratch: E⁻¹(B) and each member's old/new counter slot. *)
     let preds = Array.make n 0 in
     let old_cnt = Array.make n 0 in
@@ -102,10 +116,15 @@ let coarsest_stable_refinement ?pool g ~initial =
     in
     enqueue 0;
     let attach_split ~old_block ~new_block =
+      Obs.incr c_splits;
       let x = sb_of_blk.(old_block) in
       sb_of_blk.(new_block) <- x;
       enqueue x
     in
+    (* begin/end rather than [Obs.span]: a closure here would push every
+       hot local (cval, cnt_of_edge, preds, the worklist...) into a
+       closure environment and cost ~20% even with tracing off. *)
+    Obs.begin_span "compressB.refine";
     while !work_len > 0 do
       decr work_len;
       let xs = work.(!work_len) in
@@ -125,6 +144,10 @@ let coarsest_stable_refinement ?pool g ~initial =
           end
         in
         let bs = Partition.block_size p b in
+        if Obs.metrics_on () then begin
+          Obs.incr c_rounds;
+          Obs.observe h_detach (float_of_int bs)
+        end;
         let xn = !sb_count in
         incr sb_count;
         sb_first.(xn) <- sf;
@@ -158,6 +181,7 @@ let coarsest_stable_refinement ?pool g ~initial =
               cval.(cn) <- cval.(cn) + 1;
               cnt_of_edge.(e) <- cn
             done);
+        Obs.add c_marks !preds_len;
         (* Three-way split: first on membership in E⁻¹(B)... *)
         for i = 0 to !preds_len - 1 do
           Partition.mark p preds.(i)
@@ -181,5 +205,6 @@ let coarsest_stable_refinement ?pool g ~initial =
         done
       end
     done;
+    Obs.end_span ();
     Partition.normalize_assignment (Partition.assignment p)
   end

@@ -7,7 +7,10 @@ let algorithm_name = function
   | Bibfs -> "BiBFS"
   | Dfs -> "DFS"
 
+let c_evals = Obs.counter "query.reach_evals"
+
 let eval algo g ~source ~target =
+  Obs.incr c_evals;
   match algo with
   | Bfs -> Traversal.bfs_reaches g source target
   | Bibfs -> Traversal.bibfs_reaches g source target
@@ -18,12 +21,13 @@ let eval_nonempty algo g ~source ~target =
   else Traversal.bfs_reaches_nonempty g source target
 
 let eval_batch ?pool algo g pairs =
-  let pool = match pool with Some p -> p | None -> Pool.default () in
-  let res = Array.make (Array.length pairs) false in
-  Pool.parallel_for pool ~n:(Array.length pairs) (fun i ->
-      let source, target = pairs.(i) in
-      res.(i) <- eval algo g ~source ~target);
-  res
+  Obs.span "query.batch" (fun () ->
+      let pool = match pool with Some p -> p | None -> Pool.default () in
+      let res = Array.make (Array.length pairs) false in
+      Pool.parallel_for pool ~n:(Array.length pairs) (fun i ->
+          let source, target = pairs.(i) in
+          res.(i) <- eval algo g ~source ~target);
+      res)
 
 let random_pairs rng g ~count =
   let n = Digraph.n g in

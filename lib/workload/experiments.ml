@@ -2,10 +2,7 @@ type opts = { seed : int; scale : float }
 
 let default_opts = { seed = 42; scale = 1.0 }
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Obs.time
 
 let scaled opts spec =
   let nodes = max 16 (int_of_float (opts.scale *. float_of_int spec.Datasets.nodes)) in

@@ -56,6 +56,29 @@ Regular path queries:
   $ qpgc rpq p2p.g 'l0l0' | head -1 | cut -d' ' -f1-8
   205 node(s) with an outgoing path matching l0l0
 
+--metrics prints the merged metrics table on exit; at --domains 1 the
+partition-refinement counters are deterministic:
+
+  $ qpgc compress p2p.g --mode pattern --metrics --domains 1 -o /dev/null | sed 's/in [0-9.]*s/in Xs/'
+  compressed in Xs: |V| = 300 -> |Vr| = 202, ratio = 86.13%
+  metric                   type       value
+  pool.chunks              counter    0
+  pool.busy_ns             counter    0
+  traversal.nodes_visited  counter    0
+  traversal.frontier       histogram  count=0 sum=0
+  pt.rounds                counter    201
+  pt.splits                counter    200
+  pt.marks                 counter    822
+  pt.detach_size           histogram  count=201 sum=325
+  query.reach_evals        counter    0
+
+--trace writes a Chrome trace with the compression phases as spans:
+
+  $ qpgc compress p2p.g --mode reach --trace t.json --domains 1 -o /dev/null | sed 's/in [0-9.]*s/in Xs/'
+  compressed in Xs: |V| = 300 -> |Vr| = 17, ratio = 3.28%
+  $ grep -c '"ph":"X"' t.json > /dev/null && grep -o '"name":"compressR"' t.json | head -1
+  "name":"compressR"
+
 A mixed workload file, verified against the original graph:
 
   $ printf 'r 0 10\nr 5 250\nx l0+\n' > work.q

@@ -1,0 +1,354 @@
+(* The observability layer: span nesting and exception safety, the
+   disabled-mode no-op contract, the per-domain metrics merge, and
+   well-formedness of the Chrome trace export.
+
+   All Obs state is global, so every test starts from a reset with both
+   switches off and restores that state on the way out. *)
+
+let with_obs ~tracing ~metrics f =
+  Obs.reset ();
+  Obs.set_tracing tracing;
+  Obs.set_metrics metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_tracing false;
+      Obs.set_metrics false;
+      Obs.set_gc_sampling false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_nesting () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      let r =
+        Obs.span "outer" (fun () ->
+            let a = Obs.span "inner.a" (fun () -> 1) in
+            let b = Obs.span "inner.b" (fun () -> 2) in
+            a + b)
+      in
+      Testutil.check_int "span returns f's result" 3 r;
+      let evs = Obs.Trace.events () in
+      Alcotest.(check (list (pair string int)))
+        "parent-first order with nesting depths"
+        [ ("outer", 0); ("inner.a", 1); ("inner.b", 1) ]
+        (List.map (fun (e : Obs.Trace.event) -> (e.name, e.depth)) evs);
+      match evs with
+      | [ outer; ia; ib ] ->
+          Testutil.check_bool "inner.a contained in outer" true
+            (ia.ts_ns >= outer.ts_ns
+            && ia.ts_ns + ia.dur_ns <= outer.ts_ns + outer.dur_ns);
+          Testutil.check_bool "inner.b contained in outer" true
+            (ib.ts_ns >= outer.ts_ns
+            && ib.ts_ns + ib.dur_ns <= outer.ts_ns + outer.dur_ns);
+          Testutil.check_bool "inner.b starts after inner.a ends" true
+            (ib.ts_ns >= ia.ts_ns + ia.dur_ns)
+      | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs))
+
+exception Probe
+
+let test_span_exception () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      let raised =
+        try
+          Obs.span "boom" (fun () -> raise Probe)
+        with Probe -> true
+      in
+      Testutil.check_bool "exception re-raised" true raised;
+      match Obs.Trace.events () with
+      | [ e ] ->
+          Alcotest.(check string) "span recorded despite exception" "boom"
+            e.name
+      | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs))
+
+let test_disabled_noop () =
+  with_obs ~tracing:false ~metrics:false (fun () ->
+      let c = Obs.counter "noop.c" in
+      let h = Obs.histogram "noop.h" in
+      let r =
+        Obs.span "noop.span" (fun () ->
+            Obs.incr c;
+            Obs.add c 41;
+            Obs.observe h 3.0;
+            7)
+      in
+      Testutil.check_int "span is transparent when disabled" 7 r;
+      Testutil.check_bool "no events recorded" true (Obs.Trace.events () = []);
+      let snap = Obs.Metrics.snapshot () in
+      (match List.assoc "noop.c" snap with
+      | Obs.Metrics.Counter_v n -> Testutil.check_int "counter stays 0" 0 n
+      | _ -> Alcotest.fail "noop.c is not a counter");
+      match List.assoc "noop.h" snap with
+      | Obs.Metrics.Hist_v { counts; sum; _ } ->
+          Testutil.check_int "histogram stays empty" 0
+            (Array.fold_left ( + ) 0 counts);
+          Alcotest.(check (float 0.0)) "histogram sum stays 0" 0.0 sum
+      | _ -> Alcotest.fail "noop.h is not a histogram")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_record () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Obs.counter "rec.c" in
+      Obs.incr c;
+      Obs.add c 4;
+      let h = Obs.histogram ~buckets:[| 1.0; 2.0; 4.0 |] "rec.h" in
+      List.iter (Obs.observe h) [ 0.5; 2.0; 3.0; 100.0 ];
+      let snap = Obs.Metrics.snapshot () in
+      (match List.assoc "rec.c" snap with
+      | Obs.Metrics.Counter_v n -> Testutil.check_int "counter total" 5 n
+      | _ -> Alcotest.fail "rec.c is not a counter");
+      match List.assoc "rec.h" snap with
+      | Obs.Metrics.Hist_v { buckets; counts; sum } ->
+          Alcotest.(check (array (float 0.0)))
+            "bucket bounds preserved" [| 1.0; 2.0; 4.0 |] buckets;
+          (* le semantics: 0.5 -> le=1, 2.0 -> le=2, 3.0 -> le=4,
+             100.0 -> overflow. *)
+          Alcotest.(check (array int))
+            "le-bucket counts + overflow" [| 1; 1; 1; 1 |] counts;
+          Alcotest.(check (float 1e-9)) "running sum" 105.5 sum
+      | _ -> Alcotest.fail "rec.h is not a histogram")
+
+(* The per-domain merge: recording a set of observations from pool
+   workers (any domain count) must merge to exactly what a single
+   domain recording them sequentially reports.  Observations are
+   integer-valued floats so the sums are exact and order-independent. *)
+
+let pool2 = lazy (Pool.create ~domains:2 ())
+let pool4 = lazy (Pool.create ~domains:4 ())
+
+let read_hist name =
+  match List.assoc name (Obs.Metrics.snapshot ()) with
+  | Obs.Metrics.Hist_v { counts; sum; _ } -> (Array.copy counts, sum)
+  | _ -> Alcotest.failf "%s is not a histogram" name
+
+let merge_prop obs =
+  let obs = Array.of_list (List.map float_of_int obs) in
+  let n = Array.length obs in
+  let h = Obs.histogram "merge.h" in
+  let record_with f =
+    Obs.reset ();
+    Obs.set_metrics true;
+    Fun.protect ~finally:(fun () -> Obs.set_metrics false) f;
+    read_hist "merge.h"
+  in
+  let reference = record_with (fun () -> Array.iter (Obs.observe h) obs) in
+  List.for_all
+    (fun (_d, pool) ->
+      record_with (fun () ->
+          Pool.parallel_for pool ~chunk:3 ~n (fun i -> Obs.observe h obs.(i)))
+      = reference)
+    [
+      (1, Pool.create ~domains:1 ());
+      (2, Lazy.force pool2);
+      (4, Lazy.force pool4);
+    ]
+
+let merge_gen =
+  QCheck2.Gen.(list_size (int_bound 200) (int_bound 100_000))
+
+let merge_print obs =
+  Printf.sprintf "[%s]" (String.concat "; " (List.map string_of_int obs))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export *)
+
+exception Bad of string * int
+
+(* Minimal recursive-descent JSON well-formedness check (RFC 8259
+   grammar, no semantic interpretation) — validates the exporter
+   without a JSON dependency. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let is_digit = function '0' .. '9' -> true | _ -> false in
+  let is_hex = function
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+    | _ -> false
+  in
+  let digits () =
+    if not (match peek () with Some c -> is_digit c | None -> false) then
+      fail "digit expected";
+    while match peek () with Some c -> is_digit c | None -> false do
+      advance ()
+    done
+  in
+  let number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some c when is_hex c -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "unescaped control character"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> String.iter expect "true"
+    | Some 'f' -> String.iter expect "false"
+    | Some 'n' -> String.iter expect "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "value expected");
+    skip_ws ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              members ()
+          | _ -> expect '}'
+        in
+        members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+        let rec elements () =
+          value ();
+          match peek () with
+          | Some ',' ->
+              advance ();
+              elements ()
+          | _ -> expect ']'
+        in
+        elements ()
+  in
+  try
+    value ();
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    Ok ()
+  with Bad (msg, p) -> Error (msg, p)
+
+let check_json label json =
+  match json_well_formed json with
+  | Ok () -> ()
+  | Error (msg, p) ->
+      let lo = max 0 (p - 30) in
+      let len = min 60 (String.length json - lo) in
+      Alcotest.failf "%s: ill-formed JSON at offset %d: %s (near %S)" label p
+        msg
+        (String.sub json lo len)
+
+let test_trace_json () =
+  with_obs ~tracing:true ~metrics:false (fun () ->
+      check_json "empty trace" (Obs.chrome_trace ());
+      Obs.set_gc_sampling true;
+      Obs.span "json.outer" (fun () ->
+          (* A name needing every escape class the exporter handles. *)
+          Obs.span "json.\"quoted\"\\back\nnewline\ttab" (fun () ->
+              Sys.opaque_identity (Array.make 64 0) |> ignore));
+      Obs.set_gc_sampling false;
+      Testutil.check_int "both spans recorded" 2
+        (List.length (Obs.Trace.events ()));
+      check_json "trace with gc samples" (Obs.chrome_trace ()))
+
+let test_prometheus_shape () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Obs.counter "prom.c" in
+      Obs.add c 3;
+      let text = Obs.prometheus () in
+      let has sub =
+        let n = String.length text and m = String.length sub in
+        let rec go i =
+          i + m <= n && (String.sub text i m = sub || go (i + 1))
+        in
+        go 0
+      in
+      Testutil.check_bool "sanitized qpgc_ name present" true
+        (has "qpgc_prom_c 3"))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting depths and containment" `Quick
+            test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick
+            test_span_exception;
+          Alcotest.test_case "disabled mode records nothing" `Quick
+            test_disabled_noop;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and histogram record" `Quick
+            test_metrics_record;
+          Testutil.qtest ~count:30 "per-domain merge = sequential recording"
+            (merge_gen, merge_print) merge_prop;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace JSON well-formed" `Quick
+            test_trace_json;
+          Alcotest.test_case "prometheus text shape" `Quick
+            test_prometheus_shape;
+        ] );
+    ]

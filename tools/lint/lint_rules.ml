@@ -24,7 +24,11 @@
    - ALLOC01 hash-table creation ([Hashtbl.create] or any keyed [*tbl]
              table) inside [lib/partition], the flat-array refinement
              substrate whose hot loops are contractually allocation-free.
-             Scoped by display path, not by the hot classification. *)
+             Scoped by display path, not by the hot classification.
+   - OBS01   raw clocks ([Unix.gettimeofday] / [Sys.time]) anywhere
+             outside [lib/obs]: timing goes through the monotonic
+             [Obs.Clock] so durations cannot go negative under NTP steps
+             and all measurement shares one code path. *)
 
 open Parsetree
 
@@ -574,4 +578,66 @@ let alloc01 =
         end);
   }
 
-let () = List.iter register [ para01; poly01; partial01; cmp01; csr01; alloc01 ]
+(* ------------------------------------------------------------------ *)
+(* OBS01: raw clocks outside the observability layer *)
+
+(* Inverse of the ALLOC01 scoping: fires everywhere EXCEPT lib/obs, the
+   one place allowed to touch a raw clock (Obs_clock wraps the monotonic
+   one). *)
+let obs01_scope = "lib/obs"
+
+let raw_clocks =
+  [
+    ([ "Unix"; "gettimeofday" ], "Unix.gettimeofday");
+    ([ "UnixLabels"; "gettimeofday" ], "UnixLabels.gettimeofday");
+    ([ "Sys"; "time" ], "Sys.time");
+  ]
+
+let obs01 =
+  {
+    id = "OBS01";
+    (* Not hot-only: ad-hoc timing lives in cold front ends (bin/, bench/,
+       lib/workload) — exactly where the duplicated gettimeofday deltas
+       used to accumulate. *)
+    hot_only = false;
+    doc =
+      "Raw clock reads (Unix.gettimeofday, Sys.time) outside lib/obs. \
+       Wall-clock time is stepped by NTP, so deltas can go negative, and \
+       Sys.time is process CPU time, which under a domain pool sums every \
+       worker's cycles; both also bypass the span/metrics layer. Time with \
+       Obs.time (result + seconds), Obs.Clock.now_ns / elapsed_s, or wrap \
+       the region in Obs.span instead.";
+    check =
+      (fun ctx structure ->
+        if not (contains_sub ~sub:obs01_scope ctx.display) then begin
+          let open Ast_iterator in
+          let super = default_iterator in
+          let expr it e =
+            (match e.pexp_desc with
+            | Pexp_ident _ -> (
+                match path_of_expr e with
+                | Some path -> (
+                    match
+                      List.find_opt (fun (p, _) -> p = path) raw_clocks
+                    with
+                    | Some (_, name) ->
+                        report ctx ~loc:e.pexp_loc ~rule:"OBS01"
+                          (Printf.sprintf
+                             "`%s` is a raw clock read outside lib/obs; \
+                              time with Obs.time / Obs.Clock.now_ns (the \
+                              monotonic clock) or wrap the region in \
+                              Obs.span, so durations cannot go negative \
+                              and all measurement shares one code path"
+                             name)
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            super.expr it e
+          in
+          let it = { super with expr } in
+          it.structure it structure
+        end);
+  }
+
+let () =
+  List.iter register [ para01; poly01; partial01; cmp01; csr01; alloc01; obs01 ]

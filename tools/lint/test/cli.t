@@ -67,3 +67,18 @@ ALLOC01 is scoped to lib/partition; --prefix places the fixture there:
 The same file outside that directory is clean for ALLOC01:
 
   $ qpgc-lint --rule ALLOC01 --prefix lib/graph/ fixtures/bad_alloc01.ml
+
+OBS01 forbids raw clocks everywhere except lib/obs; --prefix bin/ puts
+the fixture in scope:
+
+  $ qpgc-lint --cold --rule OBS01 --prefix bin/ fixtures/bad_obs01.ml
+  bin/fixtures/bad_obs01.ml:3:13: OBS01 `Unix.gettimeofday` is a raw clock read outside lib/obs; time with Obs.time / Obs.Clock.now_ns (the monotonic clock) or wrap the region in Obs.span, so durations cannot go negative and all measurement shares one code path
+  bin/fixtures/bad_obs01.ml:6:13: OBS01 `Sys.time` is a raw clock read outside lib/obs; time with Obs.time / Obs.Clock.now_ns (the monotonic clock) or wrap the region in Obs.span, so durations cannot go negative and all measurement shares one code path
+  bin/fixtures/bad_obs01.ml:9:13: OBS01 `UnixLabels.gettimeofday` is a raw clock read outside lib/obs; time with Obs.time / Obs.Clock.now_ns (the monotonic clock) or wrap the region in Obs.span, so durations cannot go negative and all measurement shares one code path
+  bin/fixtures/bad_obs01.ml:12:26: OBS01 `Unix.gettimeofday` is a raw clock read outside lib/obs; time with Obs.time / Obs.Clock.now_ns (the monotonic clock) or wrap the region in Obs.span, so durations cannot go negative and all measurement shares one code path
+  qpgc-lint: 4 finding(s)
+  [1]
+
+The same file under lib/obs is exempt (that layer wraps the raw clock):
+
+  $ qpgc-lint --cold --rule OBS01 --prefix lib/obs/ fixtures/bad_obs01.ml

@@ -1,0 +1,21 @@
+(* OBS01 fixture: raw clocks, linted with a display path outside lib/obs. *)
+
+let now () = Unix.gettimeofday ()
+(* line 3 *)
+
+let cpu () = Sys.time ()
+(* line 6 *)
+
+let lbl () = UnixLabels.gettimeofday ()
+(* line 9 *)
+
+let escaped fs = List.map Unix.gettimeofday fs
+(* line 12 *)
+
+(* Not flagged: the Obs clock itself and other modules' time functions. *)
+let ok () = Obs.Clock.now_ns ()
+let ok2 f = Obs.time f
+let ok3 q = Queue.take q
+
+(* Suppression works for OBS01 like any other rule. *)
+let legacy () = Unix.gettimeofday () (* lint: allow OBS01 *)

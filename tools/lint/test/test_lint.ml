@@ -91,6 +91,27 @@ let test_alloc01_out_of_scope () =
        (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
        r.Lint_driver.diags)
 
+(* OBS01 is scoped like ALLOC01 but inverted: it fires everywhere except
+   under lib/obs.  The [lint] helper's display path (fixtures/...) is
+   outside lib/obs, so the findings fire. *)
+let test_obs01 () =
+  check_diags "bad_obs01"
+    [ (3, "OBS01"); (6, "OBS01"); (9, "OBS01"); (12, "OBS01") ]
+    (lint "bad_obs01.ml")
+
+(* The same file displayed under lib/obs is exempt: that layer wraps the
+   raw clock for everyone else. *)
+let test_obs01_in_scope () =
+  let r =
+    Lint_driver.lint_file ~hot:false ~only:[ "OBS01" ]
+      ~display:"lib/obs/bad_obs01.ml"
+      (fixture "bad_obs01.ml")
+  in
+  check_diags "bad_obs01 under lib/obs" []
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
 let test_poly01 () =
   check_diags "bad_poly01"
     [
@@ -161,6 +182,9 @@ let () =
           Alcotest.test_case "ALLOC01 fixture" `Quick test_alloc01;
           Alcotest.test_case "ALLOC01 scoped to lib/partition" `Quick
             test_alloc01_out_of_scope;
+          Alcotest.test_case "OBS01 fixture" `Quick test_obs01;
+          Alcotest.test_case "OBS01 exempts lib/obs" `Quick
+            test_obs01_in_scope;
         ] );
       ( "classification",
         [
