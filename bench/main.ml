@@ -226,6 +226,182 @@ let run_csr opts () =
   Format.fprintf ppf "(json written to %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Compress-then-index reachability microbench: on the BENCH_csr graph
+   (same generator, seed and size), compress once, build each reachability
+   index over Gr, and push a large shuffled batch through every index and
+   through the planner.  Every answer is checked bit-for-bit against a BFS
+   oracle; the batch is the cross product of 256 sources and 256 targets,
+   so the oracle is 256 descendant sweeps, not 65536 BFS runs.  Written to
+   BENCH_reach.json so the query-engine numbers are tracked in CI next to
+   the ~85 q/s BFS-on-G baseline of BENCH_csr.json. *)
+
+let percentile_ns sorted p =
+  let len = Array.length sorted in
+  if len = 0 then 0 else sorted.(min (len - 1) (p * len / 100))
+
+let run_reach opts () =
+  section "Compress-then-index reachability (indexes + planner)";
+  let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
+  let m = 3 * n in
+  let rng = Random.State.make [| opts.Experiments.seed; 0xC5B |] in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  let csr_bytes = Digraph.memory_bytes g in
+  let time = Obs.time in
+  let sample = min 256 n in
+  let sources = Array.init sample (fun _ -> Random.State.int rng n) in
+  let targets = Array.init sample (fun _ -> Random.State.int rng n) in
+  let pairs =
+    Array.init (sample * sample) (fun i ->
+        (sources.(i / sample), targets.(i mod sample)))
+  in
+  for i = Array.length pairs - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = pairs.(i) in
+    pairs.(i) <- pairs.(j);
+    pairs.(j) <- t
+  done;
+  let batch = Array.length pairs in
+  Format.fprintf ppf "graph: |V| = %d, |E| = %d (CSR %d bytes)@." (Digraph.n g)
+    (Digraph.m g) csr_bytes;
+  (* BFS oracle: one descendants sweep per distinct source. *)
+  let desc = Hashtbl.create sample in
+  let (), oracle_s =
+    time (fun () ->
+        Array.iter
+          (fun u ->
+            if not (Hashtbl.mem desc u) then
+              Hashtbl.add desc u (Traversal.descendants g u))
+          sources)
+  in
+  let expected =
+    Array.map (fun (u, v) -> u = v || Bitset.mem (Hashtbl.find desc u) v) pairs
+  in
+  Format.fprintf ppf
+    "oracle: %d descendant sweeps in %.3fs (%d queries expected true)@."
+    (Hashtbl.length desc) oracle_s
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 expected);
+  (* Baseline: per-query BFS on G, on a slice the slow path can afford. *)
+  let baseline_queries = min 64 batch in
+  let hits = ref 0 in
+  let (), bfs_s =
+    time (fun () ->
+        for i = 0 to baseline_queries - 1 do
+          let u, v = pairs.(i) in
+          if Reach_query.eval Reach_query.Bfs g ~source:u ~target:v then
+            incr hits
+        done)
+  in
+  let bfs_qps = float_of_int baseline_queries /. bfs_s in
+  Format.fprintf ppf "BFS on G: %d queries in %.3fs (%.0f q/s)@."
+    baseline_queries bfs_s bfs_qps;
+  let c, compress_s = time (fun () -> Compress_reach.compress g) in
+  let gr = Compressed.graph c in
+  Format.fprintf ppf "compressR: %.3fs, |Vr| = %d, |Er| = %d@." compress_s
+    (Digraph.n gr) (Digraph.m gr);
+  let verify name answers =
+    Array.iteri
+      (fun i a ->
+        if a <> expected.(i) then begin
+          let u, v = pairs.(i) in
+          Printf.eprintf "bench reach: %s disagrees with BFS on QR(%d, %d)\n"
+            name u v;
+          exit 1
+        end)
+      answers
+  in
+  (* One sequential timed pass per engine for the latency percentiles, a
+     separate batch pass for throughput (parallel over the default pool). *)
+  let latencies eval =
+    let lat =
+      Array.map
+        (fun (u, v) ->
+          let t0 = Obs.Clock.now_ns () in
+          ignore (eval ~source:u ~target:v);
+          Obs.Clock.now_ns () - t0)
+        pairs
+    in
+    Array.sort Mono.icompare lat;
+    lat
+  in
+  let row name ~build_s ~memory ~qps ~lat =
+    Format.fprintf ppf
+      "%-12s build %7.3fs  %9d bytes  %10.0f q/s  p50 %5d ns  p99 %6d ns@."
+      name build_s memory qps (percentile_ns lat 50) (percentile_ns lat 99)
+  in
+  let bench_index algo =
+    let name = Reach_index.algorithm_name algo in
+    let idx, build_s =
+      time (fun () -> Compress_reach.index ~algorithm:algo c)
+    in
+    let answers, batch_s = time (fun () -> Reach_index.query_batch idx pairs) in
+    verify name answers;
+    let qps = float_of_int batch /. batch_s in
+    let lat = latencies (fun ~source ~target -> Reach_index.query idx ~source ~target) in
+    row name ~build_s ~memory:(Reach_index.memory_bytes idx) ~qps ~lat;
+    (name, build_s, Reach_index.memory_bytes idx, qps, lat, idx)
+  in
+  let index_rows = List.map bench_index Reach_index.all_algorithms in
+  let tree_idx =
+    match index_rows with (_, _, _, _, _, idx) :: _ -> idx | [] -> assert false
+  in
+  let pl, plan_s = time (fun () -> Planner.create ~index:tree_idx g) in
+  let answers, batch_s = time (fun () -> Planner.eval_batch pl pairs) in
+  verify "planner" answers;
+  let planner_qps = float_of_int batch /. batch_s in
+  let planner_lat =
+    latencies (fun ~source ~target -> Planner.eval pl ~source ~target)
+  in
+  row "planner" ~build_s:plan_s ~memory:(Reach_index.memory_bytes tree_idx)
+    ~qps:planner_qps ~lat:planner_lat;
+  Format.fprintf ppf
+    "planner batch: %.0f q/s = %.0fx the BFS-on-G baseline (route %s)@."
+    planner_qps (planner_qps /. bfs_qps)
+    (Planner.route_name (Planner.route pl));
+  let algo_json =
+    String.concat ",\n"
+      (List.map
+         (fun (name, build_s, memory, qps, lat, _) ->
+           Printf.sprintf
+             "    \"%s\": { \"build_s\": %.4f, \"memory_bytes\": %d, \
+              \"qps\": %.1f, \"p50_ns\": %d, \"p99_ns\": %d }"
+             name build_s memory qps (percentile_ns lat 50)
+             (percentile_ns lat 99))
+         index_rows)
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"nodes\": %d,\n\
+      \  \"edges\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %g,\n\
+      \  \"csr_bytes\": %d,\n\
+      \  \"compress_s\": %.4f,\n\
+      \  \"quotient_nodes\": %d,\n\
+      \  \"quotient_edges\": %d,\n\
+      \  \"batch_queries\": %d,\n\
+      \  \"bfs_baseline_qps\": %.1f,\n\
+      \  \"verified_against_bfs\": true,\n\
+      \  \"indexes\": {\n%s\n  },\n\
+      \  \"planner\": { \"create_s\": %.4f, \"route\": \"%s\", \"qps\": %.1f, \
+       \"p50_ns\": %d, \"p99_ns\": %d, \"speedup_vs_bfs\": %.1f }\n\
+       }\n"
+      (Digraph.n g) (Digraph.m g) opts.Experiments.seed opts.Experiments.scale
+      csr_bytes compress_s (Digraph.n gr) (Digraph.m gr) batch bfs_qps
+      algo_json plan_s
+      (Planner.route_name (Planner.route pl))
+      planner_qps
+      (percentile_ns planner_lat 50)
+      (percentile_ns planner_lat 99)
+      (planner_qps /. bfs_qps)
+  in
+  let path = "BENCH_reach.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Format.fprintf ppf "(json written to %s)@." path
+
+(* ------------------------------------------------------------------ *)
 (* Bisimulation microbench: compressB and bare Paige-Tarjan throughput over
    one generated 100k-node labeled graph (scaled by --scale), written to
    BENCH_bisim.json so the refinement-engine numbers are tracked in CI.
@@ -457,6 +633,7 @@ let experiments =
     ("micro", run_micro);
     ("speedup", run_speedup);
     ("csr", run_csr);
+    ("reach", run_reach);
     ("bisim", run_bisim);
   ]
 

@@ -4,6 +4,7 @@
      generate   materialise a synthetic dataset into a graph file
      stats      structural statistics and compression ratios of a graph
      compress   write the compressed graph (+ node map / full compression)
+     index      build a reachability index over the compression and save it
      query      answer a reachability query via the compression
      cquery     answer from a saved compression, no original graph needed
      match      evaluate a pattern query via the compression
@@ -252,7 +253,90 @@ let compress_cmd =
       $ map_file $ save_file $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
+(* index: build a reachability index over the compression and save it *)
+
+let algorithm_arg =
+  let algo_conv =
+    Arg.enum
+      (List.map
+         (fun a -> (Reach_index.algorithm_name a, a))
+         Reach_index.all_algorithms)
+  in
+  Arg.(
+    value
+    & opt algo_conv Reach_index.Tree_cover
+    & info [ "algorithm"; "a" ] ~docv:"ALGO"
+        ~doc:
+          "Index algorithm: $(b,tree-cover), $(b,two-hop) or $(b,grail) \
+           (default $(b,tree-cover)).")
+
+let load_index path =
+  try Reach_index_io.load path
+  with Reach_index_io.Parse_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path line msg;
+    exit 1
+
+let index_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE"
+          ~doc:"Index snapshot file (kind 'I'), loadable by $(b,--index).")
+  in
+  let direct =
+    Arg.(
+      value & flag
+      & info [ "direct" ]
+          ~doc:
+            "Index the graph itself instead of its reach compression \
+             (larger index, for comparison).")
+  in
+  let run () domains path algorithm output direct =
+    setup_domains domains;
+    let g = read_graph path in
+    let idx, dt =
+      Obs.time (fun () ->
+          if direct then Reach_index.build ~algorithm g
+          else Compress_reach.index ~algorithm (Compress_reach.compress g))
+    in
+    Reach_index_io.save output idx;
+    Printf.printf
+      "built %s index in %.3fs: %d node(s) indexed for %d original(s), %d \
+       index bytes vs %d CSR bytes\n"
+      (Reach_index.algorithm_name (Reach_index.algorithm idx))
+      dt
+      (Reach_index.indexed_n idx)
+      (Reach_index.original_n idx)
+      (Reach_index.memory_bytes idx)
+      (Digraph.memory_bytes g)
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Compress a graph, build a reachability index over the \
+          compression, and save it.")
+    Term.(
+      const run $ obs_term $ domains_arg $ graph_arg $ algorithm_arg $ output
+      $ direct)
+
+(* ------------------------------------------------------------------ *)
 (* query *)
+
+let planner_arg =
+  Arg.(
+    value & flag
+    & info [ "planner" ]
+        ~doc:
+          "Route the query through the adaptive planner (prints the \
+           planning decision).")
+
+let index_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "index" ] ~docv:"FILE"
+        ~doc:"Answer through a saved index snapshot ($(b,qpgc index)).")
 
 let query_cmd =
   let source =
@@ -261,7 +345,7 @@ let query_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
   in
-  let run () domains path source target =
+  let run () domains path source target planner index_file =
     setup_domains domains;
     let g = read_graph path in
     let n = Digraph.n g in
@@ -269,18 +353,46 @@ let query_cmd =
       Printf.eprintf "nodes must be in [0, %d)\n" n;
       exit 1
     end;
-    let c = Compress_reach.compress g in
-    let s, t = Compress_reach.rewrite c ~source ~target in
-    let answer = Compress_reach.answer c ~source ~target in
-    Printf.printf "QR(%d, %d) = %b   (rewritten to QR(%d, %d) on Gr with %d hypernodes)\n"
-      source target answer s t
-      (Digraph.n (Compressed.graph c));
+    let index = Option.map load_index index_file in
+    (match index with
+    | Some idx when Reach_index.original_n idx <> n ->
+        Printf.eprintf "index answers for %d node(s) but the graph has %d\n"
+          (Reach_index.original_n idx) n;
+        exit 1
+    | _ -> ());
+    let answer =
+      match (planner, index) with
+      | true, _ ->
+          let pl = Planner.create ?index g in
+          let answer = Planner.eval pl ~source ~target in
+          Printf.printf "QR(%d, %d) = %b   (planner: %s)\n" source target
+            answer (Planner.describe pl);
+          answer
+      | false, Some idx ->
+          let answer = Reach_index.query idx ~source ~target in
+          Printf.printf "QR(%d, %d) = %b   (%s index over %d node(s))\n"
+            source target answer
+            (Reach_index.algorithm_name (Reach_index.algorithm idx))
+            (Reach_index.indexed_n idx);
+          answer
+      | false, None ->
+          let c = Compress_reach.compress g in
+          let s, t = Compress_reach.rewrite c ~source ~target in
+          let answer = Compress_reach.answer c ~source ~target in
+          Printf.printf
+            "QR(%d, %d) = %b   (rewritten to QR(%d, %d) on Gr with %d hypernodes)\n"
+            source target answer s t
+            (Digraph.n (Compressed.graph c));
+          answer
+    in
     let direct = Reach_query.eval Reach_query.Bfs g ~source ~target in
     assert (direct = answer)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
-    Term.(const run $ obs_term $ domains_arg $ graph_arg $ source $ target)
+    Term.(
+      const run $ obs_term $ domains_arg $ graph_arg $ source $ target
+      $ planner_arg $ index_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* match *)
@@ -443,7 +555,7 @@ let workload_cmd =
           ~doc:
             "Workload file: one query per line — $(b,r <u> <v>) for              reachability, $(b,p <pattern-file>) for a pattern query,              $(b,x <regex>) for a regular path query.")
   in
-  let run () domains path workload_file =
+  let run () domains path workload_file planner index_file =
     setup_domains domains;
     let g = read_graph path in
     let lines =
@@ -454,6 +566,24 @@ let workload_cmd =
     let t0 = Obs.Clock.now_ns () in
     let rc = lazy (Compress_reach.compress g) in
     let pc = lazy (Compress_bisim.compress g) in
+    (* Reachability evaluator for the Gr side: the compression's per-query
+       BFS by default, a loaded index or the planner when requested. *)
+    let reach_eval =
+      lazy
+        (match (index_file, planner) with
+        | Some f, false ->
+            let idx = load_index f in
+            fun ~source ~target -> Reach_index.query idx ~source ~target
+        | Some f, true ->
+            let pl = Planner.create ~index:(load_index f) g in
+            fun ~source ~target -> Planner.eval pl ~source ~target
+        | None, true ->
+            let pl = Planner.create g in
+            fun ~source ~target -> Planner.eval pl ~source ~target
+        | None, false ->
+            fun ~source ~target ->
+              Compress_reach.answer (Lazy.force rc) ~source ~target)
+    in
     let time = Obs.time in
     let g_time = ref 0.0 and gr_time = ref 0.0 in
     let count = ref 0 and mismatches = ref 0 in
@@ -479,8 +609,7 @@ let workload_cmd =
               time (fun () -> Reach_query.eval Reach_query.Bfs g ~source:u ~target:v)
             in
             let b, dgr =
-              time (fun () ->
-                  Compress_reach.answer (Lazy.force rc) ~source:u ~target:v)
+              time (fun () -> (Lazy.force reach_eval) ~source:u ~target:v)
             in
             record (a = b) dg dgr
         | [ "p"; file ] ->
@@ -515,7 +644,9 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload"
        ~doc:"Run a query workload over a graph and its compression, verifying agreement.")
-    Term.(const run $ obs_term $ domains_arg $ graph_arg $ workload_file)
+    Term.(
+      const run $ obs_term $ domains_arg $ graph_arg $ workload_file
+      $ planner_arg $ index_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* datasets *)
@@ -542,6 +673,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            generate_cmd; stats_cmd; compress_cmd; query_cmd; cquery_cmd;
-            match_cmd; rpq_cmd; workload_cmd; dot_cmd; datasets_cmd;
+            generate_cmd; stats_cmd; compress_cmd; index_cmd; query_cmd;
+            cquery_cmd; match_cmd; rpq_cmd; workload_cmd; dot_cmd;
+            datasets_cmd;
           ]))

@@ -144,6 +144,10 @@ let compress_paper ?pool g =
 let rewrite c ~source ~target =
   (Compressed.hypernode c source, Compressed.hypernode c target)
 
+let index ?pool ?algorithm c =
+  Reach_index.build ?pool ?algorithm ~node_map:c.Compressed.node_map
+    (Compressed.graph c)
+
 let answer ?(algorithm = Reach_query.Bfs) c ~source ~target =
   if source = target then true
   else begin

@@ -40,6 +40,18 @@ val compress_of_equiv : ?pool:Pool.t -> Digraph.t -> Reach_equiv.t -> Compressed
     hypernodes to query on [Compressed.graph c]. *)
 val rewrite : Compressed.t -> source:int -> target:int -> int * int
 
+(** [index ?pool ?algorithm c] builds a {!Reach_index.t} over [Gr] that
+    answers original-graph queries through the node map: the
+    compress-then-index pipeline.  [Gr] being small makes even the
+    heavier indexes cheap, and the index replaces {!answer}'s per-query
+    BFS with an O(log)/O(label) probe while returning exactly the same
+    bits. *)
+val index :
+  ?pool:Pool.t ->
+  ?algorithm:Reach_index.algorithm ->
+  Compressed.t ->
+  Reach_index.t
+
 (** [answer ?algorithm c ~source ~target] evaluates the rewritten query on
     [Gr] with a stock evaluator (default {!Reach_query.Bfs}) and returns
     [QR(source, target)] on the original graph: reflexively [true] when

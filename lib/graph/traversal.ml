@@ -85,35 +85,58 @@ let bibfs_reaches g u v =
     let fwd = Bitset.create n and bwd = Bitset.create n in
     Bitset.add fwd u;
     Bitset.add bwd v;
-    let fq = ref [ u ] and bq = ref [ v ] in
+    (* Flat per-side queues: [lo, hi) is the current frontier and
+       discoveries append at [hi].  A node enters a side at most once, so
+       [n] slots suffice and no per-level allocation happens. *)
+    let fq = Array.make n 0 and bq = Array.make n 0 in
+    fq.(0) <- u;
+    bq.(0) <- v;
+    let flo = ref 0 and fhi = ref 1 in
+    let blo = ref 0 and bhi = ref 1 in
+    (* Expansion cost of each frontier = its degree sum (edges that the
+       next level must scan), maintained incrementally at discovery so
+       side selection is O(1).  Frontier node counts undersell hubs. *)
+    let fcost = ref (Digraph.out_degree g u) in
+    let bcost = ref (Digraph.in_degree g v) in
     let found = ref false in
-    let expand frontier visited other ~forward =
-      let next = ref [] in
-      List.iter
-        (fun x ->
-          let visit y =
-            if Bitset.mem other y then found := true
-            else if not (Bitset.mem visited y) then begin
-              Bitset.add visited y;
-              next := y :: !next
-            end
-          in
-          if forward then Digraph.iter_succ g x visit
-          else Digraph.iter_pred g x visit)
-        frontier;
-      !next
-    in
-    while (not !found) && (!fq <> [] || !bq <> []) do
-      (* Expand the smaller frontier first; an empty side means that search is
-         exhausted and only the other side can still make progress. *)
-      let flen = List.length !fq and blen = List.length !bq in
+    (* An empty side is an exhausted search: its reachable set is complete
+       and meet-free, so the answer is already "no" — stop rather than let
+       the other side flood the rest of the graph. *)
+    while (not !found) && !flo < !fhi && !blo < !bhi do
       if Obs.metrics_on () then
-        Obs.observe h_frontier (float_of_int (flen + blen));
-      if flen = 0 && blen = 0 then ()
-      else if blen = 0 || (flen <= blen && flen > 0) then
-        fq := expand !fq fwd bwd ~forward:true
-      else bq := expand !bq bwd fwd ~forward:false;
-      if !fq = [] && !bq = [] then ()
+        Obs.observe h_frontier (float_of_int (!fhi - !flo + (!bhi - !blo)));
+      if !fcost <= !bcost then begin
+        let hi = !fhi in
+        fcost := 0;
+        while (not !found) && !flo < hi do
+          let x = fq.(!flo) in
+          incr flo;
+          Digraph.iter_succ g x (fun y ->
+              if Bitset.mem bwd y then found := true
+              else if not (Bitset.mem fwd y) then begin
+                Bitset.add fwd y;
+                fq.(!fhi) <- y;
+                incr fhi;
+                fcost := !fcost + Digraph.out_degree g y
+              end)
+        done
+      end
+      else begin
+        let hi = !bhi in
+        bcost := 0;
+        while (not !found) && !blo < hi do
+          let x = bq.(!blo) in
+          incr blo;
+          Digraph.iter_pred g x (fun y ->
+              if Bitset.mem fwd y then found := true
+              else if not (Bitset.mem bwd y) then begin
+                Bitset.add bwd y;
+                bq.(!bhi) <- y;
+                incr bhi;
+                bcost := !bcost + Digraph.in_degree g y
+              end)
+        done
+      end
     done;
     if Obs.metrics_on () then
       Obs.add c_visited (Bitset.cardinal fwd + Bitset.cardinal bwd);

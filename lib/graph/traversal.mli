@@ -13,9 +13,10 @@ val bfs_reaches : Digraph.t -> int -> int -> bool
     requires a cycle through [u]. *)
 val bfs_reaches_nonempty : Digraph.t -> int -> int -> bool
 
-(** [bibfs_reaches g u v] is reflexive reachability via bidirectional BFS,
-    alternating frontier expansion from [u] forwards and [v] backwards;
-    functionally identical to {!bfs_reaches}. *)
+(** [bibfs_reaches g u v] is reflexive reachability via bidirectional BFS
+    over flat array frontiers, each round expanding whichever side's
+    frontier has the smaller degree sum, and stopping as soon as either
+    search exhausts; functionally identical to {!bfs_reaches}. *)
 val bibfs_reaches : Digraph.t -> int -> int -> bool
 
 (** [dfs_reaches g u v] is reflexive reachability via iterative DFS. *)

@@ -1,11 +1,12 @@
 type t = {
-  graph : Digraph.t;
-  scc : Scc.t;
+  comp : int array; (* indexed node -> condensation node *)
   cond : Digraph.t;
   (* intervals.(i).(c) = (low, post) for condensation node c, traversal i *)
   intervals : (int * int) array array;
   mutable fallback_count : int;
 }
+
+let c_fallbacks = Obs.counter "grail.fallbacks"
 
 (* Randomized post-order over the condensation: children are visited in a
    per-traversal random order; every node gets a post rank; low(v) is the
@@ -69,14 +70,40 @@ let label_once rng cond =
   done;
   Array.init n (fun c -> (low.(c), post.(c)))
 
-let build ?(traversals = 3) ?(seed = 0x6a11) g =
-  let scc = Scc.compute g in
-  let cond = Scc.condensation g scc in
-  let rng = Random.State.make [| seed |] in
-  let intervals =
-    Array.init (Mono.imax 1 traversals) (fun _ -> label_once rng cond)
-  in
-  { graph = g; scc; cond; intervals; fallback_count = 0 }
+let build ?pool ?(traversals = 3) ?(seed = 0x6a11) g =
+  Obs.span "grail.build" (fun () ->
+      let pool = match pool with Some p -> p | None -> Pool.default () in
+      let scc = Scc.compute g in
+      let cond = Scc.condensation g scc in
+      (* Each traversal draws from its own deterministically-derived stream,
+         so the labelings are independent of domain count and of each other's
+         evaluation order. *)
+      let intervals =
+        Pool.parallel_map pool
+          (fun i -> label_once (Random.State.make [| seed; i |]) cond)
+          (Array.init (Mono.imax 1 traversals) Fun.id)
+      in
+      { comp = scc.Scc.comp; cond; intervals; fallback_count = 0 })
+
+let of_parts ~comp ~cond ~intervals =
+  let k = Digraph.n cond in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= k then
+        invalid_arg "Grail.of_parts: comp entry out of range")
+    comp;
+  if Array.length intervals = 0 then
+    invalid_arg "Grail.of_parts: need at least one traversal";
+  Array.iter
+    (fun iv ->
+      if Array.length iv <> k then
+        invalid_arg "Grail.of_parts: interval array length mismatch")
+    intervals;
+  { comp; cond; intervals; fallback_count = 0 }
+
+let comp t = t.comp
+let cond t = t.cond
+let intervals t = t.intervals
 
 let contained t cu cv =
   Array.for_all
@@ -86,11 +113,12 @@ let contained t cu cv =
     t.intervals
 
 let query t u v =
-  let cu = t.scc.Scc.comp.(u) and cv = t.scc.Scc.comp.(v) in
+  let cu = t.comp.(u) and cv = t.comp.(v) in
   if cu = cv then true
   else if not (contained t cu cv) then false
   else begin
     (* Intervals say "maybe": confirm with a DFS pruned by the intervals. *)
+    Obs.incr c_fallbacks;
     t.fallback_count <- t.fallback_count + 1;
     let visited = Bitset.create (Digraph.n t.cond) in
     let rec dfs c =
@@ -110,6 +138,6 @@ let query t u v =
 
 let memory_bytes t =
   (2 * 8 * Array.length t.intervals * Digraph.n t.cond)
-  + (8 * Digraph.n t.graph)
+  + (8 * Array.length t.comp)
 
 let fallbacks t = t.fallback_count

@@ -1,0 +1,130 @@
+type algorithm = Tree_cover | Two_hop | Grail
+
+let all_algorithms = [ Tree_cover; Two_hop; Grail ]
+
+let algorithm_name = function
+  | Tree_cover -> "tree-cover"
+  | Two_hop -> "two-hop"
+  | Grail -> "grail"
+
+let algorithm_of_name = function
+  | "tree-cover" -> Some Tree_cover
+  | "two-hop" -> Some Two_hop
+  | "grail" -> Some Grail
+  | _ -> None
+
+type backend =
+  | Tree of Tree_cover.t
+  | Hop of Two_hop.t
+  | Grl of Grail.t
+
+type t = {
+  graph_n : int;
+  node_map : int array option;
+  self_loops : Bitset.t;
+  backend : backend;
+}
+
+let c_queries = Obs.counter "reach_index.queries"
+
+let algorithm t =
+  match t.backend with Tree _ -> Tree_cover | Hop _ -> Two_hop | Grl _ -> Grail
+
+let backend t = t.backend
+let indexed_n t = t.graph_n
+
+let original_n t =
+  match t.node_map with Some m -> Array.length m | None -> t.graph_n
+
+let node_map t = t.node_map
+let self_loops t = t.self_loops
+
+let backend_n = function
+  | Tree tc -> Array.length (Tree_cover.comp tc)
+  | Hop th -> Array.length (fst (Two_hop.labels th))
+  | Grl gl -> Array.length (Grail.comp gl)
+
+let v ~graph_n ?node_map ~self_loops ~backend () =
+  if graph_n < 0 then invalid_arg "Reach_index.v: negative node count";
+  if Bitset.universe_size self_loops <> graph_n then
+    invalid_arg "Reach_index.v: self-loop set universe mismatch";
+  if backend_n backend <> graph_n then
+    invalid_arg "Reach_index.v: backend size mismatch";
+  (match node_map with
+  | None -> ()
+  | Some m ->
+      Array.iter
+        (fun h ->
+          if h < 0 || h >= graph_n then
+            invalid_arg "Reach_index.v: node map entry out of range")
+        m);
+  { graph_n; node_map; self_loops; backend }
+
+let build ?pool ?(algorithm = Tree_cover) ?node_map g =
+  Obs.span "reach_index.build" (fun () ->
+      let n = Digraph.n g in
+      (match node_map with
+      | None -> ()
+      | Some m ->
+          Array.iter
+            (fun h ->
+              if h < 0 || h >= n then
+                invalid_arg "Reach_index.build: node map entry out of range")
+            m);
+      (* Hypernodes carrying a self-loop are exactly the cyclic classes:
+         distinct originals inside one resolve their queries through it. *)
+      let self_loops = Bitset.create n in
+      for u = 0 to n - 1 do
+        if Digraph.mem_edge g u u then Bitset.add self_loops u
+      done;
+      let backend =
+        match algorithm with
+        | Tree_cover ->
+            Obs.span "reach_index.build.tree_cover" (fun () ->
+                Tree (Tree_cover.build g))
+        | Two_hop ->
+            Obs.span "reach_index.build.two_hop" (fun () ->
+                Hop (Two_hop.build g))
+        | Grail ->
+            Obs.span "reach_index.build.grail" (fun () ->
+                Grl (Grail.build ?pool g))
+      in
+      { graph_n = n; node_map; self_loops; backend })
+
+let query t ~source ~target =
+  Obs.incr c_queries;
+  if source = target then true
+  else begin
+    let s, d =
+      match t.node_map with
+      | None -> (source, target)
+      | Some m -> (m.(source), m.(target))
+    in
+    if s = d then Bitset.mem t.self_loops s
+    else
+      match t.backend with
+      | Tree tc -> Tree_cover.query tc s d
+      | Hop th -> Two_hop.query th s d
+      | Grl gl -> Grail.query gl s d
+  end
+
+let query_batch ?pool t pairs =
+  Obs.span "reach_index.batch" (fun () ->
+      let pool = match pool with Some p -> p | None -> Pool.default () in
+      let res = Array.make (Array.length pairs) false in
+      Pool.parallel_for pool ~n:(Array.length pairs) (fun i ->
+          let source, target = pairs.(i) in
+          res.(i) <- query t ~source ~target);
+      res)
+
+let memory_bytes t =
+  let backend_bytes =
+    match t.backend with
+    | Tree tc -> Tree_cover.memory_bytes tc
+    | Hop th -> Two_hop.memory_bytes th
+    | Grl gl -> Grail.memory_bytes gl
+  in
+  let map_bytes =
+    match t.node_map with Some m -> 8 * Array.length m | None -> 0
+  in
+  backend_bytes + map_bytes + (8 * ((t.graph_n + 62) / 63))

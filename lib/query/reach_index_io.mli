@@ -1,0 +1,41 @@
+(** Binary snapshots of reachability indexes.
+
+    The third QPGC snapshot kind: magic ["QPGC"], kind ['I'], version
+    byte, two reserved bytes, then
+
+    {v
+    u8   algorithm tag            0 = tree-cover, 1 = two-hop, 2 = grail
+    u8   node-map flag            1 when the index answers through R
+    i64  indexed node count       |Vr| (or |V| for identity indexes)
+    [i64 original node count, i32 map entries ...]     when flagged
+    i64  self-loop count, i32 ids (strictly ascending)
+    ...  algorithm payload
+    v}
+
+    Payloads: tree-cover stores the condensation size, component map,
+    post ranks and per-node interval runs; two-hop stores the two
+    per-node sorted label arrays; GRAIL stores the component map, the
+    condensation as an embedded graph blob (kind ['G']) and the per-
+    traversal interval tables.  Everything is little-endian, counts
+    before payloads, no padding — so equal indexes serialize to equal
+    bytes and a snapshot round-trips canonically. *)
+
+(** Raised on malformed input with a line number (0 for binary offsets)
+    and message.  Truncation, trailing bytes, out-of-range ids and
+    inconsistent sizes are all rejected. *)
+exception Parse_error of int * string
+
+val to_binary_string : Reach_index.t -> string
+
+(** [of_binary_string s] parses a kind-['I'] snapshot.  Structural
+    invariants are re-validated through {!Reach_index.v} and the backend
+    [of_parts] constructors, so corrupt input fails with {!Parse_error}
+    rather than undefined query behaviour. *)
+val of_binary_string : string -> Reach_index.t
+
+(** [save path t] writes the snapshot of [t] to [path]. *)
+val save : string -> Reach_index.t -> unit
+
+(** [load path] reads a snapshot written by {!save}.
+    @raise Parse_error on malformed input. *)
+val load : string -> Reach_index.t

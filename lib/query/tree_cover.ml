@@ -1,5 +1,5 @@
 type t = {
-  scc : Scc.t;
+  comp : int array; (* indexed node -> condensation node *)
   post : int array; (* post rank per condensation node *)
   intervals : (int * int) array array;
       (* per condensation node: disjoint sorted [lo, hi] covering its
@@ -79,10 +79,25 @@ let build g =
     Digraph.iter_succ cond c (fun w -> acc := merge !acc intervals.(w));
     intervals.(c) <- !acc
   done;
-  { scc; post; intervals }
+  { comp = scc.Scc.comp; post; intervals }
+
+let of_parts ~comp ~post ~intervals =
+  let k = Array.length post in
+  if Array.length intervals <> k then
+    invalid_arg "Tree_cover.of_parts: post/intervals length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= k then
+        invalid_arg "Tree_cover.of_parts: comp entry out of range")
+    comp;
+  { comp; post; intervals }
+
+let comp t = t.comp
+let post t = t.post
+let intervals t = t.intervals
 
 let query t u v =
-  let cu = t.scc.Scc.comp.(u) and cv = t.scc.Scc.comp.(v) in
+  let cu = t.comp.(u) and cv = t.comp.(v) in
   cu = cv
   ||
   let target = t.post.(cv) in
@@ -105,5 +120,5 @@ let interval_count t =
 let memory_bytes t =
   (16 * interval_count t)
   + (8 * Array.length t.post)
-  + (8 * Array.length t.scc.Scc.comp)
+  + (8 * Array.length t.comp)
 

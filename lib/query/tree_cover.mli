@@ -26,3 +26,29 @@ val interval_count : t -> int
 
 (** [memory_bytes t] estimates the index footprint. *)
 val memory_bytes : t -> int
+
+(** {1 Representation access (serialization)}
+
+    The index decomposes into the SCC map, the post ranks, and the
+    per-condensation-node interval sets; {!Reach_index_io} snapshots
+    exactly these parts. *)
+
+(** [of_parts ~comp ~post ~intervals] reassembles an index from its parts.
+    @raise Invalid_argument if [comp] mentions a condensation node outside
+    [post], or if [post] and [intervals] disagree on the condensation
+    size. *)
+val of_parts :
+  comp:int array ->
+  post:int array ->
+  intervals:(int * int) array array ->
+  t
+
+(** [comp t] is the indexed-node → condensation-node map (do not mutate). *)
+val comp : t -> int array
+
+(** [post t] is the post rank per condensation node (do not mutate). *)
+val post : t -> int array
+
+(** [intervals t] is the interval set per condensation node (do not
+    mutate). *)
+val intervals : t -> (int * int) array array

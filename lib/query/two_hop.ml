@@ -85,6 +85,13 @@ let build g =
   let of_rank r = order.(r) in
   { lout = finalize of_rank lout; lin = finalize of_rank lin }
 
+let of_labels ~lout ~lin =
+  if Array.length lout <> Array.length lin then
+    invalid_arg "Two_hop.of_labels: lout/lin length mismatch";
+  { lout; lin }
+
+let labels t = (t.lout, t.lin)
+
 let entry_count t =
   let sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 in
   sum t.lout + sum t.lin

@@ -25,3 +25,17 @@ val entry_count : t -> int
 (** [memory_bytes t] estimates the resident size of the labeling (8 bytes
     per entry plus per-node array overhead), the Fig 12(d) metric. *)
 val memory_bytes : t -> int
+
+(** {1 Representation access (serialization)}
+
+    The labeling is exactly its two per-node sorted hop arrays;
+    {!Reach_index_io} snapshots them verbatim. *)
+
+(** [of_labels ~lout ~lin] reassembles a labeling.  Each [lout.(v)] /
+    [lin.(v)] must be sorted ascending (as {!build} produces and
+    {!labels} returns).  @raise Invalid_argument when the two arrays
+    disagree on the node count. *)
+val of_labels : lout:int array array -> lin:int array array -> t
+
+(** [labels t] is [(lout, lin)] (do not mutate). *)
+val labels : t -> int array array * int array array

@@ -45,6 +45,30 @@ Truncated binary input fails with a parse error, not a crash:
   trunc.gb:0: binary snapshot truncated reading edge count
   [1]
 
+Build a reachability index over the compression, save it, and answer
+queries through it — directly, or routed by the planner:
+
+  $ qpgc index p2p.g -o p2p.idx -a tree-cover | sed 's/in [0-9.]*s/in Xs/'
+  built tree-cover index in Xs: 17 node(s) indexed for 300 original(s), 3032 index bytes vs 19600 CSR bytes
+
+  $ qpgc query p2p.g 0 10 --index p2p.idx
+  QR(0, 10) = false   (tree-cover index over 17 node(s))
+
+  $ qpgc query p2p.g 0 10 --planner --index p2p.idx
+  QR(0, 10) = false   (planner: route = index (|V| = 300, |E| = 767))
+
+Without an index the planner samples the graph and commits to an engine:
+
+  $ qpgc query p2p.g 0 10 --planner
+  QR(0, 10) = false   (planner: route = grail (|V| = 300, |E| = 767, dag = false, sampled fallback rate = 0.19))
+
+A truncated index snapshot is rejected, not mis-read:
+
+  $ head -c 12 p2p.idx > trunc.idx
+  $ qpgc query p2p.g 0 10 --index trunc.idx
+  trunc.idx:0: index snapshot truncated reading indexed node count
+  [1]
+
 Pattern matching through the pattern-preserving compression:
 
   $ printf 'n 2\nl 0 0\nl 1 0\ne 0 1 2\n' > pat.p
@@ -71,6 +95,13 @@ partition-refinement counters are deterministic:
   pt.marks                 counter    822
   pt.detach_size           histogram  count=201 sum=325
   query.reach_evals        counter    0
+  grail.fallbacks          counter    0
+  reach_index.queries      counter    0
+  planner.route.bfs        counter    0
+  planner.route.bibfs      counter    0
+  planner.route.index      counter    0
+  planner.route.grail      counter    0
+  planner.route.trivial    counter    0
 
 --trace writes a Chrome trace with the compression phases as spans:
 
@@ -83,6 +114,15 @@ A mixed workload file, verified against the original graph:
 
   $ printf 'r 0 10\nr 5 250\nx l0+\n' > work.q
   $ qpgc workload p2p.g -q work.q | sed 's/[0-9][0-9.]*s\b/Xs/g'
+  3 queries: Xs on G, Xs via compression (Xs total with the one-time compression), 0 mismatches
+
+The reachability queries of a workload can route through a saved index or
+the planner instead of the per-query BFS:
+
+  $ qpgc workload p2p.g -q work.q --index p2p.idx | sed 's/[0-9][0-9.]*s\b/Xs/g'
+  3 queries: Xs on G, Xs via compression (Xs total with the one-time compression), 0 mismatches
+
+  $ qpgc workload p2p.g -q work.q --planner | sed 's/[0-9][0-9.]*s\b/Xs/g'
   3 queries: Xs on G, Xs via compression (Xs total with the one-time compression), 0 mismatches
 
 Error handling:
