@@ -274,7 +274,16 @@ let run_reach opts () =
           sources)
   in
   let expected =
-    Array.map (fun (u, v) -> u = v || Bitset.mem (Hashtbl.find desc u) v) pairs
+    Array.map
+      (fun (u, v) ->
+        match Hashtbl.find_opt desc u with
+        | Some reachable -> u = v || Bitset.mem reachable v
+        | None ->
+            (* [sources] covers every query source by construction. *)
+            failwith
+              (Printf.sprintf "bench oracle: no descendants sweep for node %d"
+                 u))
+      pairs
   in
   Format.fprintf ppf
     "oracle: %d descendant sweeps in %.3fs (%d queries expected true)@."

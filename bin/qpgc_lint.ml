@@ -1,11 +1,22 @@
 (* qpgc-lint: in-repo static analysis for parallel-safety and hot-path
    discipline.  See tools/lint/ for the rules and DESIGN.md for the why.
 
+   Two tiers:
+
+   - default: per-file syntactic rules over parsed .ml sources;
+   - --typed: whole-program rules over Typedtree .cmt files (plus the
+     syntactic rules on each unit's source), with inputs being .cmt
+     files, directories scanned recursively for .cmt, or standalone .ml
+     files typechecked in-process against the stdlib.
+
    Usage: qpgc-lint [options] <file.ml | dir> ...
+          qpgc-lint --typed [options] <file.cmt | file.ml | dir> ...
 
    Exit codes: 0 clean, 1 findings, 2 read/parse errors. *)
 
-let usage = "qpgc-lint [--hot] [--prefix P] [--format text|json] [--rule R] <paths>"
+let usage =
+  "qpgc-lint [--typed] [--hot] [--prefix P] [--format text|json] [--rule R] \
+   <paths>"
 
 let () =
   let paths = ref [] in
@@ -14,8 +25,12 @@ let () =
   let format = ref "text" in
   let only = ref [] in
   let list_rules = ref false in
+  let typed = ref false in
   let spec =
     [
+      ("--typed", Arg.Set typed,
+       " whole-program tier: analyze Typedtree (.cmt) units with the \
+        interprocedural rules, then the syntactic rules on their sources");
       ("--hot", Arg.Unit (fun () -> hot := Some true),
        " treat all given files as hot-path modules (default: by path)");
       ("--cold", Arg.Unit (fun () -> hot := Some false),
@@ -37,6 +52,10 @@ let () =
           (if r.hot_only then " (hot-path modules only)" else "")
           r.doc)
       (Lint_rules.all_rules ());
+    List.iter
+      (fun (r : Lint_typed_rules.rule) ->
+        Printf.printf "%s (typed tier)\n  %s\n" r.id r.doc)
+      (Lint_typed_rules.all_rules ());
     exit 0
   end;
   if !paths = [] then begin
@@ -44,8 +63,11 @@ let () =
     exit 2
   end;
   let result =
-    Lint_driver.lint_paths ?hot:!hot ~only:!only ~prefix:!prefix
-      (List.rev !paths)
+    if !typed then
+      Lint_typed_driver.analyze ~only:!only ~prefix:!prefix (List.rev !paths)
+    else
+      Lint_driver.lint_paths ?hot:!hot ~only:!only ~prefix:!prefix
+        (List.rev !paths)
   in
   List.iter prerr_endline result.errors;
   (match !format with

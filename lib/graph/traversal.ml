@@ -93,51 +93,60 @@ let bibfs_reaches g u v =
     bq.(0) <- v;
     let flo = ref 0 and fhi = ref 1 in
     let blo = ref 0 and bhi = ref 1 in
+    (* Expand over the raw CSR arrays rather than [Digraph.iter_succ]:
+       the iterator would build one closure per popped node, right inside
+       the planner's per-query fallback path. *)
+    let out_off, out_adj = Digraph.out_csr g in
+    let in_off, in_adj = Digraph.in_csr g in
     (* Expansion cost of each frontier = its degree sum (edges that the
        next level must scan), maintained incrementally at discovery so
        side selection is O(1).  Frontier node counts undersell hubs. *)
-    let fcost = ref (Digraph.out_degree g u) in
-    let bcost = ref (Digraph.in_degree g v) in
+    let fcost = ref (out_off.(u + 1) - out_off.(u)) in
+    let bcost = ref (in_off.(v + 1) - in_off.(v)) in
     let found = ref false in
     (* An empty side is an exhausted search: its reachable set is complete
        and meet-free, so the answer is already "no" — stop rather than let
        the other side flood the rest of the graph. *)
-    while (not !found) && !flo < !fhi && !blo < !bhi do
-      if Obs.metrics_on () then
-        Obs.observe h_frontier (float_of_int (!fhi - !flo + (!bhi - !blo)));
-      if !fcost <= !bcost then begin
-        let hi = !fhi in
-        fcost := 0;
-        while (not !found) && !flo < hi do
-          let x = fq.(!flo) in
-          incr flo;
-          Digraph.iter_succ g x (fun y ->
-              if Bitset.mem bwd y then found := true
-              else if not (Bitset.mem fwd y) then begin
-                Bitset.add fwd y;
-                fq.(!fhi) <- y;
-                incr fhi;
-                fcost := !fcost + Digraph.out_degree g y
-              end)
-        done
-      end
-      else begin
-        let hi = !bhi in
-        bcost := 0;
-        while (not !found) && !blo < hi do
-          let x = bq.(!blo) in
-          incr blo;
-          Digraph.iter_pred g x (fun y ->
-              if Bitset.mem fwd y then found := true
-              else if not (Bitset.mem bwd y) then begin
-                Bitset.add bwd y;
-                bq.(!bhi) <- y;
-                incr bhi;
-                bcost := !bcost + Digraph.in_degree g y
-              end)
-        done
-      end
-    done;
+    (while (not !found) && !flo < !fhi && !blo < !bhi do
+       if Obs.metrics_on () then
+         Obs.observe h_frontier (float_of_int (!fhi - !flo + (!bhi - !blo)));
+       if !fcost <= !bcost then begin
+         let hi = !fhi in
+         fcost := 0;
+         while (not !found) && !flo < hi do
+           let x = fq.(!flo) in
+           incr flo;
+           for e = out_off.(x) to out_off.(x + 1) - 1 do
+             let y = out_adj.(e) in
+             if Bitset.mem bwd y then found := true
+             else if not (Bitset.mem fwd y) then begin
+               Bitset.add fwd y;
+               fq.(!fhi) <- y;
+               incr fhi;
+               fcost := !fcost + (out_off.(y + 1) - out_off.(y))
+             end
+           done
+         done
+       end
+       else begin
+         let hi = !bhi in
+         bcost := 0;
+         while (not !found) && !blo < hi do
+           let x = bq.(!blo) in
+           incr blo;
+           for e = in_off.(x) to in_off.(x + 1) - 1 do
+             let y = in_adj.(e) in
+             if Bitset.mem fwd y then found := true
+             else if not (Bitset.mem bwd y) then begin
+               Bitset.add bwd y;
+               bq.(!bhi) <- y;
+               incr bhi;
+               bcost := !bcost + (in_off.(y + 1) - in_off.(y))
+             end
+           done
+         done
+       end
+     done) [@lint.hot_loop];
     if Obs.metrics_on () then
       Obs.add c_visited (Bitset.cardinal fwd + Bitset.cardinal bwd);
     !found

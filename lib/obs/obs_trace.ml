@@ -152,10 +152,17 @@ let phase_totals () =
   List.iter
     (fun e ->
       if not (Hashtbl.mem tbl e.name) then order := e.name :: !order;
-      let prev = try Hashtbl.find tbl e.name with Not_found -> 0 in
+      let prev =
+        match Hashtbl.find_opt tbl e.name with Some ns -> ns | None -> 0
+      in
       Hashtbl.replace tbl e.name (prev + e.dur_ns))
     (events ());
-  List.rev_map (fun n -> (n, Obs_clock.ns_to_s (Hashtbl.find tbl n))) !order
+  List.rev_map
+    (fun n ->
+      (* Every name in [order] was inserted into [tbl] above. *)
+      let ns = match Hashtbl.find_opt tbl n with Some ns -> ns | None -> 0 in
+      (n, Obs_clock.ns_to_s ns))
+    !order
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace_event JSON *)

@@ -121,11 +121,41 @@ let coarsest_stable_refinement ?pool g ~initial =
       sb_of_blk.(new_block) <- x;
       enqueue x
     in
+    (* Hoisted out of the refine loop (along with the closure below): a ref
+       or closure created per round would allocate inside the hot loop. *)
+    let preds_len = ref 0 in
+    (* Move edge counts of one member of B from (·, S) to (·, B),
+       collecting E⁻¹(B) into [preds].  The first edge of each predecessor
+       allocates its (u, new S) slot and records its (u, S) slot for the
+       phase-2 "no edge left into S \ B" test.  Captures only
+       loop-invariant state, so one closure serves every round. *)
+    let move_counts v =
+      for e = in_off.(v) to in_off.(v + 1) - 1 do
+        let u = in_adj.(e) in
+        let c = cnt_of_edge.(e) in
+        let cn =
+          let cn = new_cnt.(u) in
+          if cn >= 0 then cn
+          else begin
+            preds.(!preds_len) <- u;
+            incr preds_len;
+            old_cnt.(u) <- c;
+            let cn = alloc_slot () in
+            cval.(cn) <- 0;
+            new_cnt.(u) <- cn;
+            cn
+          end
+        in
+        cval.(c) <- cval.(c) - 1;
+        cval.(cn) <- cval.(cn) + 1;
+        cnt_of_edge.(e) <- cn
+      done
+    in
     (* begin/end rather than [Obs.span]: a closure here would push every
        hot local (cval, cnt_of_edge, preds, the worklist...) into a
        closure environment and cost ~20% even with tracing off. *)
     Obs.begin_span "compressB.refine";
-    while !work_len > 0 do
+    (while !work_len > 0 do
       decr work_len;
       let xs = work.(!work_len) in
       queued.(xs) <- false;
@@ -156,31 +186,8 @@ let coarsest_stable_refinement ?pool g ~initial =
         sb_first.(xs) <- sf + bs;
         sb_size.(xs) <- ssz - bs;
         enqueue xs;
-        (* Move edge counts from (·, xs) to (·, xn), collecting E⁻¹(B).
-           The first edge of each predecessor allocates its (u, xn) slot
-           and records its (u, xs) slot for the phase-2 test. *)
-        let preds_len = ref 0 in
-        Partition.iter_block p b (fun v ->
-            for e = in_off.(v) to in_off.(v + 1) - 1 do
-              let u = in_adj.(e) in
-              let c = cnt_of_edge.(e) in
-              let cn =
-                let cn = new_cnt.(u) in
-                if cn >= 0 then cn
-                else begin
-                  preds.(!preds_len) <- u;
-                  incr preds_len;
-                  old_cnt.(u) <- c;
-                  let cn = alloc_slot () in
-                  cval.(cn) <- 0;
-                  new_cnt.(u) <- cn;
-                  cn
-                end
-              in
-              cval.(c) <- cval.(c) - 1;
-              cval.(cn) <- cval.(cn) + 1;
-              cnt_of_edge.(e) <- cn
-            done);
+        preds_len := 0;
+        Partition.iter_block p b move_counts;
         Obs.add c_marks !preds_len;
         (* Three-way split: first on membership in E⁻¹(B)... *)
         for i = 0 to !preds_len - 1 do
@@ -204,7 +211,7 @@ let coarsest_stable_refinement ?pool g ~initial =
           new_cnt.(u) <- -1
         done
       end
-    done;
+    done) [@lint.hot_loop];
     Obs.end_span ();
     Partition.normalize_assignment (Partition.assignment p)
   end

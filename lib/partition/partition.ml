@@ -99,7 +99,7 @@ let block_size p b = p.size.(b)
 let block_first p b = p.first.(b)
 let element_at p i = p.elems.(i)
 
-let iter_block p b f =
+let[@lint.hot_loop] iter_block p b f =
   let fst = p.first.(b) in
   for i = fst to fst + p.size.(b) - 1 do
     f p.elems.(i)
@@ -110,7 +110,7 @@ let members p b =
   iter_block p b (fun v -> acc := v :: !acc);
   List.sort Mono.icompare !acc
 
-let swap p i j =
+let[@lint.hot_loop] swap p i j =
   if i <> j then begin
     let a = p.elems.(i) and b = p.elems.(j) in
     p.elems.(i) <- b;
@@ -119,7 +119,7 @@ let swap p i j =
     p.pos.(b) <- i
   end
 
-let rotate_adjacent p ~front ~back =
+let[@lint.hot_loop] rotate_adjacent p ~front ~back =
   let sf = p.first.(front) and s1 = p.size.(front) and s2 = p.size.(back) in
   if p.first.(back) <> sf + s1 then
     invalid_arg "Partition.rotate_adjacent: blocks not adjacent";
@@ -134,7 +134,7 @@ let rotate_adjacent p ~front ~back =
   p.first.(back) <- sf;
   p.first.(front) <- sf + s2
 
-let mark p v =
+let[@lint.hot_loop] mark p v =
   let b = p.node_blk.(v) in
   let mark_end = p.first.(b) + p.marked.(b) in
   if p.pos.(v) >= mark_end then begin
@@ -149,9 +149,13 @@ let mark p v =
 
 let marked_size p b = p.marked.(b)
 
-let split_marked p f =
-  let nsplits = ref 0 in
-  while p.touched_len > 0 do
+(* Drain the touched stack, recording split pairs into split_old/split_new
+   and returning how many there are.  The count threads through toplevel
+   recursion instead of a ref so the drain stays allocation-free — this
+   runs twice per round of the compressB refine loop. *)
+let rec drain_touched p nsplits =
+  if p.touched_len = 0 then nsplits
+  else begin
     p.touched_len <- p.touched_len - 1;
     let b = p.touched.(p.touched_len) in
     let mk = p.marked.(b) in
@@ -167,12 +171,16 @@ let split_marked p f =
       for i = p.first.(nb) to p.first.(nb) + mk - 1 do
         p.node_blk.(p.elems.(i)) <- nb
       done;
-      p.split_old.(!nsplits) <- b;
-      p.split_new.(!nsplits) <- nb;
-      incr nsplits
+      p.split_old.(nsplits) <- b;
+      p.split_new.(nsplits) <- nb;
+      drain_touched p (nsplits + 1)
     end
-  done;
-  for i = 0 to !nsplits - 1 do
+    else drain_touched p nsplits
+  end
+
+let[@lint.hot_loop] split_marked p f =
+  let nsplits = drain_touched p 0 in
+  for i = 0 to nsplits - 1 do
     f ~old_block:p.split_old.(i) ~new_block:p.split_new.(i)
   done
 

@@ -3,7 +3,10 @@ type t = {
   cond : Digraph.t;
   (* intervals.(i).(c) = (low, post) for condensation node c, traversal i *)
   intervals : (int * int) array array;
-  mutable fallback_count : int;
+  (* Atomic: query runs inside parallel batch closures (Planner.eval_batch,
+     Reach_index.query_batch), so a plain mutable field would drop
+     concurrent increments. *)
+  fallback_count : int Atomic.t;
 }
 
 let c_fallbacks = Obs.counter "grail.fallbacks"
@@ -83,7 +86,7 @@ let build ?pool ?(traversals = 3) ?(seed = 0x6a11) g =
           (fun i -> label_once (Random.State.make [| seed; i |]) cond)
           (Array.init (Mono.imax 1 traversals) Fun.id)
       in
-      { comp = scc.Scc.comp; cond; intervals; fallback_count = 0 })
+      { comp = scc.Scc.comp; cond; intervals; fallback_count = Atomic.make 0 })
 
 let of_parts ~comp ~cond ~intervals =
   let k = Digraph.n cond in
@@ -99,18 +102,23 @@ let of_parts ~comp ~cond ~intervals =
       if Array.length iv <> k then
         invalid_arg "Grail.of_parts: interval array length mismatch")
     intervals;
-  { comp; cond; intervals; fallback_count = 0 }
+  { comp; cond; intervals; fallback_count = Atomic.make 0 }
 
 let comp t = t.comp
 let cond t = t.cond
 let intervals t = t.intervals
 
-let contained t cu cv =
-  Array.for_all
-    (fun iv ->
-      let lu, pu = iv.(cu) and lv, pv = iv.(cv) in
-      lu <= lv && pv <= pu)
-    t.intervals
+(* Toplevel recursion rather than [Array.for_all (fun ...)]: containment
+   runs on every query, and the predicate closure would be allocated each
+   time. *)
+let rec contained_from ivss cu cv i =
+  i >= Array.length ivss
+  ||
+  let iv = ivss.(i) in
+  let lu, pu = iv.(cu) and lv, pv = iv.(cv) in
+  lu <= lv && pv <= pu && contained_from ivss cu cv (i + 1)
+
+let contained t cu cv = contained_from t.intervals cu cv 0
 
 let query t u v =
   let cu = t.comp.(u) and cv = t.comp.(v) in
@@ -119,7 +127,7 @@ let query t u v =
   else begin
     (* Intervals say "maybe": confirm with a DFS pruned by the intervals. *)
     Obs.incr c_fallbacks;
-    t.fallback_count <- t.fallback_count + 1;
+    Atomic.incr t.fallback_count;
     let visited = Bitset.create (Digraph.n t.cond) in
     let rec dfs c =
       c = cv
@@ -140,4 +148,4 @@ let memory_bytes t =
   (2 * 8 * Array.length t.intervals * Digraph.n t.cond)
   + (8 * Array.length t.comp)
 
-let fallbacks t = t.fallback_count
+let fallbacks t = Atomic.get t.fallback_count

@@ -33,9 +33,8 @@ val memory_bytes : t -> int
 (** [fallbacks t] counts queries so far that could not be answered from
     intervals alone and needed the DFS fallback; exposed so benchmarks and
     the {!Planner} can estimate the pruning power.  Also surfaced as the
-    [grail.fallbacks] {!Obs} counter.  Under a concurrent [query_batch]
-    the per-[t] count is approximate (benign lost updates); the Obs
-    counter is per-domain and exact. *)
+    [grail.fallbacks] {!Obs} counter.  The count is atomic, so it is
+    exact under a concurrent [query_batch] too. *)
 val fallbacks : t -> int
 
 (** {1 Representation access (serialization)}

@@ -96,23 +96,25 @@ let comp t = t.comp
 let post t = t.post
 let intervals t = t.intervals
 
-let query t u v =
+(* Binary search for an interval containing [target].  Toplevel recursion
+   instead of refs + while: query is the per-query hot path and refs would
+   allocate on every call. *)
+let rec search ivs target lo hi =
+  lo <= hi
+  &&
+  let mid = (lo + hi) / 2 in
+  let a, b = ivs.(mid) in
+  if target < a then search ivs target lo (mid - 1)
+  else if target > b then search ivs target (mid + 1) hi
+  else true
+
+let[@lint.hot_loop] query t u v =
   let cu = t.comp.(u) and cv = t.comp.(v) in
   cu = cv
   ||
   let target = t.post.(cv) in
   let ivs = t.intervals.(cu) in
-  (* binary search for an interval containing target *)
-  let lo = ref 0 and hi = ref (Array.length ivs - 1) in
-  let found = ref false in
-  while (not !found) && !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let a, b = ivs.(mid) in
-    if target < a then hi := mid - 1
-    else if target > b then lo := mid + 1
-    else found := true
-  done;
-  !found
+  search ivs target 0 (Array.length ivs - 1)
 
 let interval_count t =
   Array.fold_left (fun acc ivs -> acc + Array.length ivs) 0 t.intervals

@@ -3,21 +3,27 @@ type t = {
   lin : int array array; (* sorted hop ids reaching v *)
 }
 
-let sorted_intersects a b =
-  let la = Array.length a and lb = Array.length b in
-  let rec go i j =
-    if i >= la || j >= lb then false
-    else if a.(i) = b.(j) then true
-    else if a.(i) < b.(j) then go (i + 1) j
-    else go i (j + 1)
-  in
-  go 0 0
+(* Toplevel recursion, not a local [let rec]: a local recursive helper
+   captures its environment and is allocated on every call, and query
+   runs tens of millions of times per second. *)
+let rec intersect_from a b i j =
+  i < Array.length a
+  && j < Array.length b
+  && (a.(i) = b.(j)
+     ||
+     if a.(i) < b.(j) then intersect_from a b (i + 1) j
+     else intersect_from a b i (j + 1))
 
-let query t u w =
+let sorted_intersects a b = intersect_from a b 0 0
+
+let rec array_mem_from a x i =
+  i < Array.length a && (a.(i) = x || array_mem_from a x (i + 1))
+
+let[@lint.hot_loop] query t u w =
   u = w
   || sorted_intersects t.lout.(u) t.lin.(w)
-  || Array.exists (fun h -> h = w) t.lout.(u)
-  || Array.exists (fun h -> h = u) t.lin.(w)
+  || array_mem_from t.lout.(u) w 0
+  || array_mem_from t.lin.(w) u 0
 
 let build g =
   let n = Digraph.n g in

@@ -1,0 +1,120 @@
+(* Compilation-unit loading for the typed lint tier.
+
+   A "unit" is one implementation's Typedtree, obtained either from a
+   `.cmt` file that dune already produced (the normal whole-program
+   path: dune passes -bin-annot unconditionally) or by typechecking a
+   standalone `.ml` in-process against the stdlib (the fixture/test
+   path: fixtures are self-contained, so no search path is needed). *)
+
+type unit_info = {
+  modname : string;  (** compilation unit name, e.g. ["Digraph"] *)
+  display : string;  (** path shown in diagnostics *)
+  source_path : string option;
+      (** readable source file, for suppression comments and the
+          syntactic tier; [None] when the source is not on disk *)
+  str : Typedtree.structure;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+(* Resolve the source file recorded in a cmt to something readable from
+   the current directory: dune stores paths relative to the build
+   context root, and the typed alias runs from there. *)
+let find_source infos =
+  match infos.Cmt_format.cmt_sourcefile with
+  | None -> None
+  | Some src ->
+      if Sys.file_exists src then Some src
+      else
+        let in_build = Filename.concat infos.Cmt_format.cmt_builddir src in
+        if Sys.file_exists in_build then Some in_build else None
+
+let load_cmt ~prefix path =
+  match Cmt_format.read_cmt path with
+  | exception Sys_error msg -> Error msg
+  | exception _ -> Error (path ^ ": unreadable cmt file")
+  | infos -> (
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation str ->
+          let display =
+            prefix
+            ^ Option.value infos.Cmt_format.cmt_sourcefile
+                ~default:(Filename.remove_extension path ^ ".ml")
+          in
+          Ok
+            {
+              modname = infos.Cmt_format.cmt_modname;
+              display;
+              source_path = find_source infos;
+              str;
+            }
+      | _ -> Error (path ^ ": cmt does not carry an implementation"))
+
+let typecheck_initialized = ref false
+
+let init_typecheck () =
+  if not !typecheck_initialized then begin
+    typecheck_initialized := true;
+    (* Fixtures deliberately contain lint violations, which often trip
+       compiler warnings too (unused values and the like); those are not
+       what the tests assert, so silence them. *)
+    ignore (Warnings.parse_options false "-a");
+    Clflags.dont_write_files := true;
+    Compmisc.init_path ()
+  end
+
+let modname_of_source path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let typecheck_ml ~prefix path =
+  init_typecheck ();
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | src -> (
+      let display = prefix ^ path in
+      let lexbuf = Lexing.from_string src in
+      Location.init lexbuf display;
+      Location.input_name := display;
+      match
+        let parsed = Parse.implementation lexbuf in
+        let env = Compmisc.initial_env () in
+        let str, _, _, _, _ = Typemod.type_structure env parsed in
+        str
+      with
+      | str ->
+          Ok
+            {
+              modname = modname_of_source path;
+              display;
+              source_path = Some path;
+              str;
+            }
+      | exception exn -> (
+          match Location.error_of_exn exn with
+          | Some (`Ok report) ->
+              Error (Format.asprintf "%a" Location.print_report report)
+          | _ -> Error (display ^ ": typechecking failed")))
+
+(* Collect every .cmt under [dir], sorted for deterministic unit order.
+   Unlike source collection this must descend into dot-directories:
+   dune keeps cmts in [.<lib>.objs/byte] and [.<exe>.eobjs/byte]. *)
+let collect_cmts dir =
+  let acc = ref [] in
+  let rec go d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | entries ->
+        Array.sort compare entries;
+        Array.iter
+          (fun name ->
+            let p = Filename.concat d name in
+            if Sys.is_directory p then go p
+            else if Filename.check_suffix name ".cmt" then acc := p :: !acc)
+          entries
+  in
+  go dir;
+  List.sort compare !acc

@@ -1,0 +1,57 @@
+(* A small dataflow toolkit for the typed (whole-program) lint tier.
+
+   The typed rules all reduce to the same two ingredients:
+
+   - interprocedural summaries: a per-definition fact ("mutates parameter
+     2", "allocates", "raises Parse_error", "is a bounds checker")
+     computed to a fixpoint over the call graph, and
+
+   - a forward walk: threading an abstract state through a definition's
+     body in approximate evaluation order, joining at branches.
+
+   This module provides the first as a generic monotone worklist solver;
+   the forward walks live with their rules (each has its own state and
+   join) but share the traversal helpers in [Lint_program]. *)
+
+(* [fixpoint ~keys ~deps ~init ~transfer ~equal] computes the least
+   fixpoint of [transfer] over the nodes [keys], where [deps k] lists the
+   nodes whose values [transfer k] may read (for a call-graph analysis:
+   the callees of [k]).  [transfer] must be monotone in its [get]
+   argument for termination; [equal] decides whether a recomputed value
+   changed.  Unknown keys passed to [get] answer with [init]. *)
+let fixpoint ~keys ~deps ~init ~transfer ~equal =
+  let value : (string, 'a) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun k -> Hashtbl.replace value k (init k)) keys;
+  (* Reverse dependencies: when [d] changes, every [k] with [d] in
+     [deps k] must be reconsidered. *)
+  let rdeps : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun d ->
+          let cur = Option.value (Hashtbl.find_opt rdeps d) ~default:[] in
+          Hashtbl.replace rdeps d (k :: cur))
+        (deps k))
+    keys;
+  let queued : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let enqueue k =
+    if not (Hashtbl.mem queued k) then begin
+      Hashtbl.replace queued k ();
+      Queue.add k queue
+    end
+  in
+  List.iter enqueue keys;
+  let get k =
+    match Hashtbl.find_opt value k with Some v -> v | None -> init k
+  in
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    Hashtbl.remove queued k;
+    let v' = transfer k ~get in
+    if not (equal (get k) v') then begin
+      Hashtbl.replace value k v';
+      List.iter enqueue (Option.value (Hashtbl.find_opt rdeps k) ~default:[])
+    end
+  done;
+  value

@@ -386,6 +386,13 @@ let partial_fns =
     ([ "ListLabels"; "tl" ], "ListLabels.tl");
     ([ "ListLabels"; "nth" ], "ListLabels.nth");
     ([ "Option"; "get" ], "Option.get");
+    (* Not-found raisers: the [_opt] variants force the caller to decide
+       what absence means instead of leaking a bare [Not_found]. *)
+    ([ "Hashtbl"; "find" ], "Hashtbl.find");
+    ([ "List"; "find" ], "List.find");
+    ([ "ListLabels"; "find" ], "ListLabels.find");
+    ([ "String"; "index" ], "String.index");
+    ([ "StringLabels"; "index" ], "StringLabels.index");
   ]
 
 let partial01 =
@@ -393,10 +400,12 @@ let partial01 =
     id = "PARTIAL01";
     hot_only = false;
     doc =
-      "Partial stdlib functions (List.hd, List.tl, List.nth, Option.get) \
-       raise on the shapes they exclude with a message that names neither \
-       caller nor data. Destructure with a total match carrying a real \
-       error message instead.";
+      "Partial stdlib functions (List.hd, List.tl, List.nth, Option.get, \
+       Hashtbl.find, List.find, String.index) raise on the shapes they \
+       exclude with a message that names neither caller nor data. \
+       Destructure with a total match, or use the [_opt] variant, carrying \
+       a real error message instead. Test code is exempt by construction: \
+       the lint aliases only cover lib/, bin/ and bench/.";
     check =
       (fun ctx structure ->
         let open Ast_iterator in

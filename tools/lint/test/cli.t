@@ -18,7 +18,10 @@ Violations are reported as file:line:col: RULE message, exit code 1:
   fixtures/bad_partial01.ml:6:14: PARTIAL01 `List.tl` is partial and fails with a context-free exception; use a total match with a real error message
   fixtures/bad_partial01.ml:9:15: PARTIAL01 `List.nth` is partial and fails with a context-free exception; use a total match with a real error message
   fixtures/bad_partial01.ml:12:14: PARTIAL01 `Option.get` is partial and fails with a context-free exception; use a total match with a real error message
-  qpgc-lint: 4 finding(s)
+  fixtures/bad_partial01.ml:15:19: PARTIAL01 `Hashtbl.find` is partial and fails with a context-free exception; use a total match with a real error message
+  fixtures/bad_partial01.ml:18:16: PARTIAL01 `List.find` is partial and fails with a context-free exception; use a total match with a real error message
+  fixtures/bad_partial01.ml:21:12: PARTIAL01 `String.index` is partial and fails with a context-free exception; use a total match with a real error message
+  qpgc-lint: 7 finding(s)
   [1]
 
 PARA01 does not depend on the hot classification, and --rule restricts
@@ -82,3 +85,61 @@ the fixture in scope:
 The same file under lib/obs is exempt (that layer wraps the raw clock):
 
   $ qpgc-lint --cold --rule OBS01 --prefix lib/obs/ fixtures/bad_obs01.ml
+
+The typed tier (--typed) typechecks standalone .ml inputs in-process and
+runs the whole-program rules plus the syntactic ones.  PARA02 follows
+mutation through helper calls and partial applications:
+
+  $ qpgc-lint --typed --rule PARA02 fixtures/bad_para02.ml
+  fixtures/bad_para02.ml:26:39: PARA02 parallel closure mutates shared state reachable from `counter` (via Bad_para02.bump: `incr` at fixtures/bad_para02.ml:21); the Pool contract allows only disjoint writes to shared arrays — use Atomic / per-domain state, or suppress with `lint: allow PARA02` if accesses are provably disjoint
+  fixtures/bad_para02.ml:36:39: PARA02 parallel closure mutates shared state reachable from `Bad_para02.tally` (via Bad_para02.note: `:=` at fixtures/bad_para02.ml:32); the Pool contract allows only disjoint writes to shared arrays — use Atomic / per-domain state, or suppress with `lint: allow PARA02` if accesses are provably disjoint
+  fixtures/bad_para02.ml:43:38: PARA02 parallel closure mutates shared state reachable from `state` (record-field write `cell <-` at fixtures/bad_para02.ml:43); the Pool contract allows only disjoint writes to shared arrays — use Atomic / per-domain state, or suppress with `lint: allow PARA02` if accesses are provably disjoint
+  fixtures/bad_para02.ml:51:28: PARA02 parallel closure mutates shared state reachable from `partially applied value (argument 0 of Bad_para02.add_into)` (the value is bound once and shared by every iteration; via Bad_para02.add_into: `:=` at fixtures/bad_para02.ml:45); the Pool contract allows only disjoint writes to shared arrays — use Atomic / per-domain state, or suppress with `lint: allow PARA02` if accesses are provably disjoint
+  qpgc-lint: 4 finding(s)
+  [1]
+
+BOUNDS01 demands a Parse_error-raising length check before binary reads:
+
+  $ qpgc-lint --typed --rule BOUNDS01 fixtures/bad_bounds01.ml
+  fixtures/bad_bounds01.ml:8:45: BOUNDS01 `String.get_int64_le` reads untrusted bytes with no dominating bounds check in this function; compare against String.length and raise Parse_error (directly or via a checker helper like `need`) before the read
+  fixtures/bad_bounds01.ml:14:2: BOUNDS01 `String.get_int32_le` reads untrusted bytes with no dominating bounds check in this function; compare against String.length and raise Parse_error (directly or via a checker helper like `need`) before the read
+  qpgc-lint: 2 finding(s)
+  [1]
+
+SPAN01 checks Obs span pairing on all paths, including exception edges:
+
+  $ qpgc-lint --typed --rule SPAN01 fixtures/bad_span01.ml
+  fixtures/bad_span01.ml:12:0: SPAN01 function exits with 1 unclosed Obs span(s): begin_span and end_span must pair lexically on every path
+  fixtures/bad_span01.ml:19:2: SPAN01 span balance differs across branches: every branch must open and close the same number of Obs spans
+  fixtures/bad_span01.ml:25:16: SPAN01 raise crosses 1 open Obs span(s): close the span before raising (or hoist the check above begin_span)
+  fixtures/bad_span01.ml:33:2: SPAN01 loop body changes the open Obs span count: begin_span/end_span inside a loop must pair within one iteration
+  qpgc-lint: 4 finding(s)
+  [1]
+
+Typed findings serialize to JSON like the syntactic tier, and a rule
+with no findings yields an empty array:
+
+  $ qpgc-lint --typed --rule BOUNDS01 --format json fixtures/bad_bounds01.ml
+  [{"file":"fixtures/bad_bounds01.ml","line":8,"col":45,"rule":"BOUNDS01","message":"`String.get_int64_le` reads untrusted bytes with no dominating bounds check in this function; compare against String.length and raise Parse_error (directly or via a checker helper like `need`) before the read"},{"file":"fixtures/bad_bounds01.ml","line":14,"col":2,"rule":"BOUNDS01","message":"`String.get_int32_le` reads untrusted bytes with no dominating bounds check in this function; compare against String.length and raise Parse_error (directly or via a checker helper like `need`) before the read"}]
+  qpgc-lint: 2 finding(s)
+  [1]
+
+  $ qpgc-lint --typed --rule ALLOC02 --format json fixtures/bad_bounds01.ml
+  []
+
+A fully suppressed unit is clean under --typed: comment directives and
+[@lint.allow] attributes silence both tiers:
+
+  $ qpgc-lint --typed fixtures/suppressed_typed.ml
+
+The clean typed fixture stays clean under the full eleven-rule run:
+
+  $ qpgc-lint --typed fixtures/clean_typed.ml
+
+--list-rules names both tiers:
+
+  $ qpgc-lint --list-rules | grep "typed tier"
+  ALLOC02 (typed tier)
+  BOUNDS01 (typed tier)
+  PARA02 (typed tier)
+  SPAN01 (typed tier)

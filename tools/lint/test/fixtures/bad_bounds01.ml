@@ -1,0 +1,36 @@
+(* BOUNDS01 fixture: untrusted binary reads must be dominated by a
+   length check that raises Parse_error — inline or through a checker
+   helper.  Expected findings are asserted by test_lint.ml. *)
+
+exception Parse_error of string
+
+(* 1. raw read with no bounds check anywhere in the function *)
+let bad_word (s : string) off = Int64.to_int (String.get_int64_le s off)
+
+(* 2. the check exists but raises the wrong thing: Invalid_argument is a
+   programmer error, not a parse diagnostic, so it does not count *)
+let bad_guard (s : string) off =
+  if off + 4 > String.length s then invalid_arg "short";
+  String.get_int32_le s off
+
+(* clean: inline length check raising Parse_error dominates the read *)
+let good_inline (s : string) off =
+  if off + 8 > String.length s then raise (Parse_error "truncated i64");
+  String.get_int64_le s off
+
+(* A checker helper: consults the length, raises Parse_error. *)
+let need (s : string) off k =
+  if off + k > String.length s then raise (Parse_error "truncated input")
+
+(* clean: the checker call establishes the guard for the whole function *)
+let good_checked (s : string) off =
+  need s off 12;
+  let a = String.get_int64_le s off in
+  let b = String.get_int32_le s (off + 8) in
+  Int64.add a (Int64.of_int32 b)
+
+(* clean: closures inherit the guard at their creation point (the
+   Array.init-under-guard idiom of the io readers) *)
+let good_closure (s : string) off n =
+  need s off (8 * n);
+  Array.init n (fun i -> String.get_int64_le s (off + (8 * i)))

@@ -1,0 +1,71 @@
+(* PARA02 fixture: interprocedural escape of mutable state into Pool
+   closures.  Self-contained: a local [Pool] module stands in for the
+   repo's worker pool (the rule matches entry points by their last two
+   name components).  Expected findings are asserted by test_lint.ml. *)
+
+module Pool = struct
+  type t = unit
+
+  let default () = ()
+
+  let parallel_for (_ : t) ~n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+
+  let parallel_map (_ : t) f (a : int array) = Array.map f a
+end
+
+(* Helper that mutates its first parameter: invisible to the syntactic
+   PARA01, which only sees the call [bump counter] inside the closure. *)
+let bump r = incr r
+
+(* 1. captured ref mutated through a helper call *)
+let count_all pool n =
+  let counter = ref 0 in
+  Pool.parallel_for pool ~n (fun _i -> bump counter);
+  !counter
+
+(* Global mutable state and a helper that writes it. *)
+let tally = ref 0
+
+let note () = tally := !tally + 1
+
+(* 2. global mutated through a helper call *)
+let count_global pool n =
+  Pool.parallel_for pool ~n (fun _i -> note ());
+  !tally
+
+type acc = { mutable cell : int }
+
+(* 3. alias of a captured value: the projection [state] -> field write *)
+let race_field pool n (state : acc) =
+  Pool.parallel_for pool ~n (fun i -> state.cell <- state.cell + i)
+
+let add_into r x = r := !r + x
+
+(* 4. partial application: [add_into total] is built once, so [total] is
+   shared by every iteration *)
+let sum_partial pool n =
+  let total = ref 0 in
+  Pool.parallel_for pool ~n (add_into total);
+  !total
+
+(* clean: disjoint writes to a shared array are the Pool contract *)
+let fill pool n =
+  let out = Array.make n 0 in
+  Pool.parallel_for pool ~n (fun i -> out.(i) <- i * i);
+  out
+
+(* clean: Atomic state is sanctioned *)
+let count_atomic pool n =
+  let hits = Atomic.make 0 in
+  Pool.parallel_for pool ~n (fun _i -> Atomic.incr hits);
+  Atomic.get hits
+
+(* clean: state defined inside the closure is per-iteration *)
+let local_state pool n =
+  Pool.parallel_for pool ~n (fun i ->
+      let scratch = ref i in
+      scratch := !scratch * 2;
+      ignore !scratch)

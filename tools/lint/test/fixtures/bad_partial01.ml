@@ -12,5 +12,17 @@ let third xs = List.nth xs 2
 let force o = Option.get o
 (* line 12 *)
 
+let lookup tbl k = Hashtbl.find tbl k
+(* line 15 *)
+
+let pick p xs = List.find p xs
+(* line 18 *)
+
+let cut s = String.index s ','
+(* line 21 *)
+
 (* Not flagged: total versions. *)
 let first_opt = function [] -> None | x :: _ -> Some x
+let lookup_opt tbl k = Hashtbl.find_opt tbl k
+let pick_opt p xs = List.find_opt p xs
+let cut_opt s = String.index_opt s ','

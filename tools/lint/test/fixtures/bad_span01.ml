@@ -1,0 +1,60 @@
+(* SPAN01 fixture: Obs.begin_span / end_span pairing on all paths.
+   Self-contained: a local [Obs] stands in for the repo's observability
+   layer (the rule matches by the last two name components).  Expected
+   findings are asserted by test_lint.ml. *)
+
+module Obs = struct
+  let begin_span (_ : string) = ()
+  let end_span () = ()
+end
+
+(* 1. span opened and never closed: flagged at the binding *)
+let leak x =
+  Obs.begin_span "leak";
+  x + 1
+
+(* 2. branches disagree on the open-span count *)
+let branchy c x =
+  Obs.begin_span "branchy";
+  (if c then Obs.end_span ());
+  x
+
+(* 3. raise crosses an open span: the exception edge would leak it *)
+let raisy n =
+  Obs.begin_span "raisy";
+  if n < 0 then invalid_arg "raisy: negative";
+  let r = n * 2 in
+  Obs.end_span ();
+  r
+
+(* 4. loop body must be span-neutral *)
+let loopy n =
+  let i = ref 0 in
+  while !i < n do
+    Obs.begin_span "iter";
+    incr i
+  done
+
+(* clean: balanced on the straight path *)
+let ok x =
+  Obs.begin_span "ok";
+  let r = x * 3 in
+  Obs.end_span ();
+  r
+
+(* clean: both arms balanced, raising arm checked before the span opens *)
+let ok_branches c x =
+  if x < 0 then invalid_arg "ok_branches: negative";
+  Obs.begin_span "ok_branches";
+  let r = if c then x + 1 else x - 1 in
+  Obs.end_span ();
+  r
+
+(* clean: loop neutral — every iteration closes what it opens *)
+let ok_loop n =
+  let i = ref 0 in
+  while !i < n do
+    Obs.begin_span "iter";
+    incr i;
+    Obs.end_span ()
+  done

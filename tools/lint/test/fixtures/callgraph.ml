@@ -1,0 +1,12 @@
+(* Call-graph fixture: def/use-resolved edges across nested modules,
+   asserted by test_lint.ml (Lint_program.callees). *)
+
+let double x = x + x
+
+module Inner = struct
+  let twice y = double y
+end
+
+let entry z = Inner.twice (double z)
+
+let unused = 0

@@ -1,0 +1,29 @@
+(* Typed-tier suppression fixture: every violation below carries either a
+   comment directive (scanned from the source) or a [@lint.allow]
+   expression attribute (collected from the Typedtree), so the typed
+   analysis must report nothing. *)
+
+(* Comment form: covers the comment's lines and the next line. *)
+let[@lint.hot_loop] hot_comment (a : int array) =
+  (* lint: allow ALLOC02 -- fixture: demonstrating the comment form *)
+  Array.to_list a
+
+(* Expression attribute form. *)
+let[@lint.hot_loop] hot_attr (a : int array) =
+  (Array.to_list a [@lint.allow "ALLOC02"])
+
+module Pool = struct
+  let parallel_for () ~n f =
+    for i = 0 to n - 1 do
+      f i
+    done
+end
+
+(* Comment form on a typed PARA02 finding. *)
+let racy_but_reviewed n =
+  let total = ref 0 in
+  Pool.parallel_for () ~n (fun i ->
+      (* lint: allow PARA01 PARA02 -- fixture: demonstrating that one
+         directive can silence both tiers on the same line *)
+      total := !total + i);
+  !total

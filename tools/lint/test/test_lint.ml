@@ -41,7 +41,15 @@ let test_para01_only () =
 
 let test_partial01 () =
   check_diags "bad_partial01"
-    [ (3, "PARTIAL01"); (6, "PARTIAL01"); (9, "PARTIAL01"); (12, "PARTIAL01") ]
+    [
+      (3, "PARTIAL01");
+      (6, "PARTIAL01");
+      (9, "PARTIAL01");
+      (12, "PARTIAL01");
+      (15, "PARTIAL01");
+      (18, "PARTIAL01");
+      (21, "PARTIAL01");
+    ]
     (lint "bad_partial01.ml")
 
 let test_csr01 () =
@@ -167,6 +175,78 @@ let test_json () =
   Alcotest.(check bool) "json has rule" true (has {|"rule":"CMP01"|});
   Alcotest.(check bool) "json has line" true (has {|"line":3|})
 
+(* ------------------------------------------------------------------ *)
+(* Typed (whole-program) tier: fixtures are typechecked in-process
+   against the stdlib, so each is self-contained (local Pool/Obs modules,
+   local Parse_error). *)
+
+let typed_lint ?only name =
+  let path = fixture name in
+  let r = Lint_typed_driver.analyze ?only [ path ] in
+  (match r.Lint_driver.errors with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "unexpected typed lint error on %s: %s" name e);
+  List.map (fun d -> (d.Lint_diag.line, d.Lint_diag.rule)) r.Lint_driver.diags
+
+let test_para02 () =
+  check_diags "bad_para02"
+    [ (26, "PARA02"); (36, "PARA02"); (43, "PARA02"); (51, "PARA02") ]
+    (typed_lint ~only:[ "PARA02" ] "bad_para02.ml")
+
+let test_bounds01 () =
+  check_diags "bad_bounds01"
+    [ (8, "BOUNDS01"); (14, "BOUNDS01") ]
+    (typed_lint ~only:[ "BOUNDS01" ] "bad_bounds01.ml")
+
+let test_alloc02 () =
+  check_diags "bad_alloc02"
+    [
+      (11, "ALLOC02");
+      (12, "ALLOC02");
+      (19, "ALLOC02");
+      (26, "ALLOC02");
+      (26, "ALLOC02");
+      (27, "ALLOC02");
+      (27, "ALLOC02");
+      (27, "ALLOC02");
+      (35, "ALLOC02");
+      (37, "ALLOC02");
+    ]
+    (typed_lint ~only:[ "ALLOC02" ] "bad_alloc02.ml")
+
+let test_span01 () =
+  check_diags "bad_span01"
+    [ (12, "SPAN01"); (19, "SPAN01"); (25, "SPAN01"); (33, "SPAN01") ]
+    (typed_lint ~only:[ "SPAN01" ] "bad_span01.ml")
+
+(* The typed driver also runs the syntactic tier on each unit's source;
+   suppression directives (comments and [@lint.allow] attributes) must
+   silence findings from both. *)
+let test_suppressed_typed () =
+  check_diags "suppressed_typed" [] (typed_lint "suppressed_typed.ml")
+
+(* A self-contained clean file must stay clean under the full typed run
+   (all eleven rules, both tiers). *)
+let test_typed_clean () =
+  check_diags "clean_typed" [] (typed_lint "clean_typed.ml")
+
+let test_callgraph () =
+  let path = fixture "callgraph.ml" in
+  match Lint_cmt.typecheck_ml ~prefix:"" path with
+  | Error e -> Alcotest.failf "typecheck failed: %s" e
+  | Ok u ->
+      let prog = Lint_program.build [ u ] in
+      Alcotest.(check (list string))
+        "entry edges"
+        [ "Callgraph.Inner.twice"; "Callgraph.double" ]
+        (Lint_program.callees prog "Callgraph.entry");
+      Alcotest.(check (list string))
+        "twice edges" [ "Callgraph.double" ]
+        (Lint_program.callees prog "Callgraph.Inner.twice");
+      Alcotest.(check (list string))
+        "double leaf" []
+        (Lint_program.callees prog "Callgraph.double")
+
 let () =
   Alcotest.run "qpgc-lint"
     [
@@ -191,8 +271,21 @@ let () =
           Alcotest.test_case "clean file" `Quick test_clean;
           Alcotest.test_case "hot-only rules off cold" `Quick test_cold;
         ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "PARA02 fixture" `Quick test_para02;
+          Alcotest.test_case "BOUNDS01 fixture" `Quick test_bounds01;
+          Alcotest.test_case "ALLOC02 fixture" `Quick test_alloc02;
+          Alcotest.test_case "SPAN01 fixture" `Quick test_span01;
+          Alcotest.test_case "clean file (typed)" `Quick test_typed_clean;
+          Alcotest.test_case "call graph edges" `Quick test_callgraph;
+        ] );
       ( "suppression",
-        [ Alcotest.test_case "all forms silence" `Quick test_suppressed ] );
+        [
+          Alcotest.test_case "all forms silence" `Quick test_suppressed;
+          Alcotest.test_case "typed tier forms silence" `Quick
+            test_suppressed_typed;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
