@@ -226,6 +226,152 @@ let run_csr opts () =
   Format.fprintf ppf "(json written to %s)@." path
 
 (* ------------------------------------------------------------------ *)
+(* Pluggable-storage microbench: the BENCH_csr graph serialised in the
+   three snapshot kinds ('G' flat, 'M' mapped, 'V' varint), measuring
+   bytes/edge on disk and resident, load latency — including the O(1)
+   claim of the mapped kind: open time must stay flat while the graph
+   grows 10x — and BFS + compressR throughput per backend, with every
+   backend's outputs checked identical to flat's.  Written to
+   BENCH_storage.json so the storage layer is tracked in CI. *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "qpgc_storage" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let file_length path =
+  Int64.to_int (In_channel.with_open_bin path In_channel.length)
+
+let run_storage opts () =
+  section "Pluggable storage (flat / mmap / varint)";
+  let time = Obs.time in
+  let n = max 1024 (int_of_float (100_000. *. opts.Experiments.scale)) in
+  let m = 3 * n in
+  let rng = Random.State.make [| opts.Experiments.seed; 0xC5B |] in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  let bfs_queries = 64 in
+  let pairs = Reach_query.random_pairs rng g ~count:bfs_queries in
+  let edges = float_of_int (Digraph.m g) in
+  Format.fprintf ppf "graph: |V| = %d, |E| = %d@." (Digraph.n g) (Digraph.m g);
+  let c0 = Compress_reach.compress g in
+  let bench_backend (name, format, mmap) =
+    with_temp_file (fun path ->
+        Graph_io.save_binary ~format path g;
+        let file_bytes = file_length path in
+        let gb, load_s = time (fun () -> fst (Graph_io.load ~mmap path)) in
+        let resident = Digraph.memory_bytes gb in
+        let hits = ref 0 in
+        let (), bfs_s =
+          time (fun () ->
+              Array.iter
+                (fun (u, v) ->
+                  if Traversal.bfs_reaches gb u v then incr hits)
+                pairs)
+        in
+        let c, compress_s = time (fun () -> Compress_reach.compress gb) in
+        let identical =
+          Digraph.equal (Compressed.graph c) (Compressed.graph c0)
+          && c.Compressed.node_map = c0.Compressed.node_map
+        in
+        let bfs_qps = float_of_int bfs_queries /. bfs_s in
+        let compress_eps = edges /. compress_s in
+        Format.fprintf ppf
+          "%-7s file %5.1f B/edge, resident %5.1f B/edge, load %.4fs, BFS \
+           %.0f q/s, compressR %.0f edges/s, outputs %s@."
+          name
+          (float_of_int file_bytes /. edges)
+          (float_of_int resident /. edges)
+          load_s bfs_qps compress_eps
+          (if identical then "ok" else "MISMATCH");
+        (name, file_bytes, resident, load_s, bfs_qps, compress_eps, identical))
+  in
+  let rows =
+    List.map bench_backend
+      [
+        ("flat", Digraph.Flat, false);
+        ("mmap", Digraph.Mapped, true);
+        ("varint", Digraph.Varint, false);
+      ]
+  in
+  (* The O(1)-open claim: repeated zero-copy opens of a mapped snapshot at
+     two sizes 10x apart.  Eager loading would scale linearly; the mapped
+     open only parses the fixed header and the name table. *)
+  let open_latency n' =
+    let rng = Random.State.make [| opts.Experiments.seed; 0x01A |] in
+    let gs = Generators.erdos_renyi rng ~n:n' ~m:(3 * n') in
+    with_temp_file (fun path ->
+        Graph_io.save_binary ~format:Digraph.Mapped path gs;
+        ignore (Graph_io.load ~mmap:true path);
+        let reps = 50 in
+        let (), s =
+          time (fun () ->
+              for _ = 1 to reps do
+                ignore (Graph_io.load ~mmap:true path)
+              done)
+        in
+        s /. float_of_int reps)
+  in
+  let small_n = max 256 (n / 10) in
+  let t_small = open_latency small_n in
+  let t_large = open_latency n in
+  let o1_ratio = if t_small > 0. then t_large /. t_small else 1. in
+  Format.fprintf ppf
+    "mmap open: %.1f us at |V| = %d vs %.1f us at |V| = %d (ratio %.2f; \
+     eager would be ~10x)@."
+    (1e6 *. t_small) small_n (1e6 *. t_large) n o1_ratio;
+  let all_ok =
+    List.for_all (fun (_, _, _, _, _, _, identical) -> identical) rows
+  in
+  Format.fprintf ppf "backend outputs identical to flat: %s@."
+    (if all_ok then "ok" else "MISMATCH");
+  let backend_json (name, file_bytes, resident, load_s, bfs_qps, eps, id) =
+    Printf.sprintf
+      "    \"%s\": {\n\
+      \      \"file_bytes\": %d,\n\
+      \      \"file_bytes_per_edge\": %.2f,\n\
+      \      \"resident_bytes\": %d,\n\
+      \      \"resident_bytes_per_edge\": %.2f,\n\
+      \      \"load_s\": %.6f,\n\
+      \      \"bfs_qps\": %.1f,\n\
+      \      \"compress_edges_per_s\": %.1f,\n\
+      \      \"outputs_identical\": %b\n\
+      \    }"
+      name file_bytes
+      (float_of_int file_bytes /. edges)
+      resident
+      (float_of_int resident /. edges)
+      load_s bfs_qps eps id
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"nodes\": %d,\n\
+      \  \"edges\": %d,\n\
+      \  \"seed\": %d,\n\
+      \  \"scale\": %g,\n\
+      \  \"backends\": {\n%s\n  },\n\
+      \  \"mmap_open\": {\n\
+      \    \"small_nodes\": %d,\n\
+      \    \"large_nodes\": %d,\n\
+      \    \"small_open_s\": %.8f,\n\
+      \    \"large_open_s\": %.8f,\n\
+      \    \"ratio\": %.3f\n\
+      \  },\n\
+      \  \"outputs_identical\": %b\n\
+       }\n"
+      (Digraph.n g) (Digraph.m g) opts.Experiments.seed opts.Experiments.scale
+      (String.concat ",\n" (List.map backend_json rows))
+      small_n n t_small t_large o1_ratio all_ok
+  in
+  let path = "BENCH_storage.json" in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Format.fprintf ppf "(json written to %s)@." path;
+  if not all_ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Compress-then-index reachability microbench: on the BENCH_csr graph
    (same generator, seed and size), compress once, build each reachability
    index over Gr, and push a large shuffled batch through every index and
@@ -642,6 +788,7 @@ let experiments =
     ("micro", run_micro);
     ("speedup", run_speedup);
     ("csr", run_csr);
+    ("storage", run_storage);
     ("reach", run_reach);
     ("bisim", run_bisim);
   ]

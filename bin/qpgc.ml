@@ -83,8 +83,8 @@ let obs_term = Term.(const setup_obs $ trace_arg $ metrics_arg $ trace_gc_arg)
 
 (* [Graph_io.load] sniffs the snapshot magic, so every subcommand accepts
    text and binary graph files interchangeably. *)
-let read_graph path =
-  try fst (Graph_io.load path) with
+let read_graph ?(mmap = false) path =
+  try fst (Graph_io.load ~mmap path) with
   | Graph_io.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: %s\n" path line msg;
       exit 1
@@ -100,6 +100,37 @@ let binary_arg =
           "Write outputs as binary snapshots instead of text (loaded \
            transparently by every subcommand; see DESIGN.md for the \
            format).")
+
+(* Shared --mmap flag: zero-copy loading of mapped ('M') snapshots,
+   including graph blobs nested inside 'C' and 'I' snapshots. *)
+let mmap_arg =
+  Arg.(
+    value & flag
+    & info [ "mmap" ]
+        ~doc:
+          "Open mapped ('M') binary snapshots zero-copy: the CSR sections \
+           become views over the file pages instead of being read onto the \
+           heap, so opening is O(1) in the graph size.  Other formats load \
+           eagerly as usual.")
+
+(* Shared --adj flag: the adjacency encoding of binary outputs. *)
+let adj_arg =
+  Arg.(
+    value
+    & opt
+        (Arg.enum
+           [
+             ("flat", Digraph.Flat);
+             ("varint", Digraph.Varint);
+             ("mmap", Digraph.Mapped);
+           ])
+        Digraph.Flat
+    & info [ "adj" ] ~docv:"ENC"
+        ~doc:
+          "Adjacency encoding for binary snapshot outputs: $(b,flat) (kind \
+           'G', the default), $(b,varint) (kind 'V', gap + LEB128 delta \
+           coding, 2-4x smaller) or $(b,mmap) (kind 'M', 8-byte-aligned \
+           sections built for zero-copy $(b,--mmap) loading).")
 
 (* ------------------------------------------------------------------ *)
 (* generate *)
@@ -133,7 +164,7 @@ let generate_cmd =
       & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output graph file.")
   in
-  let run () dataset nodes edges seed output binary =
+  let run () dataset nodes edges seed output binary adj =
     match Datasets.find dataset with
     | exception Not_found ->
         Printf.eprintf "unknown dataset %S; try `qpgc datasets'\n" dataset;
@@ -142,7 +173,8 @@ let generate_cmd =
         let nodes = Option.value nodes ~default:spec.Datasets.nodes in
         let edges = Option.value edges ~default:spec.Datasets.edges in
         let g = Datasets.generate_scaled ~seed spec ~nodes ~edges in
-        if binary then Graph_io.save_binary output g else Graph_io.save output g;
+        if binary then Graph_io.save_binary ~format:adj output g
+        else Graph_io.save output g;
         Printf.printf "wrote %s: |V| = %d, |E| = %d, |L| = %d\n" output
           (Digraph.n g) (Digraph.m g) (Digraph.label_count g)
   in
@@ -150,7 +182,7 @@ let generate_cmd =
     (Cmd.info "generate" ~doc:"Materialise a synthetic dataset stand-in.")
     Term.(
       const run $ obs_term $ dataset $ nodes $ edges $ seed $ output
-      $ binary_arg)
+      $ binary_arg $ adj_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
@@ -162,14 +194,29 @@ let graph_arg =
     & info [] ~docv:"GRAPH" ~doc:"Graph file (see README for the format).")
 
 let stats_cmd =
-  let run () domains path =
+  let run () domains mmap path =
     setup_domains domains;
-    let g = read_graph path in
-    Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
+    let g = read_graph ~mmap path in
+    (* Measure before the stats pass: computing stats may force the dense
+       escape-hatch views on a mapped or varint backend, which would count
+       against the resident figure. *)
     let mem = Digraph.memory_bytes g in
-    Printf.printf "CSR memory  : %d bytes (%.1f bytes/edge)\n" mem
-      (if Digraph.m g = 0 then 0.0
-       else float_of_int mem /. float_of_int (Digraph.m g));
+    Format.printf "%a@." Graph_stats.pp (Graph_stats.compute g);
+    let per_edge m =
+      if Digraph.m g = 0 then 0.0
+      else float_of_int m /. float_of_int (Digraph.m g)
+    in
+    Printf.printf "storage     : %s backend, %d resident bytes (%.1f bytes/edge)\n"
+      (Digraph.backend_name g) mem (per_edge mem);
+    (* Resident footprint of the same graph on the other backends, so the
+       encodings can be compared without converting files by hand. *)
+    List.iter
+      (fun (name, build) ->
+        if name <> Digraph.backend_name g then
+          let m = Digraph.memory_bytes (build g) in
+          Printf.printf "  as %-7s: %d bytes (%.1f bytes/edge)\n" name m
+            (per_edge m))
+      [ ("flat", Digraph.to_flat); ("varint", Digraph.to_varint) ];
     let rc = Compress_reach.compress g in
     Printf.printf "reach Gr    : |Vr| = %d, |Er| = %d  (RCr = %.2f%%)\n"
       (Digraph.n (Compressed.graph rc))
@@ -183,7 +230,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Structural statistics and compression ratios.")
-    Term.(const run $ obs_term $ domains_arg $ graph_arg)
+    Term.(const run $ obs_term $ domains_arg $ mmap_arg $ graph_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compress *)
@@ -219,20 +266,23 @@ let compress_cmd =
             "Write the full compression (Gr + node map) in one file, \
              loadable by $(b,qpgc cquery).")
   in
-  let run () domains path mode output map_file save_file binary =
+  let run () domains mmap adj path mode output map_file save_file binary =
     setup_domains domains;
-    let g = read_graph path in
+    let g = read_graph ~mmap path in
     let c, dt =
       Obs.time (fun () ->
           match mode with
           | `Reach -> Compress_reach.compress g
           | `Pattern -> Compress_bisim.compress g)
     in
-    (if binary then Graph_io.save_binary else Graph_io.save)
+    (if binary then Graph_io.save_binary ?labels:None ~format:adj
+     else Graph_io.save ?labels:None)
       output (Compressed.graph c);
     (match save_file with
     | None -> ()
-    | Some sf -> (if binary then Compressed_io.save_binary else Compressed_io.save) sf c);
+    | Some sf ->
+        if binary then Compressed_io.save_binary ~graph_format:adj sf c
+        else Compressed_io.save sf c);
     (match map_file with
     | None -> ()
     | Some mf ->
@@ -249,8 +299,8 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Compress a graph, preserving a query class.")
     Term.(
-      const run $ obs_term $ domains_arg $ graph_arg $ mode_arg $ output
-      $ map_file $ save_file $ binary_arg)
+      const run $ obs_term $ domains_arg $ mmap_arg $ adj_arg $ graph_arg
+      $ mode_arg $ output $ map_file $ save_file $ binary_arg)
 
 (* ------------------------------------------------------------------ *)
 (* index: build a reachability index over the compression and save it *)
@@ -270,8 +320,8 @@ let algorithm_arg =
           "Index algorithm: $(b,tree-cover), $(b,two-hop) or $(b,grail) \
            (default $(b,tree-cover)).")
 
-let load_index path =
-  try Reach_index_io.load path
+let load_index ?(mmap = false) path =
+  try Reach_index_io.load ~mmap path
   with Reach_index_io.Parse_error (line, msg) ->
     Printf.eprintf "%s:%d: %s\n" path line msg;
     exit 1
@@ -292,15 +342,15 @@ let index_cmd =
             "Index the graph itself instead of its reach compression \
              (larger index, for comparison).")
   in
-  let run () domains path algorithm output direct =
+  let run () domains mmap adj path algorithm output direct =
     setup_domains domains;
-    let g = read_graph path in
+    let g = read_graph ~mmap path in
     let idx, dt =
       Obs.time (fun () ->
           if direct then Reach_index.build ~algorithm g
           else Compress_reach.index ~algorithm (Compress_reach.compress g))
     in
-    Reach_index_io.save output idx;
+    Reach_index_io.save ~graph_format:adj output idx;
     Printf.printf
       "built %s index in %.3fs: %d node(s) indexed for %d original(s), %d \
        index bytes vs %d CSR bytes\n"
@@ -317,8 +367,8 @@ let index_cmd =
          "Compress a graph, build a reachability index over the \
           compression, and save it.")
     Term.(
-      const run $ obs_term $ domains_arg $ graph_arg $ algorithm_arg $ output
-      $ direct)
+      const run $ obs_term $ domains_arg $ mmap_arg $ adj_arg $ graph_arg
+      $ algorithm_arg $ output $ direct)
 
 (* ------------------------------------------------------------------ *)
 (* query *)
@@ -345,15 +395,15 @@ let query_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
   in
-  let run () domains path source target planner index_file =
+  let run () domains mmap path source target planner index_file =
     setup_domains domains;
-    let g = read_graph path in
+    let g = read_graph ~mmap path in
     let n = Digraph.n g in
     if source < 0 || source >= n || target < 0 || target >= n then begin
       Printf.eprintf "nodes must be in [0, %d)\n" n;
       exit 1
     end;
-    let index = Option.map load_index index_file in
+    let index = Option.map (load_index ~mmap) index_file in
     (match index with
     | Some idx when Reach_index.original_n idx <> n ->
         Printf.eprintf "index answers for %d node(s) but the graph has %d\n"
@@ -391,8 +441,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
     Term.(
-      const run $ obs_term $ domains_arg $ graph_arg $ source $ target
-      $ planner_arg $ index_file_arg)
+      const run $ obs_term $ domains_arg $ mmap_arg $ graph_arg $ source
+      $ target $ planner_arg $ index_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* match *)
@@ -404,8 +454,8 @@ let match_cmd =
       & opt (some file) None
       & info [ "pattern"; "p" ] ~docv:"FILE" ~doc:"Pattern query file.")
   in
-  let run () path pattern_file =
-    let g = read_graph path in
+  let run () mmap path pattern_file =
+    let g = read_graph ~mmap path in
     let p =
       try Pattern_io.load pattern_file
       with Pattern_io.Parse_error (line, msg) ->
@@ -426,7 +476,7 @@ let match_cmd =
   Cmd.v
     (Cmd.info "match"
        ~doc:"Evaluate a pattern query on the compressed graph.")
-    Term.(const run $ obs_term $ graph_arg $ pattern_file)
+    Term.(const run $ obs_term $ mmap_arg $ graph_arg $ pattern_file)
 
 (* ------------------------------------------------------------------ *)
 (* cquery: query a saved compression without the original graph *)
@@ -445,9 +495,9 @@ let cquery_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node (original id).")
   in
-  let run () path source target =
+  let run () mmap path source target =
     let c =
-      try Compressed_io.load path
+      try Compressed_io.load ~mmap path
       with Compressed_io.Parse_error (line, msg) ->
         Printf.eprintf "%s:%d: %s
 " path line msg;
@@ -469,7 +519,7 @@ let cquery_cmd =
     (Cmd.info "cquery"
        ~doc:
          "Answer a reachability query from a saved compression, without the           original graph.")
-    Term.(const run $ obs_term $ comp_file $ source $ target)
+    Term.(const run $ obs_term $ mmap_arg $ comp_file $ source $ target)
 
 (* ------------------------------------------------------------------ *)
 (* rpq *)
@@ -484,8 +534,8 @@ let rpq_cmd =
             "Regular path query over node labels: atoms $(b,l<id>) and \
              $(b,.), postfix $(b,*)/$(b,+)/$(b,?), infix $(b,|), parentheses.")
   in
-  let run () path regex =
-    let g = read_graph path in
+  let run () mmap path regex =
+    let g = read_graph ~mmap path in
     let r =
       try Rpq.parse regex
       with Invalid_argument msg ->
@@ -506,7 +556,7 @@ let rpq_cmd =
        ~doc:
          "Evaluate a regular path query on the compressed graph (the \
           paper's Sec 7 extension).")
-    Term.(const run $ obs_term $ graph_arg $ regex)
+    Term.(const run $ obs_term $ mmap_arg $ graph_arg $ regex)
 
 (* ------------------------------------------------------------------ *)
 (* dot: Graphviz export, optionally clustered by the compression *)
@@ -523,8 +573,8 @@ let dot_cmd =
           ~doc:
             "Group nodes into Graphviz clusters by their hypernode under              the $(b,reach) or $(b,pattern) compression.")
   in
-  let run () path cluster_mode =
-    let g = read_graph path in
+  let run () mmap path cluster_mode =
+    let g = read_graph ~mmap path in
     let cluster =
       match cluster_mode with
       | `None -> None
@@ -541,7 +591,70 @@ let dot_cmd =
     (Cmd.info "dot"
        ~doc:
          "Render the graph as Graphviz DOT, optionally clustered by           hypernode.")
-    Term.(const run $ obs_term $ graph_arg $ cluster_mode)
+    Term.(const run $ obs_term $ mmap_arg $ graph_arg $ cluster_mode)
+
+(* ------------------------------------------------------------------ *)
+(* convert: re-encode a graph file between the storage formats *)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT" ~doc:"Graph file in any supported format.")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT" ~doc:"Destination file.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("text", `Text);
+               ("flat", `Flat);
+               ("mmap", `Mapped);
+               ("varint", `Varint);
+             ])
+          `Flat
+      & info [ "format"; "f" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,text), or the binary snapshot kinds \
+             $(b,flat) ('G'), $(b,mmap) ('M', zero-copy loadable with \
+             $(b,--mmap)) or $(b,varint) ('V', the compact encoding).")
+  in
+  let run () mmap input output format =
+    let g, labels =
+      try Graph_io.load ~mmap input with
+      | Graph_io.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" input line msg;
+          exit 1
+      | Sys_error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+    in
+    (match format with
+    | `Text -> Graph_io.save ~labels output g
+    | `Flat -> Graph_io.save_binary ~labels ~format:Digraph.Flat output g
+    | `Mapped -> Graph_io.save_binary ~labels ~format:Digraph.Mapped output g
+    | `Varint -> Graph_io.save_binary ~labels ~format:Digraph.Varint output g);
+    let bytes = In_channel.with_open_bin output In_channel.length in
+    let bytes = Int64.to_int bytes in
+    Printf.printf "wrote %s: |V| = %d, |E| = %d, %d bytes (%.1f bytes/edge)\n"
+      output (Digraph.n g) (Digraph.m g) bytes
+      (if Digraph.m g = 0 then 0.0
+       else float_of_int bytes /. float_of_int (Digraph.m g))
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Re-encode a graph file between the text format and the binary \
+          storage kinds, preserving label names.")
+    Term.(const run $ obs_term $ mmap_arg $ input $ output $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* workload: run a query workload file over G and over Gr, verify, time *)
@@ -555,9 +668,9 @@ let workload_cmd =
           ~doc:
             "Workload file: one query per line — $(b,r <u> <v>) for              reachability, $(b,p <pattern-file>) for a pattern query,              $(b,x <regex>) for a regular path query.")
   in
-  let run () domains path workload_file planner index_file =
+  let run () domains mmap path workload_file planner index_file =
     setup_domains domains;
-    let g = read_graph path in
+    let g = read_graph ~mmap path in
     let lines =
       In_channel.with_open_text workload_file In_channel.input_lines
       |> List.mapi (fun i l -> (i + 1, String.trim l))
@@ -572,10 +685,10 @@ let workload_cmd =
       lazy
         (match (index_file, planner) with
         | Some f, false ->
-            let idx = load_index f in
+            let idx = load_index ~mmap f in
             fun ~source ~target -> Reach_index.query idx ~source ~target
         | Some f, true ->
-            let pl = Planner.create ~index:(load_index f) g in
+            let pl = Planner.create ~index:(load_index ~mmap f) g in
             fun ~source ~target -> Planner.eval pl ~source ~target
         | None, true ->
             let pl = Planner.create g in
@@ -645,7 +758,7 @@ let workload_cmd =
     (Cmd.info "workload"
        ~doc:"Run a query workload over a graph and its compression, verifying agreement.")
     Term.(
-      const run $ obs_term $ domains_arg $ graph_arg $ workload_file
+      const run $ obs_term $ domains_arg $ mmap_arg $ graph_arg $ workload_file
       $ planner_arg $ index_file_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -675,5 +788,5 @@ let () =
           [
             generate_cmd; stats_cmd; compress_cmd; index_cmd; query_cmd;
             cquery_cmd; match_cmd; rpq_cmd; workload_cmd; dot_cmd;
-            datasets_cmd;
+            convert_cmd; datasets_cmd;
           ]))

@@ -92,9 +92,11 @@ let of_string s =
 
 let bad fmt = fail 0 fmt
 
-let binary_version = 1
+(* Version 2 allows the embedded Gr blob to be any Graph_io snapshot kind
+   ('G', 'M' or 'V'); version-1 snapshots (always 'G') still load. *)
+let binary_version = 2
 
-let to_binary_string c =
+let to_binary_string ?(graph_format = Digraph.Flat) c =
   let gr = Compressed.graph c in
   let original_n = Compressed.original_n c in
   let buf = Buffer.create (64 + (12 * Digraph.n gr) + (4 * Digraph.m gr) + (4 * original_n)) in
@@ -103,43 +105,52 @@ let to_binary_string c =
   Buffer.add_char buf (Char.chr binary_version);
   Buffer.add_char buf '\000';
   Buffer.add_char buf '\000';
-  Graph_io.add_graph_blob buf gr;
+  (* The blob starts at offset 8, already 8-aligned — an 'M' blob needs no
+     padding here. *)
+  Graph_io.add_any_blob buf ~format:graph_format gr;
   Buffer.add_int64_le buf (Int64.of_int original_n);
   for v = 0 to original_n - 1 do
     Buffer.add_int32_le buf (Int32.of_int (Compressed.hypernode c v))
   done;
   Buffer.contents buf
 
-let of_binary_string s =
+let check_header s =
   if String.length s < 8 || String.sub s 0 4 <> "QPGC" then
     bad "bad magic: not a qpgc binary snapshot";
   if s.[4] <> 'C' then
     bad "wrong snapshot kind '%c' (expected 'C')" s.[4];
   let v = Char.code s.[5] in
-  if v <> binary_version then bad "unsupported snapshot version %d" v;
-  let (graph, _table), pos =
-    try Graph_io.of_binary_substring s 8
-    with Graph_io.Parse_error (line, msg) -> raise (Parse_error (line, msg))
-  in
+  if v < 1 || v > binary_version then bad "unsupported snapshot version %d" v
+
+(* The original-count + node-map tail that follows the graph blob. *)
+let read_node_map s pos =
   if pos + 8 > String.length s then bad "binary snapshot truncated reading original count";
   let original_n = Int64.to_int (String.get_int64_le s pos) in
   if original_n < 0 then bad "negative original node count";
   let pos = pos + 8 in
   if pos + (4 * original_n) > String.length s then
     bad "binary snapshot truncated reading node map";
-  let node_map =
-    Array.init original_n (fun i ->
-        Int32.to_int (String.get_int32_le s (pos + (4 * i))))
-  in
+  Array.init original_n (fun i ->
+      Int32.to_int (String.get_int32_le s (pos + (4 * i))))
+
+let rebuild graph node_map =
   match Compressed.v ~graph ~node_map with
   | c -> c
   | exception Invalid_argument msg -> bad "%s" msg
 
-let save_binary path c =
+let of_binary_string s =
+  check_header s;
+  let (graph, _table), pos =
+    try Graph_io.of_any_blob s 8
+    with Graph_io.Parse_error (line, msg) -> raise (Parse_error (line, msg))
+  in
+  rebuild graph (read_node_map s pos)
+
+let save_binary ?graph_format path c =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_binary_string c))
+    (fun () -> output_string oc (to_binary_string ?graph_format c))
 
 let save path c =
   let oc = open_out path in
@@ -147,10 +158,35 @@ let save path c =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (to_string c))
 
-let load path =
+let load ?(mmap = false) path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let s = In_channel.input_all ic in
-      if Graph_io.has_magic s then of_binary_string s else of_string s)
+      let len = in_channel_length ic in
+      let head = really_input_string ic (Mono.imin len 13) in
+      if String.length head >= 8 && Graph_io.has_magic head then
+        if mmap && String.length head >= 13 && head.[4] = 'C' && head.[12] = 'M'
+        then begin
+          (* Zero-copy path: map the embedded 'M' graph blob in place and
+             read only its header plus the node-map tail eagerly, so the
+             adjacency of Gr never transits the heap. *)
+          check_header head;
+          try
+            seek_in ic 8;
+            let blob_head = really_input_string ic (Mono.imin (len - 8) 48) in
+            let total = Graph_io.mapped_blob_length blob_head 0 in
+            let graph, _table = Graph_io.map_mapped ~offset:8 path in
+            seek_in ic (8 + total);
+            let tail = In_channel.input_all ic in
+            rebuild graph (read_node_map tail 0)
+          with Graph_io.Parse_error (line, msg) -> raise (Parse_error (line, msg))
+        end
+        else begin
+          seek_in ic 0;
+          of_binary_string (In_channel.input_all ic)
+        end
+      else begin
+        seek_in ic 0;
+        of_string (In_channel.input_all ic)
+      end)

@@ -21,18 +21,24 @@ val of_string : string -> Compressed.t
 (** {1 Binary snapshots}
 
     Magic ["QPGC"], kind ['C'], version byte, then [Gr] as an embedded
-    {!Graph_io} binary graph blob, the original node count, and the node
-    map [R] as int32 entries.  The inverse index is rederived on load. *)
+    {!Graph_io} snapshot blob of any kind ('G' flat, 'M' mapped or 'V'
+    varint — pick with [graph_format]), the original node count, and the
+    node map [R] as int32 entries.  The blob sits at offset 8, which is
+    8-byte aligned, so an 'M' blob can be mapped zero-copy straight out
+    of the snapshot file.  The inverse index is rederived on load. *)
 
-val to_binary_string : Compressed.t -> string
+val to_binary_string : ?graph_format:Digraph.backend -> Compressed.t -> string
 
 (** @raise Parse_error on a corrupt or truncated snapshot. *)
 val of_binary_string : string -> Compressed.t
 
-val save_binary : string -> Compressed.t -> unit
+val save_binary : ?graph_format:Digraph.backend -> string -> Compressed.t -> unit
 
 (** [save path c] writes the text format. *)
 val save : string -> Compressed.t -> unit
 
-(** [load path] reads either format, sniffing the binary magic. *)
-val load : string -> Compressed.t
+(** [load ?mmap path] reads either format, sniffing the binary magic.
+    With [~mmap:true] and a snapshot whose embedded blob is kind 'M',
+    [Gr]'s sections open as zero-copy mapped views ({!Graph_io.map_mapped})
+    and only the node map is read eagerly. *)
+val load : ?mmap:bool -> string -> Compressed.t

@@ -1,29 +1,60 @@
-(* Flat compressed-sparse-row storage.
+(* Backend-polymorphic compressed-sparse-row storage.
 
-   Out-adjacency lives in one flat [out_adj] array indexed by an [n+1]-entry
-   offset array: the successors of [v] are [out_adj.(out_off.(v))
-   .. out_adj.(out_off.(v+1) - 1)], strictly sorted.  The in-adjacency is
-   the same structure mirrored.  Two flat arrays per direction instead of
-   [n] heap blocks means traversals scan contiguous memory with no pointer
-   chase and no per-node GC header, and [reverse] is free (swap the
-   mirrors). *)
+   Logically every graph is the same structure: per-node successor slices,
+   strictly sorted and deduplicated, plus the mirrored in-adjacency.  The
+   physical representation is pluggable per direction:
+
+   - [Sflat]    heap int arrays (the original CSR): one flat adjacency
+                array indexed by an [n+1]-entry offset array;
+   - [Smapped]  the same two arrays as [Bigarray] views over an mmap'd
+                'M' snapshot — zero-copy, O(1) load, page-cache resident;
+   - [Svarint]  gap+LEB128 delta-encoded adjacency: a per-node int32
+                byte-offset index into one byte stream holding
+                [degree, first, gap, gap, ...] per node.
+
+   All consumers go through the accessors below; the raw-array surface
+   ([out_csr]/[in_csr], [succ_slice]) is preserved by materialising a
+   cached "dense view" on non-flat backends, or by decoding into a
+   per-domain scratch buffer for slices.  [reverse] stays O(1): the two
+   direction records swap roles. *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type int32_ba =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type backend = Flat | Mapped | Varint
+
+type store =
+  | Sflat of { off : int array; adj : int array }
+  | Smapped of { off : int_ba; adj : int_ba }
+  | Svarint of { idx : int32_ba; data : string }
+
+(* One direction of adjacency.  [dense] caches the materialised flat view
+   for non-flat stores (for [Sflat] it aliases the store itself and costs
+   nothing); it is an [Atomic] because pool workers may force it
+   concurrently — both compute identical immutable arrays, so whichever
+   publication wins is correct.  [scratch] is the per-domain slice-decode
+   buffer, present iff the store is not flat; keying by [Domain.DLS] keeps
+   concurrent slice decodes from different pool workers from trampling
+   each other. *)
+type side = {
+  store : store;
+  dense : (int array * int array) option Atomic.t;
+  scratch : int array ref Domain.DLS.key option;
+}
+
+type labels_store = Lheap of int array | Lmapped of int_ba | L32 of int32_ba
+type lab = { ls : labels_store; dense_labels : int array option Atomic.t }
 
 type t = {
   n : int;
   m : int;
-  labels : int array;
   label_count : int;
-  out_off : int array;  (* length n+1, out_off.(0) = 0, monotone *)
-  out_adj : int array;  (* length m, per-node slices strictly sorted *)
-  in_off : int array;
-  in_adj : int array;
+  lab : lab;
+  fwd : side; (* out-adjacency *)
+  bwd : side; (* in-adjacency *)
 }
-
-let int_array_equal (a : int array) (b : int array) =
-  let n = Array.length a in
-  n = Array.length b
-  && (let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
-      go 0)
 
 let compute_label_count labels =
   Array.fold_left (fun acc l -> if l >= acc then l + 1 else acc) 1 labels
@@ -37,6 +68,25 @@ let check_labels n = function
         (fun x -> if x < 0 then invalid_arg "Digraph.make: negative label")
         l;
       Array.copy l
+
+let flat_side off adj =
+  {
+    store = Sflat { off; adj };
+    dense = Atomic.make (Some (off, adj));
+    scratch = None;
+  }
+
+let scratch_key () = Some (Domain.DLS.new_key (fun () -> ref [||]))
+
+let mk_flat ~n ~labels ~out_off ~out_adj ~in_off ~in_adj =
+  {
+    n;
+    m = Array.length out_adj;
+    label_count = compute_label_count labels;
+    lab = { ls = Lheap labels; dense_labels = Atomic.make (Some labels) };
+    fwd = flat_side out_off out_adj;
+    bwd = flat_side in_off in_adj;
+  }
 
 (* CSR construction by two stable counting sorts: sorting the edge array by
    destination and then (stably) by source leaves it in (src, dst)
@@ -123,16 +173,7 @@ let mirror_csr ~n (out_off : int array) (out_adj : int array) =
 let of_edge_arrays ~n ~labels src dst =
   let out_off, out_adj = csr_of_edges ~n src dst in
   let in_off, in_adj = mirror_csr ~n out_off out_adj in
-  {
-    n;
-    m = Array.length out_adj;
-    labels;
-    label_count = compute_label_count labels;
-    out_off;
-    out_adj;
-    in_off;
-    in_adj;
-  }
+  mk_flat ~n ~labels ~out_off ~out_adj ~in_off ~in_adj
 
 let make_arrays ~n ?labels edges =
   if n < 0 then invalid_arg "Digraph.make: negative node count";
@@ -157,15 +198,37 @@ let empty = make ~n:0 []
    only rebuilds the mirror.  Caller-checked; [validate] re-verifies. *)
 let of_csr_unchecked ~n ~labels ~out_off ~out_adj =
   let in_off, in_adj = mirror_csr ~n out_off out_adj in
+  mk_flat ~n ~labels ~out_off ~out_adj ~in_off ~in_adj
+
+(* Trusted constructor for the 'M' snapshot loader: both mirrors are
+   already materialised in the mapped file, so building the value is O(1)
+   regardless of graph size. *)
+let of_mapped_unchecked ~n ~m ~label_count ~labels ~out_off ~out_adj ~in_off
+    ~in_adj =
   {
     n;
-    m = Array.length out_adj;
-    labels;
-    label_count = compute_label_count labels;
-    out_off;
-    out_adj;
-    in_off;
-    in_adj;
+    m;
+    label_count;
+    lab = { ls = Lmapped labels; dense_labels = Atomic.make None };
+    fwd = { store = Smapped { off = out_off; adj = out_adj }; dense = Atomic.make None;
+            scratch = scratch_key () };
+    bwd = { store = Smapped { off = in_off; adj = in_adj }; dense = Atomic.make None;
+            scratch = scratch_key () };
+  }
+
+(* Trusted constructor for the 'V' snapshot loader; the caller has already
+   run the checked decode over both streams. *)
+let of_varint_unchecked ~n ~m ~label_count ~labels ~out_idx ~out_data ~in_idx
+    ~in_data =
+  {
+    n;
+    m;
+    label_count;
+    lab = { ls = L32 labels; dense_labels = Atomic.make None };
+    fwd = { store = Svarint { idx = out_idx; data = out_data }; dense = Atomic.make None;
+            scratch = scratch_key () };
+    bwd = { store = Svarint { idx = in_idx; data = in_data }; dense = Atomic.make None;
+            scratch = scratch_key () };
   }
 
 module Builder = struct
@@ -225,22 +288,84 @@ let n g = g.n
 let m g = g.m
 let size g = g.n + g.m
 
-(* Exact resident size of the CSR structure: five flat int arrays (labels,
-   two offset arrays of n+1, two adjacency arrays of m), one word of header
-   per array, plus the 9-word record (8 fields + header); a word is 8
-   bytes. *)
-let memory_bytes g =
-  8 * ((2 * (g.n + 1)) + (2 * g.m) + g.n + 5 + 9)
+let backend g =
+  match g.fwd.store with
+  | Sflat _ -> Flat
+  | Smapped _ -> Mapped
+  | Svarint _ -> Varint
 
-let label g v = g.labels.(v)
-let labels g = g.labels
-let label_count g = g.label_count
-let out_degree g v = g.out_off.(v + 1) - g.out_off.(v)
-let in_degree g v = g.in_off.(v + 1) - g.in_off.(v)
-let succ_slice g v = (g.out_adj, g.out_off.(v), g.out_off.(v + 1) - g.out_off.(v))
-let pred_slice g v = (g.in_adj, g.in_off.(v), g.in_off.(v + 1) - g.in_off.(v))
-let out_csr g = (g.out_off, g.out_adj)
-let in_csr g = (g.in_off, g.in_adj)
+let backend_name g =
+  match backend g with Flat -> "flat" | Mapped -> "mmap" | Varint -> "varint"
+
+(* ------------------------------------------------------------------ *)
+(* Per-direction dispatch *)
+
+let side_degree sd v =
+  match sd.store with
+  | Sflat { off; _ } -> off.(v + 1) - off.(v)
+  | Smapped { off; _ } -> off.{v + 1} - off.{v}
+  | Svarint { idx; data } ->
+      let pos = ref (Int32.to_int idx.{v}) in
+      Varint.read_trusted data pos
+
+let side_iter sd v f =
+  match sd.store with
+  | Sflat { off; adj } ->
+      for i = off.(v) to off.(v + 1) - 1 do
+        f adj.(i)
+      done
+  | Smapped { off; adj } ->
+      for i = off.{v} to off.{v + 1} - 1 do
+        f adj.{i}
+      done
+  | Svarint { idx; data } ->
+      let pos = ref (Int32.to_int idx.{v}) in
+      let deg = Varint.read_trusted data pos in
+      let x = ref 0 in
+      for i = 0 to deg - 1 do
+        let d = Varint.read_trusted data pos in
+        x := (if i = 0 then d else !x + d);
+        f !x
+      done
+
+(* Grow-on-demand per-domain decode buffer.  Only non-flat sides carry a
+   key, so flat graphs never touch DLS. *)
+let scratch_for sd deg =
+  match sd.scratch with
+  | None -> [||] (* unreachable: flat slices never decode *)
+  | Some key ->
+      let cell = Domain.DLS.get key in
+      if Array.length !cell < deg then begin
+        let len = ref (Mono.imax 8 (Array.length !cell)) in
+        while !len < deg do
+          len := 2 * !len
+        done;
+        cell := Array.make !len 0
+      end;
+      !cell
+
+let side_slice sd v =
+  match sd.store with
+  | Sflat { off; adj } -> (adj, off.(v), off.(v + 1) - off.(v))
+  | Smapped { off; adj } ->
+      let lo = off.{v} in
+      let deg = off.{v + 1} - lo in
+      let buf = scratch_for sd deg in
+      for i = 0 to deg - 1 do
+        buf.(i) <- adj.{lo + i}
+      done;
+      (buf, 0, deg)
+  | Svarint { idx; data } ->
+      let pos = ref (Int32.to_int idx.{v}) in
+      let deg = Varint.read_trusted data pos in
+      let buf = scratch_for sd deg in
+      let x = ref 0 in
+      for i = 0 to deg - 1 do
+        let d = Varint.read_trusted data pos in
+        x := (if i = 0 then d else !x + d);
+        buf.(i) <- !x
+      done;
+      (buf, 0, deg)
 
 (* Binary search for [x] in the slice [a.(lo) .. a.(hi-1)]. *)
 let mem_slice (a : int array) lo hi (x : int) =
@@ -252,38 +377,114 @@ let mem_slice (a : int array) lo hi (x : int) =
   done;
   !lo < limit && a.(!lo) = x
 
-let mem_edge g u v = mem_slice g.out_adj g.out_off.(u) g.out_off.(u + 1) v
+let ba_mem_slice (a : int_ba) lo hi (x : int) =
+  let limit = hi in
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.{mid} < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < limit && a.{!lo} = x
 
-let iter_succ g v f =
-  for i = g.out_off.(v) to g.out_off.(v + 1) - 1 do
-    f g.out_adj.(i)
-  done
+let side_mem sd v x =
+  match sd.store with
+  | Sflat { off; adj } -> mem_slice adj off.(v) off.(v + 1) x
+  | Smapped { off; adj } -> ba_mem_slice adj off.{v} off.{v + 1} x
+  | Svarint { idx; data } ->
+      (* Decode-scan with early exit: slices are sorted, so stop at the
+         first value ≥ x. *)
+      let pos = ref (Int32.to_int idx.{v}) in
+      let deg = Varint.read_trusted data pos in
+      let cur = ref 0 and i = ref 0 and found = ref false and stop = ref false in
+      while (not !stop) && !i < deg do
+        let d = Varint.read_trusted data pos in
+        cur := (if !i = 0 then d else !cur + d);
+        if !cur >= x then begin
+          found := !cur = x;
+          stop := true
+        end;
+        incr i
+      done;
+      !found
 
-let iter_pred g v f =
-  for i = g.in_off.(v) to g.in_off.(v + 1) - 1 do
-    f g.in_adj.(i)
-  done
+(* Materialise (and cache) the flat view of a non-flat side.  Concurrent
+   forcing from two domains duplicates work but stays correct: both
+   compute identical immutable arrays and one atomic publication wins. *)
+let force_dense n sd =
+  match Atomic.get sd.dense with
+  | Some d -> d
+  | None ->
+      let off = Array.make (n + 1) 0 in
+      for v = 0 to n - 1 do
+        off.(v + 1) <- off.(v) + side_degree sd v
+      done;
+      let adj = Array.make off.(n) 0 in
+      let k = ref 0 in
+      for v = 0 to n - 1 do
+        side_iter sd v (fun w ->
+            adj.(!k) <- w;
+            incr k)
+      done;
+      let d = (off, adj) in
+      Atomic.set sd.dense (Some d);
+      d
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let label g v =
+  match g.lab.ls with
+  | Lheap a -> a.(v)
+  | Lmapped ba -> ba.{v}
+  | L32 ba -> Int32.to_int ba.{v}
+
+let labels g =
+  match Atomic.get g.lab.dense_labels with
+  | Some a -> a
+  | None ->
+      let a =
+        match g.lab.ls with
+        | Lheap a -> a
+        | Lmapped ba -> Array.init g.n (fun v -> ba.{v})
+        | L32 ba -> Array.init g.n (fun v -> Int32.to_int ba.{v})
+      in
+      Atomic.set g.lab.dense_labels (Some a);
+      a
+
+let label_count g = g.label_count
+let out_degree g v = side_degree g.fwd v
+let in_degree g v = side_degree g.bwd v
+let succ_slice g v = side_slice g.fwd v
+let pred_slice g v = side_slice g.bwd v
+let out_csr g = force_dense g.n g.fwd
+let in_csr g = force_dense g.n g.bwd
+let mem_edge g u v = side_mem g.fwd u v
+let iter_succ g v f = side_iter g.fwd v f
+let iter_pred g v f = side_iter g.bwd v f
 
 let fold_succ g v f init =
   let acc = ref init in
-  for i = g.out_off.(v) to g.out_off.(v + 1) - 1 do
-    acc := f !acc g.out_adj.(i)
-  done;
+  side_iter g.fwd v (fun w -> acc := f !acc w);
   !acc
 
 let fold_pred g v f init =
   let acc = ref init in
-  for i = g.in_off.(v) to g.in_off.(v + 1) - 1 do
-    acc := f !acc g.in_adj.(i)
-  done;
+  side_iter g.bwd v (fun w -> acc := f !acc w);
   !acc
 
 let iter_edges g f =
-  for u = 0 to g.n - 1 do
-    for i = g.out_off.(u) to g.out_off.(u + 1) - 1 do
-      f u g.out_adj.(i)
-    done
-  done
+  match g.fwd.store with
+  | Sflat { off; adj } ->
+      (* Fast path: no per-node closure. *)
+      for u = 0 to g.n - 1 do
+        for i = off.(u) to off.(u + 1) - 1 do
+          f u adj.(i)
+        done
+      done
+  | _ ->
+      for u = 0 to g.n - 1 do
+        side_iter g.fwd u (fun v -> f u v)
+      done
 
 let fold_edges g f init =
   let acc = ref init in
@@ -298,22 +499,65 @@ let edge_array g =
       incr k);
   out
 
+(* ------------------------------------------------------------------ *)
+(* Memory accounting (one word = 8 bytes).
+
+   Flat reproduces the historical formula exactly: five flat int arrays
+   with one header word each plus a 9-word record.  Mapped counts the
+   mapped byte ranges (page-cache resident, not heap).  Varint counts the
+   int32 index bigarrays and the byte streams.  A forced dense view or a
+   materialised label array on a non-flat backend is extra resident memory
+   and is included when present. *)
+
+let side_bytes sd =
+  let store =
+    match sd.store with
+    | Sflat { off; adj } -> 8 * (Array.length off + Array.length adj + 2)
+    | Smapped { off; adj } ->
+        8 * (Bigarray.Array1.dim off + Bigarray.Array1.dim adj)
+    | Svarint { idx; data } ->
+        (4 * Bigarray.Array1.dim idx) + String.length data + 16
+  in
+  let extra =
+    match (sd.store, Atomic.get sd.dense) with
+    | Sflat _, _ | _, None -> 0
+    | _, Some (off, adj) -> 8 * (Array.length off + Array.length adj + 2)
+  in
+  store + extra
+
+let labels_bytes g =
+  let store =
+    match g.lab.ls with
+    | Lheap a -> 8 * (Array.length a + 1)
+    | Lmapped ba -> 8 * Bigarray.Array1.dim ba
+    | L32 ba -> (4 * Bigarray.Array1.dim ba) + 8
+  in
+  let extra =
+    match (g.lab.ls, Atomic.get g.lab.dense_labels) with
+    | Lheap _, _ | _, None -> 0
+    | _, Some a -> 8 * (Array.length a + 1)
+  in
+  store + extra
+
+let memory_bytes g = side_bytes g.fwd + side_bytes g.bwd + labels_bytes g + 72
+
+(* ------------------------------------------------------------------ *)
+(* Derived graphs *)
+
 (* The in-CSR of [g] is exactly the out-CSR of the reversed graph, so
-   reversing is just swapping the two mirrors — no copying, the arrays are
-   immutable by contract. *)
-let reverse g =
-  {
-    g with
-    out_off = g.in_off;
-    out_adj = g.in_adj;
-    in_off = g.out_off;
-    in_adj = g.out_adj;
-  }
+   reversing is just swapping the two direction records — no copying; the
+   dense caches and scratch buffers travel with their side. *)
+let reverse g = { g with fwd = g.bwd; bwd = g.fwd }
 
 let with_labels g labels =
   if Array.length labels <> g.n then
     invalid_arg "Digraph.with_labels: length mismatch";
-  { g with labels = Array.copy labels; label_count = compute_label_count labels }
+  let labels = Array.copy labels in
+  {
+    g with
+    lab = { ls = Lheap labels; dense_labels = Atomic.make (Some labels) };
+    label_count = compute_label_count labels;
+  }
 
 let append_edges g extra =
   (* Existing edges are already (src, dst)-sorted and deduplicated, so the
@@ -331,7 +575,7 @@ let append_edges g extra =
       dst.(!i) <- v;
       incr i)
     extra;
-  of_edge_arrays ~n:g.n ~labels:g.labels src dst
+  of_edge_arrays ~n:g.n ~labels:(Array.copy (labels g)) src dst
 
 let add_edges g es =
   List.iter
@@ -357,16 +601,16 @@ let filter_rebuild g ~removed ~extra =
       dst.(!i) <- v;
       incr i)
     extra;
-  of_edge_arrays ~n:g.n ~labels:g.labels (Array.sub src 0 !i)
+  of_edge_arrays ~n:g.n ~labels:(Array.copy (labels g)) (Array.sub src 0 !i)
     (Array.sub dst 0 !i)
 
 let remove_edges g es =
-  let removed = Mono.Ptbl.create (List.length es * 2 + 1) in
+  let removed = Mono.Ptbl.create ((List.length es * 2) + 1) in
   List.iter (fun (u, v) -> Mono.Ptbl.replace removed (u, v) ()) es;
   filter_rebuild g ~removed ~extra:[]
 
 let edit g ~add ~remove =
-  let removed = Mono.Ptbl.create (2 * List.length remove + 1) in
+  let removed = Mono.Ptbl.create ((2 * List.length remove) + 1) in
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= g.n || v < 0 || v >= g.n then
@@ -383,7 +627,7 @@ let edit g ~add ~remove =
 
 let induced g nodes =
   let k = Array.length nodes in
-  let old_to_new = Mono.Itbl.create (2 * k + 1) in
+  let old_to_new = Mono.Itbl.create ((2 * k) + 1) in
   Array.iteri
     (fun i v ->
       if v < 0 || v >= g.n then invalid_arg "Digraph.induced: node out of range";
@@ -391,13 +635,12 @@ let induced g nodes =
         invalid_arg "Digraph.induced: duplicate node";
       Mono.Itbl.replace old_to_new v i)
     nodes;
-  let labels = Array.map (fun v -> g.labels.(v)) nodes in
+  let sub_labels = Array.map (fun v -> label g v) nodes in
   (* Count, then fill: no intermediate boxing. *)
   let count = ref 0 in
   Array.iter
     (fun v ->
-      iter_succ g v (fun w ->
-          if Mono.Itbl.mem old_to_new w then incr count))
+      iter_succ g v (fun w -> if Mono.Itbl.mem old_to_new w then incr count))
     nodes;
   let src = Array.make !count 0 and dst = Array.make !count 0 in
   let i = ref 0 in
@@ -411,51 +654,187 @@ let induced g nodes =
               incr i
           | None -> ()))
     nodes;
-  (of_edge_arrays ~n:k ~labels src dst, Array.copy nodes)
+  (of_edge_arrays ~n:k ~labels:sub_labels src dst, Array.copy nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Backend conversions *)
+
+let to_flat g =
+  match (g.fwd.store, g.bwd.store, g.lab.ls) with
+  | Sflat _, Sflat _, Lheap _ -> g
+  | _ ->
+      let out_off, out_adj = force_dense g.n g.fwd in
+      let in_off, in_adj = force_dense g.n g.bwd in
+      let labels = labels g in
+      {
+        n = g.n;
+        m = g.m;
+        label_count = g.label_count;
+        lab = { ls = Lheap labels; dense_labels = Atomic.make (Some labels) };
+        fwd = flat_side out_off out_adj;
+        bwd = flat_side in_off in_adj;
+      }
+
+let max_int32 = 0x7fffffff
+
+let encode_varint_side n sd =
+  let buf = Buffer.create 1024 in
+  let idx = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (n + 1) in
+  let prev = ref 0 and i = ref 0 in
+  for v = 0 to n - 1 do
+    idx.{v} <- Int32.of_int (Buffer.length buf);
+    Varint.add buf (side_degree sd v);
+    prev := 0;
+    i := 0;
+    side_iter sd v (fun w ->
+        Varint.add buf (if !i = 0 then w else w - !prev);
+        prev := w;
+        incr i)
+  done;
+  if Buffer.length buf > max_int32 then
+    invalid_arg "Digraph.to_varint: adjacency stream exceeds 2 GiB";
+  idx.{n} <- Int32.of_int (Buffer.length buf);
+  {
+    store = Svarint { idx; data = Buffer.contents buf };
+    dense = Atomic.make None;
+    scratch = scratch_key ();
+  }
+
+let to_varint g =
+  match (g.fwd.store, g.bwd.store) with
+  | Svarint _, Svarint _ -> g
+  | _ ->
+      if g.n > max_int32 then invalid_arg "Digraph.to_varint: too many nodes";
+      let l32 = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout g.n in
+      for v = 0 to g.n - 1 do
+        let l = label g v in
+        if l > max_int32 then invalid_arg "Digraph.to_varint: label too large";
+        l32.{v} <- Int32.of_int l
+      done;
+      {
+        n = g.n;
+        m = g.m;
+        label_count = g.label_count;
+        lab = { ls = L32 l32; dense_labels = Atomic.make None };
+        fwd = encode_varint_side g.n g.fwd;
+        bwd = encode_varint_side g.n g.bwd;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison and printing *)
+
+let succ_equal a b v =
+  side_degree a.fwd v = side_degree b.fwd v
+  &&
+  (* Decode a's slice first; iterating b's side below touches only b's own
+     scratch (or none), so the two cannot alias destructively even when
+     [a == b]. *)
+  let base, start, _ = side_slice a.fwd v in
+  let i = ref start and ok = ref true in
+  side_iter b.fwd v (fun w ->
+      if !ok then begin
+        if base.(!i) <> w then ok := false;
+        incr i
+      end);
+  !ok
 
 let equal a b =
   a.n = b.n && a.m = b.m
-  && int_array_equal a.labels b.labels
-  && int_array_equal a.out_off b.out_off
-  && int_array_equal a.out_adj b.out_adj
+  && (let rec go v = v >= a.n || (label a v = label b v && go (v + 1)) in
+      go 0)
+  && (let rec go v = v >= a.n || (succ_equal a b v && go (v + 1)) in
+      go 0)
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
   for v = 0 to g.n - 1 do
     let succs = ref [] in
-    for i = g.out_off.(v + 1) - 1 downto g.out_off.(v) do
-      succs := g.out_adj.(i) :: !succs
-    done;
-    Format.fprintf ppf "  %d[l%d] -> %a@," v g.labels.(v)
+    iter_succ g v (fun w -> succs := w :: !succs);
+    Format.fprintf ppf "  %d[l%d] -> %a@," v (label g v)
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
          Format.pp_print_int)
-      !succs
+      (List.rev !succs)
   done;
   Format.fprintf ppf "@]"
 
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
 let validate g =
   let fail fmt = Format.kasprintf failwith fmt in
-  if Array.length g.labels <> g.n then fail "labels length";
-  let check_csr name off adj =
-    if Array.length off <> g.n + 1 then fail "%s offsets length" name;
-    if g.n >= 0 && Array.length off > 0 && off.(0) <> 0 then
-      fail "%s offsets do not start at 0" name;
+  (match g.lab.ls with
+  | Lheap a -> if Array.length a <> g.n then fail "labels length"
+  | Lmapped ba -> if Bigarray.Array1.dim ba <> g.n then fail "labels length"
+  | L32 ba -> if Bigarray.Array1.dim ba <> g.n then fail "labels length");
+  for v = 0 to g.n - 1 do
+    let l = label g v in
+    if l < 0 || l >= g.label_count then
+      fail "label %d of node %d outside [0,%d)" l v g.label_count
+  done;
+  let check_side name sd =
+    (* Offset/index structural checks per store. *)
+    (match sd.store with
+    | Sflat { off; adj } ->
+        if Array.length off <> g.n + 1 then fail "%s offsets length" name;
+        if Array.length off > 0 && off.(0) <> 0 then
+          fail "%s offsets do not start at 0" name;
+        for v = 0 to g.n - 1 do
+          if off.(v) > off.(v + 1) then
+            fail "%s offsets not monotone at %d" name v
+        done;
+        if off.(g.n) <> Array.length adj then
+          fail "%s offsets/adjacency mismatch" name;
+        if Array.length adj <> g.m then fail "%s edge count" name
+    | Smapped { off; adj } ->
+        if Bigarray.Array1.dim off <> g.n + 1 then fail "%s offsets length" name;
+        if off.{0} <> 0 then fail "%s offsets do not start at 0" name;
+        for v = 0 to g.n - 1 do
+          if off.{v} > off.{v + 1} then
+            fail "%s offsets not monotone at %d" name v
+        done;
+        if off.{g.n} <> Bigarray.Array1.dim adj then
+          fail "%s offsets/adjacency mismatch" name;
+        if Bigarray.Array1.dim adj <> g.m then fail "%s edge count" name
+    | Svarint { idx; data } ->
+        if Bigarray.Array1.dim idx <> g.n + 1 then fail "%s index length" name;
+        if idx.{0} <> 0l then fail "%s index does not start at 0" name;
+        if Int32.to_int idx.{g.n} <> String.length data then
+          fail "%s index/stream length mismatch" name;
+        (* Checked, canonical re-decode of every node block. *)
+        let total = ref 0 in
+        for v = 0 to g.n - 1 do
+          let lo = Int32.to_int idx.{v} and hi = Int32.to_int idx.{v + 1} in
+          if lo > hi then fail "%s index not monotone at %d" name v;
+          (match
+             let deg, p = Varint.read data lo in
+             let p = ref p in
+             for i = 1 to deg do
+               let d, p' = Varint.read data !p in
+               if i > 1 && d = 0 then
+                 raise (Varint.Error "zero gap (duplicate neighbour)");
+               p := p'
+             done;
+             if !p <> hi then
+               raise (Varint.Error "node block length mismatch");
+             total := !total + deg
+           with
+          | () -> ()
+          | exception Varint.Error msg -> fail "%s(%d): %s" name v msg)
+        done;
+        if !total <> g.m then fail "%s edge count" name);
+    (* Slice content checks, store-independent. *)
     for v = 0 to g.n - 1 do
-      if off.(v) > off.(v + 1) then fail "%s offsets not monotone at %d" name v
-    done;
-    if off.(g.n) <> Array.length adj then fail "%s offsets/adjacency mismatch" name;
-    if Array.length adj <> g.m then fail "%s edge count" name;
-    for v = 0 to g.n - 1 do
-      for i = off.(v) to off.(v + 1) - 1 do
-        if adj.(i) < 0 || adj.(i) >= g.n then fail "%s(%d): out of range" name v;
-        if i > off.(v) && adj.(i - 1) >= adj.(i) then
-          fail "%s(%d): slice not strictly sorted" name v
-      done
+      let prev = ref (-1) and first = ref true in
+      side_iter sd v (fun w ->
+          if w < 0 || w >= g.n then fail "%s(%d): out of range" name v;
+          if (not !first) && !prev >= w then
+            fail "%s(%d): slice not strictly sorted" name v;
+          first := false;
+          prev := w)
     done
   in
-  check_csr "succ" g.out_off g.out_adj;
-  check_csr "pred" g.in_off g.in_adj;
+  check_side "succ" g.fwd;
+  check_side "pred" g.bwd;
   iter_edges g (fun u v ->
-      if not (mem_slice g.in_adj g.in_off.(v) g.in_off.(v + 1) u) then
-        fail "missing mirror edge (%d,%d)" u v)
+      if not (side_mem g.bwd v u) then fail "missing mirror edge (%d,%d)" u v)

@@ -5,15 +5,35 @@
     {!Graph_io.Label_table} at the I/O boundary, so the core algorithms stay
     allocation-free).  The structure is immutable once built.
 
-    Storage is flat compressed-sparse-row (CSR): one shared successor array
-    indexed by an [n+1]-entry offset array, mirrored for predecessors.  Each
-    node's slice is strictly sorted and deduplicated, so membership tests
-    are binary searches and traversals scan contiguous memory with no
-    per-node pointer chase.  Adjacency is exposed as allocation-free
-    iteration/folds and O(1) views into the shared arrays — never as
-    freshly materialised per-node arrays. *)
+    Storage is backend-polymorphic behind one accessor surface.  Logically
+    every graph is a compressed-sparse-row structure — per-node successor
+    slices, strictly sorted and deduplicated, mirrored for predecessors —
+    physically held by one of three backends:
+
+    - {b flat}: heap int arrays, one shared adjacency array indexed by an
+      [n+1]-entry offset array per direction.  The default; what {!make}
+      and the builders produce.
+    - {b mmap}: the same arrays as [Bigarray] views over an mmap'd 'M'
+      snapshot file.  Zero-copy and O(1) to open regardless of graph size;
+      resident cost is page-cache, not heap.
+    - {b varint}: gap + LEB128 delta-encoded adjacency — a per-node int32
+      byte-offset index into one byte stream per direction.  3–5× smaller
+      than flat on sparse graphs; slices decode into a per-domain scratch
+      buffer.
+
+    Adjacency is exposed as allocation-free iteration/folds and slice
+    views — never as freshly materialised per-node arrays.  Algorithms
+    that genuinely need indexed random access over raw arrays use the
+    {!out_csr}/{!in_csr} dense-view escape hatch (lint rule CSR02 keeps
+    that set explicit). *)
 
 type t
+
+(** Bigarray views used by the mmap and varint backends. *)
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type int32_ba =
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (** {1 Construction} *)
 
@@ -40,6 +60,36 @@ val empty : t
 val of_csr_unchecked :
   n:int -> labels:int array -> out_off:int array -> out_adj:int array -> t
 
+(** [of_mapped_unchecked] wraps Bigarray views over an mmap'd 'M' snapshot
+    — both mirrors come from the file, so construction is O(1) in the
+    graph size.  Trusted constructor for {!Graph_io}; the loader performs
+    the O(1) structural checks and {!validate} the deep ones. *)
+val of_mapped_unchecked :
+  n:int ->
+  m:int ->
+  label_count:int ->
+  labels:int_ba ->
+  out_off:int_ba ->
+  out_adj:int_ba ->
+  in_off:int_ba ->
+  in_adj:int_ba ->
+  t
+
+(** [of_varint_unchecked] wraps already-validated varint adjacency
+    streams: [idx] holds byte offsets of each node's
+    [degree, first, gap, ...] block in [data].  Trusted constructor for
+    the 'V' snapshot loader, which runs the checked decode first. *)
+val of_varint_unchecked :
+  n:int ->
+  m:int ->
+  label_count:int ->
+  labels:int32_ba ->
+  out_idx:int32_ba ->
+  out_data:string ->
+  in_idx:int32_ba ->
+  in_data:string ->
+  t
+
 (** A mutable staging area for incremental construction. *)
 module Builder : sig
   type graph := t
@@ -62,6 +112,26 @@ module Builder : sig
   val build : t -> graph
 end
 
+(** {1 Backends} *)
+
+type backend = Flat | Mapped | Varint
+
+(** [backend g] identifies the physical storage backing [g]. *)
+val backend : t -> backend
+
+(** [backend_name g] is ["flat"], ["mmap"] or ["varint"]; what
+    [qpgc stats] and the storage bench report. *)
+val backend_name : t -> string
+
+(** [to_flat g] is [g] rematerialised on the heap-array backend ([g]
+    itself when already flat).  O(n + m). *)
+val to_flat : t -> t
+
+(** [to_varint g] re-encodes [g]'s adjacency as gap+varint streams ([g]
+    itself when already varint).  O(n + m); labels move to an int32
+    array. *)
+val to_varint : t -> t
+
 (** {1 Accessors} *)
 
 (** [n g] is the number of nodes [|V|]. *)
@@ -73,16 +143,19 @@ val m : t -> int
 (** [size g] is [|V| + |E|], the paper's [|G|]. *)
 val size : t -> int
 
-(** [memory_bytes g] is the actual resident size of the CSR structure: the
-    five flat int arrays (labels, two offset arrays, two adjacency arrays)
-    with their headers, plus the record.  Used for the Fig 12(d)-style
-    memory comparisons and the bytes-per-edge figure in [qpgc stats]. *)
+(** [memory_bytes g] is the resident size of the storage backing [g]:
+    heap words for the flat backend, mapped (page-cache) bytes for mmap,
+    index + stream bytes for varint — plus any dense view or label array
+    that has been forced on a non-flat backend.  Used for the
+    Fig 12(d)-style memory comparisons and the bytes-per-edge figures in
+    [qpgc stats] and the storage bench. *)
 val memory_bytes : t -> int
 
 (** [label g v] is [L(v)]. *)
 val label : t -> int -> int
 
-(** [labels g] is the label array (do not mutate). *)
+(** [labels g] is the label array (do not mutate).  On non-flat backends
+    the array is materialised on first use and cached. *)
 val labels : t -> int array
 
 (** [label_count g] is [1 + max label] (at least 1 even for empty graphs). *)
@@ -91,23 +164,33 @@ val label_count : t -> int
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 
-(** [mem_edge g u v] is [true] iff [(u,v) ∈ E]; O(log out_degree(u)). *)
+(** [mem_edge g u v] is [true] iff [(u,v) ∈ E]; O(log out_degree(u)) on
+    flat/mmap, O(out_degree(u)) decode-scan on varint. *)
 val mem_edge : t -> int -> int -> bool
 
 (** {1 Adjacency views}
 
-    The slice accessors return O(1) views [(base, start, len)] into the
-    {e shared} flat adjacency array: the neighbours of [v] are
-    [base.(start) .. base.(start + len - 1)], strictly sorted.  Do not
-    mutate [base], and do not read outside the slice. *)
+    The slice accessors return O(1)-ish views [(base, start, len)]: the
+    neighbours of [v] are [base.(start) .. base.(start + len - 1)],
+    strictly sorted.  On the flat backend [base] is the shared adjacency
+    array.  On mmap/varint backends the slice is decoded into a
+    {e per-domain scratch buffer}: it stays valid only until the next
+    [succ_slice] (resp. [pred_slice]) call on the same graph, same
+    direction and same domain — copy it out if you need it longer.  Do
+    not mutate [base], and do not read outside the slice. *)
 
 val succ_slice : t -> int -> int array * int * int
 val pred_slice : t -> int -> int array * int * int
 
-(** [out_csr g] is the raw [(offsets, adjacency)] pair of the out-CSR:
+(** [out_csr g] is the dense [(offsets, adjacency)] view of the out-CSR:
     [offsets] has [n+1] entries and the successors of [v] occupy
-    [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)].  Fetch once
-    per kernel for zero-allocation indexed scans.  Do not mutate. *)
+    [adjacency.(offsets.(v)) .. adjacency.(offsets.(v+1) - 1)].  On the
+    flat backend these are the storage arrays themselves; on mmap/varint
+    backends the first call materialises (and caches) heap copies —
+    an O(n + m) escape hatch for kernels that need indexed random access.
+    Fetch once per kernel.  Do not mutate.  New call sites outside
+    [lib/graph] trip lint rule CSR02 and need a justified
+    [[@lint.allow "CSR02"]]. *)
 val out_csr : t -> int array * int array
 
 (** [in_csr g] is the in-mirror of {!out_csr}. *)
@@ -132,14 +215,16 @@ val edge_array : t -> (int * int) array
 
 (** {1 Derived graphs} *)
 
-(** [reverse g] flips every edge; labels are preserved.  O(1): the CSR
-    mirrors swap roles, no arrays are copied. *)
+(** [reverse g] flips every edge; labels are preserved.  O(1): the two
+    direction records swap roles, no arrays are copied or re-encoded. *)
 val reverse : t -> t
 
-(** [with_labels g labels] is [g] with its label array replaced. *)
+(** [with_labels g labels] is [g] with its label array replaced (heap
+    labels, storage backend unchanged). *)
 val with_labels : t -> int array -> t
 
-(** [add_edges g es] is [g] plus the extra edges (endpoints must exist). *)
+(** [add_edges g es] is [g] plus the extra edges (endpoints must exist).
+    Like all edit operations, the result is on the flat backend. *)
 val add_edges : t -> (int * int) list -> t
 
 (** [remove_edges g es] is [g] minus the given edges (absent edges are
@@ -157,15 +242,19 @@ val induced : t -> int array -> t * int array
 
 (** {1 Comparison and printing} *)
 
-(** [equal a b] is structural equality: same [n], labels and edge sets. *)
+(** [equal a b] is structural equality: same [n], labels and edge sets —
+    independent of storage backend (a varint graph equals its flat
+    original). *)
 val equal : t -> t -> bool
 
 (** [pp] prints a compact textual form, for debugging and expect tests. *)
 val pp : Format.formatter -> t -> unit
 
-(** [validate g] re-checks the CSR invariants: offset arrays start at 0,
-    are monotone and end at [m]; every slice is strictly sorted (hence
-    deduplicated) and in range; the in- and out-mirrors agree edge for
-    edge.  Used by property tests and the binary snapshot loader.
+(** [validate g] re-checks the storage invariants of whichever backend
+    [g] uses: offsets/indexes start at 0, are monotone and end at [m];
+    every slice is strictly sorted (hence deduplicated) and in range;
+    labels lie in [0, label_count); varint streams re-decode canonically;
+    the in- and out-mirrors agree edge for edge.  Used by property tests
+    and the binary snapshot loaders.
     @raise Failure when an invariant is broken. *)
 val validate : t -> unit

@@ -38,42 +38,99 @@ val to_string : ?labels:Label_table.t -> Digraph.t -> string
 
 (** {1 Binary snapshots}
 
-    A versioned binary form of the same data: magic ["QPGC"], kind ['G'],
-    version byte, then the graph's canonical CSR (int64 offsets, int32
-    adjacency, int32 labels) and the label-name table.  Loading skips
-    text parsing entirely: three blob reads plus an O(n + m) in-mirror
-    rebuild.  See DESIGN.md "Storage layer" for the byte layout. *)
+    Versioned binary forms of the same data, magic ["QPGC"] + a kind byte:
+
+    - ['G'] (flat): the canonical out-CSR (int64 offsets, int32 adjacency,
+      int32 labels) and the label-name table.  Loading is three blob reads
+      plus an O(n + m) in-mirror rebuild.
+    - ['M'] (mapped): both mirrors as 8-byte-aligned int64 sections, built
+      for zero-copy mmap — opening is O(1) in the graph size.
+    - ['V'] (varint): gap + LEB128 delta-encoded adjacency with per-node
+      byte-offset indexes — the compact form, 2-4× smaller than 'G'.
+
+    See DESIGN.md "Storage layer" for the byte layouts and alignment
+    rules.  All parsers reject truncated or corrupt input with
+    {!Parse_error}, never undefined behaviour. *)
 
 (** [to_binary_string ?labels g] serialises [g] (and, when given, its
-    label names) into the binary snapshot format. *)
+    label names) into the 'G' binary snapshot format. *)
 val to_binary_string : ?labels:Label_table.t -> Digraph.t -> string
 
-(** [of_binary_string s] parses a binary snapshot.  The loaded CSR is
-    re-validated, so corrupt or truncated input fails with {!Parse_error}
-    (line 0) rather than undefined behaviour. *)
+(** [to_snapshot_string ?labels ?format g] serialises [g] in the snapshot
+    kind matching [format] (['G'] for [Flat], the default; ['M'] for
+    [Mapped]; ['V'] for [Varint]).  Serialisation is canonical per kind:
+    loading any accepted snapshot and re-serialising it in the same format
+    is bit-identical, whatever backend the graph value uses in memory. *)
+val to_snapshot_string :
+  ?labels:Label_table.t -> ?format:Digraph.backend -> Digraph.t -> string
+
+(** [of_binary_string s] parses a binary snapshot of any kind.  The
+    loaded structure is re-validated, so corrupt or truncated input fails
+    with {!Parse_error} (line 0) rather than undefined behaviour. *)
 val of_binary_string : string -> Digraph.t * Label_table.t
 
-(** [of_binary_substring s start] parses a binary graph snapshot embedded
-    at offset [start], returning the result and the position one past the
-    blob; used by {!Compressed_io} to nest a graph inside its own
-    snapshot. *)
+(** [of_binary_substring s start] parses a 'G' graph blob embedded at
+    offset [start], returning the result and the position one past the
+    blob. *)
 val of_binary_substring : string -> int -> (Digraph.t * Label_table.t) * int
 
-(** [add_graph_blob buf ?labels g] appends the binary snapshot of [g] to
+(** [of_any_blob s pos] parses a graph blob of any kind ('G', 'M' or 'V')
+    embedded at [pos], skipping the zero padding that precedes an 'M'
+    blob at an unaligned position; used by {!Compressed_io} and
+    [Reach_index_io] to nest graphs inside their own snapshots.  'M'
+    blobs parse eagerly onto the flat backend here — use {!map_mapped}
+    with the blob's file offset for the zero-copy path. *)
+val of_any_blob : string -> int -> (Digraph.t * Label_table.t) * int
+
+(** [add_graph_blob buf ?labels g] appends the 'G' snapshot of [g] to
     [buf]; the writer counterpart of {!of_binary_substring}. *)
 val add_graph_blob : Buffer.t -> ?labels:Label_table.t -> Digraph.t -> unit
 
-(** [save_binary ?labels path g] writes the binary snapshot of [g]. *)
-val save_binary : ?labels:Label_table.t -> string -> Digraph.t -> unit
+(** [add_any_blob buf ?labels ~format g] appends the snapshot kind
+    matching [format].  An 'M' blob is preceded by zero padding up to the
+    next multiple of 8 of [Buffer.length buf], so its int64 sections land
+    8-byte aligned when the buffer is written at file offset 0;
+    {!of_any_blob} skips the same padding. *)
+val add_any_blob :
+  Buffer.t -> ?labels:Label_table.t -> format:Digraph.backend -> Digraph.t -> unit
+
+(** [skip_pad s pos] is the first position at or after [pos] holding a
+    nested blob: [pos] itself, or the next multiple of 8 when [pos] sits
+    on the zero padding that {!add_any_blob} writes before an 'M' blob
+    (snapshot magic never starts with ['\000']). *)
+val skip_pad : string -> int -> int
+
+(** [mapped_blob_length s pos] reads the fixed 'M' header at [pos] and
+    returns the blob's total byte length — how far a nested reader must
+    advance past a blob it intends to {!map_mapped} instead of parsing.
+    O(1); performs the same header consistency checks as the parsers.
+    @raise Parse_error on a malformed header. *)
+val mapped_blob_length : string -> int -> int
+
+(** [map_mapped ~offset path] opens the 'M' blob at byte [offset] of
+    [path] zero-copy: the adjacency, offset and label sections become
+    [Bigarray] views over the mapped pages and are never read eagerly, so
+    the call is O(1) in the graph size (only the fixed header and the
+    label-name table are parsed).  [offset] must be 8-byte aligned.
+    Structural sanity is checked in O(1); use [Digraph.validate] for the
+    deep check.  @raise Parse_error on malformed headers or bounds. *)
+val map_mapped : offset:int -> string -> Digraph.t * Label_table.t
+
+(** [save_binary ?labels ?format path g] writes the binary snapshot of
+    [g]; [format] as in {!to_snapshot_string}. *)
+val save_binary :
+  ?labels:Label_table.t -> ?format:Digraph.backend -> string -> Digraph.t -> unit
 
 (** [has_magic s] is [true] when [s] starts with the snapshot magic —
     the sniff {!load} uses to pick a parser. *)
 val has_magic : string -> bool
 
-(** [load path] reads a graph file in either format, sniffing the magic:
-    binary snapshots are detected by their first four bytes, anything else
-    parses as text. *)
-val load : string -> Digraph.t * Label_table.t
+(** [load ?mmap path] reads a graph file in any format, sniffing the
+    magic and kind: binary snapshots are detected by their first four
+    bytes, anything else parses as text.  With [~mmap:true], an 'M'
+    snapshot opens zero-copy on the mapped backend in O(1) (other formats
+    still load eagerly). *)
+val load : ?mmap:bool -> string -> Digraph.t * Label_table.t
 
 (** [save ?labels path g] writes [g] to [path] in the text format. *)
 val save : ?labels:Label_table.t -> string -> Digraph.t -> unit

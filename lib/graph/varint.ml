@@ -1,0 +1,67 @@
+(* LEB128 unsigned varints for the compressed adjacency backend.
+
+   Encoding: little-endian base-128, 7 payload bits per byte, high bit set
+   on every byte except the last.  The encoder always emits the minimal
+   form; [read] rejects non-minimal ("overlong") encodings so a byte
+   stream has exactly one valid decoding — this is what makes the 'V'
+   snapshot format canonical (re-serialising a loaded graph is
+   bit-identical). *)
+
+exception Error of string
+
+let err msg = raise (Error msg)
+
+let add buf x =
+  if x < 0 then invalid_arg "Varint.add: negative value";
+  let rec go x =
+    if x < 0x80 then Buffer.add_char buf (Char.chr x)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (x land 0x7f)));
+      go (x lsr 7)
+    end
+  in
+  go x
+
+let byte_length x =
+  if x < 0 then invalid_arg "Varint.byte_length: negative value";
+  let rec go x k = if x < 0x80 then k else go (x lsr 7) (k + 1) in
+  go x 1
+
+(* Checked decode for parsers and validators.  Every byte access is
+   bounds-checked against [String.length]; truncation, overlong forms and
+   values outside the OCaml int range all raise {!Error} (callers at the
+   snapshot boundary translate that to [Parse_error]).  Returns the value
+   and the position one past the last byte consumed. *)
+let read s pos =
+  let len = String.length s in
+  let x = ref 0 and shift = ref 0 and p = ref pos and fin = ref false in
+  while not !fin do
+    if !p < 0 || !p >= len then err "truncated varint";
+    let b = Char.code (String.get s !p) in
+    incr p;
+    (* OCaml ints are 63-bit: at shift 56 only six payload bits remain. *)
+    if !shift > 56 || (!shift = 56 && b > 0x3f) then err "varint overflow";
+    x := !x lor ((b land 0x7f) lsl !shift);
+    if b < 0x80 then begin
+      if b = 0 && !shift > 0 then err "overlong varint";
+      fin := true
+    end
+    else shift := !shift + 7
+  done;
+  (!x, !p)
+
+(* Trusting decode for in-memory streams that were validated once at
+   construction time: no canonicity or overflow checks, but still
+   memory-safe — [String.get] bounds-checks every byte, so even a
+   corrupted stream cannot read out of bounds.  The cursor is advanced in
+   place to keep the per-value cost to one mutable cell shared across a
+   whole slice decode. *)
+let read_trusted s (pos : int ref) =
+  let x = ref 0 and shift = ref 0 and fin = ref false in
+  while not !fin do
+    let b = Char.code (String.get s !pos) in
+    incr pos;
+    x := !x lor ((b land 0x7f) lsl !shift);
+    if b < 0x80 then fin := true else shift := !shift + 7
+  done;
+  !x

@@ -1,0 +1,29 @@
+(** LEB128 unsigned varints for the compressed adjacency backend.
+
+    The encoder is minimal-form only and the checked reader rejects
+    overlong encodings, so every non-negative int has exactly one byte
+    representation — the property behind the canonicality guarantee of the
+    'V' snapshot format. *)
+
+(** Raised by {!read} on truncated input, overlong encodings, or values
+    outside the OCaml int range.  Snapshot parsers translate this into
+    [Graph_io.Parse_error]. *)
+exception Error of string
+
+(** [add buf x] appends the minimal LEB128 encoding of [x ≥ 0]. *)
+val add : Buffer.t -> int -> unit
+
+(** [byte_length x] is the number of bytes {!add} emits for [x]. *)
+val byte_length : int -> int
+
+(** [read s pos] decodes the varint at [pos], returning [(value, next_pos)].
+    Fully checked: never reads out of bounds, rejects truncation, overlong
+    forms and 63-bit overflow.  @raise Error on malformed input. *)
+val read : string -> int -> int * int
+
+(** [read_trusted s pos] decodes the varint at [!pos] and advances [pos].
+    For streams already validated by {!read} at construction time: skips
+    canonicity/overflow checks but every byte access is still
+    bounds-checked ([Invalid_argument] rather than out-of-bounds reads on
+    corrupted memory). *)
+val read_trusted : string -> int ref -> int

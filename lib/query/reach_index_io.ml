@@ -1,14 +1,18 @@
 exception Parse_error of int * string
 
 let bad fmt = Format.kasprintf (fun s -> raise (Parse_error (0, s))) fmt
-let binary_version = 1
+
+(* Version 2 allows the GRAIL condensation to be embedded as any Graph_io
+   snapshot kind ('G', 'M' or 'V'), 8-byte aligned when 'M'; version-1
+   snapshots (always 'G') still load. *)
+let binary_version = 2
 
 let tag_of_backend = function
   | Reach_index.Tree _ -> 0
   | Reach_index.Hop _ -> 1
   | Reach_index.Grl _ -> 2
 
-let to_binary_string t =
+let to_binary_string ?(graph_format = Digraph.Flat) t =
   let graph_n = Reach_index.indexed_n t in
   let buf = Buffer.create (256 + (8 * graph_n)) in
   Buffer.add_string buf "QPGC";
@@ -63,7 +67,10 @@ let to_binary_string t =
       add_labels lin
   | Reach_index.Grl gl ->
       add_i32_array (Grail.comp gl);
-      Graph_io.add_graph_blob buf (Grail.cond gl);
+      (* [add_any_blob] zero-pads 'M' blobs to the next multiple of 8 of
+         the buffer length; the buffer lands at file offset 0, so the
+         blob's int64 sections are file-aligned and mappable in place. *)
+      Graph_io.add_any_blob buf ~format:graph_format (Grail.cond gl);
       let intervals = Grail.intervals gl in
       Buffer.add_int64_le buf (Int64.of_int (Array.length intervals));
       Array.iter
@@ -109,12 +116,16 @@ let rd_i32_array s pos n what =
   pos := !pos + (4 * n);
   a
 
-let of_binary_string s =
+(* [map_path], when given, is the file [s] was read from: a 'M' cond blob
+   then opens as zero-copy mapped views at its file offset instead of
+   parsing eagerly.  The blob sits at offset [skip_pad s pos] of the file
+   because snapshots are written from offset 0. *)
+let parse ?map_path s =
   if String.length s < 8 || String.sub s 0 4 <> "QPGC" then
     bad "bad magic: not a qpgc binary snapshot";
   if s.[4] <> 'I' then bad "wrong snapshot kind '%c' (expected 'I')" s.[4];
   let version = Char.code s.[5] in
-  if version <> binary_version then
+  if version < 1 || version > binary_version then
     bad "unsupported index snapshot version %d" version;
   let pos = ref 8 in
   let tag = rd_u8 s pos "algorithm tag" in
@@ -189,12 +200,25 @@ let of_binary_string s =
         | exception Invalid_argument msg -> bad "%s" msg)
     | _ ->
         let comp = rd_i32_array s pos graph_n "component map" in
-        let (cond, _), next =
-          try Graph_io.of_binary_substring s !pos
+        let cond =
+          try
+            let blob_pos = Graph_io.skip_pad s !pos in
+            match map_path with
+            | Some path
+              when blob_pos + 8 <= String.length s
+                   && s.[blob_pos + 4] = 'M'
+                   && blob_pos land 7 = 0 ->
+                let total = Graph_io.mapped_blob_length s blob_pos in
+                let cond, _ = Graph_io.map_mapped ~offset:blob_pos path in
+                pos := blob_pos + total;
+                cond
+            | _ ->
+                let (cond, _), next = Graph_io.of_any_blob s !pos in
+                pos := next;
+                cond
           with Graph_io.Parse_error (line, msg) ->
             raise (Parse_error (line, msg))
         in
-        pos := next;
         let k = rd_i64 s pos "traversal count" in
         if k <= 0 || k > 1024 then bad "traversal count %d out of range" k;
         let cn = Digraph.n cond in
@@ -222,14 +246,18 @@ let of_binary_string s =
   | t -> t
   | exception Invalid_argument msg -> bad "%s" msg
 
-let save path t =
+let of_binary_string s = parse s
+
+let save ?graph_format path t =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_binary_string t))
+    (fun () -> output_string oc (to_binary_string ?graph_format t))
 
-let load path =
+let load ?(mmap = false) path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_binary_string (In_channel.input_all ic))
+    (fun () ->
+      let s = In_channel.input_all ic in
+      if mmap then parse ~map_path:path s else parse s)

@@ -15,17 +15,20 @@
     Payloads: tree-cover stores the condensation size, component map,
     post ranks and per-node interval runs; two-hop stores the two
     per-node sorted label arrays; GRAIL stores the component map, the
-    condensation as an embedded graph blob (kind ['G']) and the per-
-    traversal interval tables.  Everything is little-endian, counts
-    before payloads, no padding — so equal indexes serialize to equal
-    bytes and a snapshot round-trips canonically. *)
+    condensation as an embedded {!Graph_io} snapshot blob of any kind
+    ('G' flat, 'M' mapped or 'V' varint — pick with [graph_format]) and
+    the per-traversal interval tables.  An 'M' cond blob is preceded by
+    zero padding to an 8-byte file offset so it can be mapped in place.
+    Everything is little-endian, counts before payloads — so equal
+    indexes serialize to equal bytes and a snapshot round-trips
+    canonically per format. *)
 
 (** Raised on malformed input with a line number (0 for binary offsets)
     and message.  Truncation, trailing bytes, out-of-range ids and
     inconsistent sizes are all rejected. *)
 exception Parse_error of int * string
 
-val to_binary_string : Reach_index.t -> string
+val to_binary_string : ?graph_format:Digraph.backend -> Reach_index.t -> string
 
 (** [of_binary_string s] parses a kind-['I'] snapshot.  Structural
     invariants are re-validated through {!Reach_index.v} and the backend
@@ -33,9 +36,14 @@ val to_binary_string : Reach_index.t -> string
     rather than undefined query behaviour. *)
 val of_binary_string : string -> Reach_index.t
 
-(** [save path t] writes the snapshot of [t] to [path]. *)
-val save : string -> Reach_index.t -> unit
+(** [save ?graph_format path t] writes the snapshot of [t] to [path];
+    [graph_format] picks the embedded cond blob kind for GRAIL indexes
+    (other backends embed no graph and ignore it). *)
+val save : ?graph_format:Digraph.backend -> string -> Reach_index.t -> unit
 
-(** [load path] reads a snapshot written by {!save}.
+(** [load ?mmap path] reads a snapshot written by {!save}.  With
+    [~mmap:true], a GRAIL index whose cond blob is kind 'M' opens the
+    condensation as zero-copy mapped views over [path] instead of
+    parsing it eagerly.
     @raise Parse_error on malformed input. *)
-val load : string -> Reach_index.t
+val load : ?mmap:bool -> string -> Reach_index.t

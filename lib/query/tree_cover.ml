@@ -35,7 +35,11 @@ let build g =
   let k = Digraph.n cond in
   (* spanning forest post-order: DFS over the condensation following tree
      children in adjacency order *)
-  let cond_off, cond_adj = Digraph.out_csr cond in
+  (* Dense CSR justified: the iterative DFS keeps per-frame cursors into
+     the adjacency by absolute edge index across pushes and pops — a
+     scratch-backed slice would be invalidated by the nested visits.  The
+     condensation is freshly built and flat, so this is a no-op view. *)
+  let cond_off, cond_adj = Digraph.out_csr cond (* lint: allow CSR02 *) in
   let post = Array.make k (-1) in
   let next = ref 0 in
   let frames = Stack.create () in

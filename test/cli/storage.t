@@ -1,0 +1,82 @@
+Storage backends end to end: convert a graph between the snapshot kinds,
+load the mapped kind zero-copy, and check every backend answers alike.
+
+  $ qpgc generate -d P2P -n 300 -m 900 -o p2p.g --seed 7
+  wrote p2p.g: |V| = 300, |E| = 767, |L| = 1
+
+Convert re-encodes between text and the three binary kinds:
+
+  $ qpgc convert p2p.g p2p.flat --format flat
+  wrote p2p.flat: |V| = 300, |E| = 767, 6714 bytes (8.8 bytes/edge)
+  $ qpgc convert p2p.g p2p.m --format mmap
+  wrote p2p.m: |V| = 300, |E| = 767, 19552 bytes (25.5 bytes/edge)
+  $ qpgc convert p2p.g p2p.v --format varint
+  wrote p2p.v: |V| = 300, |E| = 767, 5935 bytes (7.7 bytes/edge)
+
+Round-tripping through any kind is lossless — converting each snapshot
+back to text reproduces the original file byte for byte:
+
+  $ qpgc convert p2p.flat back_flat.g --format text
+  wrote back_flat.g: |V| = 300, |E| = 767, 9536 bytes (12.4 bytes/edge)
+  $ qpgc convert p2p.m back_m.g --format text
+  wrote back_m.g: |V| = 300, |E| = 767, 9536 bytes (12.4 bytes/edge)
+  $ qpgc convert p2p.v back_v.g --format text
+  wrote back_v.g: |V| = 300, |E| = 767, 9536 bytes (12.4 bytes/edge)
+  $ cmp p2p.g back_flat.g && cmp p2p.g back_m.g && cmp p2p.g back_v.g
+
+Snapshots are canonical per kind: load-then-save is bit-identical
+whatever backend the graph came from:
+
+  $ qpgc convert p2p.m p2p.v2 --format varint
+  wrote p2p.v2: |V| = 300, |E| = 767, 5935 bytes (7.7 bytes/edge)
+  $ cmp p2p.v p2p.v2
+  $ qpgc convert p2p.v p2p.m2 --format mmap
+  wrote p2p.m2: |V| = 300, |E| = 767, 19552 bytes (25.5 bytes/edge)
+  $ cmp p2p.m p2p.m2
+
+stats reports the backend the graph loaded on and the resident bytes of
+the other encodings; --mmap keeps the mapped snapshot zero-copy:
+
+  $ qpgc stats p2p.m --mmap | grep -E 'storage|as '
+  storage     : mmap backend, 19560 resident bytes (25.5 bytes/edge)
+    as flat   : 19600 bytes (25.6 bytes/edge)
+    as varint : 5985 bytes (7.8 bytes/edge)
+  $ qpgc stats p2p.v | grep -E 'storage|as '
+  storage     : varint backend, 5985 resident bytes (7.8 bytes/edge)
+    as flat   : 19600 bytes (25.6 bytes/edge)
+
+Queries agree across backends and load paths:
+
+  $ qpgc query p2p.flat 17 42 > a.out
+  $ qpgc query p2p.m 17 42 --mmap > b.out
+  $ qpgc query p2p.v 17 42 > c.out
+  $ cmp a.out b.out && cmp a.out c.out
+
+Compressed snapshots can embed Gr in any kind; cquery --mmap maps an
+embedded 'M' blob straight out of the file:
+
+  $ qpgc compress p2p.g --binary --adj mmap -o gr.m --save p2p.qcm | sed 's/in [0-9.]*s/in Xs/'
+  compressed in Xs: |V| = 300 -> |Vr| = 17, ratio = 3.28%
+  $ qpgc compress p2p.g --binary --adj varint -o gr.v --save p2p.qcv | sed 's/in [0-9.]*s/in Xs/'
+  compressed in Xs: |V| = 300 -> |Vr| = 17, ratio = 3.28%
+  $ qpgc cquery p2p.qcm 0 10 --mmap > qm.out
+  $ qpgc cquery p2p.qcv 0 10 > qv.out
+  $ qpgc cquery p2p.qcm 0 10 > qe.out
+  $ cmp qm.out qv.out && cmp qm.out qe.out
+
+Index snapshots route their embedded condensation through the same
+loader, so a GRAIL index saved with --adj mmap also loads zero-copy:
+
+  $ qpgc index p2p.g -a grail --adj mmap -o p2p.idx | sed 's/in [0-9.]*s/in Xs/' | cut -d: -f1
+  built grail index in Xs
+  $ qpgc query p2p.g 0 10 --index p2p.idx --mmap
+  QR(0, 10) = false   (grail index over 17 node(s))
+  $ qpgc query p2p.g 0 10 --index p2p.idx
+  QR(0, 10) = false   (grail index over 17 node(s))
+
+A truncated mapped snapshot fails with a parse error, not a crash:
+
+  $ head -c 40 p2p.m > trunc.m
+  $ qpgc stats trunc.m --mmap
+  trunc.m:0: mapped snapshot header out of file bounds
+  [1]

@@ -648,5 +648,73 @@ let obs01 =
         end);
   }
 
+(* ------------------------------------------------------------------ *)
+(* CSR02: the dense CSR escape hatch outside the storage layer *)
+
+(* The pluggable-backend refactor turned [Digraph.out_csr] / [in_csr] into
+   an escape hatch: on the mapped and varint backends each call forces (and
+   caches) a flat heap copy of the whole adjacency, silently defeating
+   zero-copy mmap loading and the compact encoding.  The storage layer
+   itself (lib/graph) owns the representation and may use them freely;
+   everywhere else iterates through the backend-polymorphic accessors, and
+   the few kernels that genuinely need dense arrays carry a justified
+   `lint: allow CSR02`. *)
+let csr02_scope = "lib/graph"
+
+let csr_dense =
+  [
+    ([ "Digraph"; "out_csr" ], "Digraph.out_csr");
+    ([ "Digraph"; "in_csr" ], "Digraph.in_csr");
+  ]
+
+let csr02 =
+  {
+    id = "CSR02";
+    (* Not hot-only: a single cold out_csr call on a mapped graph pulls the
+       whole adjacency onto the heap, so bin/ and bench/ matter just as
+       much as the kernels. *)
+    hot_only = false;
+    doc =
+      "Dense CSR views (Digraph.out_csr, Digraph.in_csr) outside lib/graph: \
+       on the mapped and varint storage backends each call forces and \
+       caches a flat heap copy of the entire adjacency, defeating zero-copy \
+       mmap loading and the compact encoding. Iterate with Digraph.iter_succ \
+       / fold_succ / succ_slice (and the *_pred mirrors), which dispatch per \
+       backend without materializing; a kernel that genuinely needs the \
+       dense arrays suppresses with `lint: allow CSR02` plus a \
+       justification.";
+    check =
+      (fun ctx structure ->
+        if not (contains_sub ~sub:csr02_scope ctx.display) then begin
+          let open Ast_iterator in
+          let super = default_iterator in
+          let expr it e =
+            (match e.pexp_desc with
+            | Pexp_ident _ -> (
+                match path_of_expr e with
+                | Some path -> (
+                    match List.find_opt (fun (p, _) -> p = path) csr_dense with
+                    | Some (_, name) ->
+                        report ctx ~loc:e.pexp_loc ~rule:"CSR02"
+                          (Printf.sprintf
+                             "`%s` materializes the dense CSR outside \
+                              lib/graph, forcing a full heap copy on the \
+                              mapped and varint backends; iterate with \
+                              Digraph.iter_succ / fold_succ / succ_slice \
+                              (or *_pred), or suppress with `lint: allow \
+                              CSR02` where the dense arrays are genuinely \
+                              required"
+                             name)
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            super.expr it e
+          in
+          let it = { super with expr } in
+          it.structure it structure
+        end);
+  }
+
 let () =
-  List.iter register [ para01; poly01; partial01; cmp01; csr01; alloc01; obs01 ]
+  List.iter register
+    [ para01; poly01; partial01; cmp01; csr01; csr02; alloc01; obs01 ]

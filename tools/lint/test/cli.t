@@ -50,6 +50,21 @@ modules (bin/, bench/) too:
   qpgc-lint: 4 finding(s)
   [1]
 
+CSR02 flags the dense CSR escape hatch (out_csr / in_csr) outside
+lib/graph -- on the mapped and varint backends those calls force a full
+heap copy; the suppressed call at the end of the fixture stays quiet:
+
+  $ qpgc-lint --cold --rule CSR02 fixtures/bad_csr02.ml
+  fixtures/bad_csr02.ml:3:21: CSR02 `Digraph.out_csr` materializes the dense CSR outside lib/graph, forcing a full heap copy on the mapped and varint backends; iterate with Digraph.iter_succ / fold_succ / succ_slice (or *_pred), or suppress with `lint: allow CSR02` where the dense arrays are genuinely required
+  fixtures/bad_csr02.ml:6:26: CSR02 `Digraph.in_csr` materializes the dense CSR outside lib/graph, forcing a full heap copy on the mapped and varint backends; iterate with Digraph.iter_succ / fold_succ / succ_slice (or *_pred), or suppress with `lint: allow CSR02` where the dense arrays are genuinely required
+  qpgc-lint: 2 finding(s)
+  [1]
+
+The same file under --prefix lib/graph/ is exempt -- the storage layer
+owns the representation:
+
+  $ qpgc-lint --rule CSR02 --prefix lib/graph/ fixtures/bad_csr02.ml
+
 JSON output for machine consumption:
 
   $ qpgc-lint --hot --format json fixtures/bad_cmp01.ml

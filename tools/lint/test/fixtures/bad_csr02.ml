@@ -1,0 +1,14 @@
+(* CSR02 fixture: the dense CSR escape hatch used outside lib/graph. *)
+
+let offsets g = fst (Digraph.out_csr g)
+(* line 3 *)
+
+let in_adjacency g = snd (Digraph.in_csr g)
+(* line 6 *)
+
+let ok g v = Digraph.succ_slice g v
+let ok2 g v = Digraph.iter_succ g v ignore
+let ok3 g v = Digraph.fold_succ g v (fun acc w -> w :: acc) []
+
+(* Suppression works for CSR02 like any other rule. *)
+let dense g = Digraph.out_csr g (* lint: allow CSR02 *)

@@ -71,6 +71,24 @@ let test_csr01_cold () =
        (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
        r.Lint_driver.diags)
 
+let test_csr02 () =
+  check_diags "bad_csr02"
+    [ (3, "CSR02"); (6, "CSR02") ]
+    (lint ~only:[ "CSR02" ] "bad_csr02.ml")
+
+(* CSR02 is scoped by display path: the storage layer itself owns the
+   representation and may touch the dense CSR freely. *)
+let test_csr02_in_scope () =
+  let r =
+    Lint_driver.lint_file ~hot:true ~only:[ "CSR02" ]
+      ~display:"lib/graph/bad_csr02.ml"
+      (fixture "bad_csr02.ml")
+  in
+  check_diags "bad_csr02 under lib/graph" []
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
 (* ALLOC01 is scoped by display path, not by the hot classification: it
    fires only when the linted file sits under lib/partition.  [only]
    isolates it from CMP01, which also dislikes the Hashtbl.create line. *)
@@ -259,6 +277,9 @@ let () =
           Alcotest.test_case "POLY01 fixture" `Quick test_poly01;
           Alcotest.test_case "CSR01 fixture" `Quick test_csr01;
           Alcotest.test_case "CSR01 fires cold" `Quick test_csr01_cold;
+          Alcotest.test_case "CSR02 fixture" `Quick test_csr02;
+          Alcotest.test_case "CSR02 exempts lib/graph" `Quick
+            test_csr02_in_scope;
           Alcotest.test_case "ALLOC01 fixture" `Quick test_alloc01;
           Alcotest.test_case "ALLOC01 scoped to lib/partition" `Quick
             test_alloc01_out_of_scope;
