@@ -764,6 +764,240 @@ let run_micro opts () =
   run_speedup opts ()
 
 (* ------------------------------------------------------------------ *)
+(* Query daemon: spawn the real `qpgc serve` binary, drive it with the
+   in-process loadgen client at several concurrency levels, and compare
+   against a fork-per-query `qpgc query` baseline.  The daemon must be a
+   separate process (this bench already owns pool worker domains, so
+   forking here would be unsafe); the binary is located relative to the
+   bench executable inside _build, overridable with QPGC_BIN.  Written to
+   BENCH_serve.json so the serving-layer numbers are tracked in CI. *)
+
+let qpgc_bin () =
+  match Sys.getenv_opt "QPGC_BIN" with
+  | Some p -> p
+  | None ->
+      Filename.concat
+        (Filename.concat
+           (Filename.dirname (Filename.dirname Sys.executable_name))
+           "bin")
+        "qpgc.exe"
+
+let wait_for path =
+  let t0 = Obs.Clock.now_ns () in
+  while (not (Sys.file_exists path)) && Obs.Clock.elapsed_s t0 < 30.0 do
+    Unix.sleepf 0.05
+  done;
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "bench serve: daemon did not become ready (%s)\n" path;
+    exit 1
+  end
+
+let run_child qpgc args out_fd =
+  let pid = Unix.create_process qpgc (Array.of_list (qpgc :: args)) Unix.stdin out_fd out_fd in
+  let _, status = Unix.waitpid [] pid in
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c ->
+      Printf.eprintf "bench serve: %s exited with %d\n"
+        (String.concat " " args) c;
+      exit 1
+  | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      Printf.eprintf "bench serve: %s killed by signal %d\n"
+        (String.concat " " args) s;
+      exit 1
+
+let run_serve opts () =
+  section "Query daemon (serve + loadgen vs fork-per-query)";
+  let qpgc = qpgc_bin () in
+  if not (Sys.file_exists qpgc) then begin
+    Printf.eprintf
+      "bench serve: qpgc binary not found at %s (build bin/ first or set \
+       QPGC_BIN)\n"
+      qpgc;
+    exit 1
+  end;
+  let n = max 1024 (int_of_float (20_000. *. opts.Experiments.scale)) in
+  let m = 3 * n in
+  let rng = Random.State.make [| opts.Experiments.seed; 0x5E2 |] in
+  let g = Generators.erdos_renyi rng ~n ~m in
+  Format.fprintf ppf "graph: |V| = %d, |E| = %d@." (Digraph.n g) (Digraph.m g);
+  (* Query mix reused at every concurrency level; the oracle needs one
+     descendants sweep per distinct source, so sources are drawn from a
+     small sample. *)
+  let sample = min 128 n in
+  let sources = Array.init sample (fun _ -> Random.State.int rng n) in
+  let queries = 16_384 in
+  let pairs =
+    Array.init queries (fun i -> (sources.(i mod sample), Random.State.int rng n))
+  in
+  let desc = Hashtbl.create sample in
+  let (), oracle_s =
+    Obs.time (fun () ->
+        Array.iter
+          (fun u ->
+            if not (Hashtbl.mem desc u) then
+              Hashtbl.add desc u (Traversal.descendants g u))
+          sources)
+  in
+  let expected =
+    Array.map
+      (fun (u, v) ->
+        match Hashtbl.find_opt desc u with
+        | Some reachable -> u = v || Bitset.mem reachable v
+        | None ->
+            failwith
+              (Printf.sprintf "bench serve: no descendants sweep for node %d" u))
+      pairs
+  in
+  Format.fprintf ppf "oracle: %d descendant sweeps in %.3fs@."
+    (Hashtbl.length desc) oracle_s;
+  with_temp_file (fun snap ->
+      Graph_io.save_binary ~format:Digraph.Flat snap g;
+      let sock = snap ^ ".sock" in
+      let ready = snap ^ ".ready" in
+      let log = snap ^ ".log" in
+      let daemon_pid =
+        let fd =
+          Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let pid =
+          Unix.create_process qpgc
+            [|
+              qpgc; "serve"; snap; "--socket"; sock; "--ready-file"; ready;
+              "--domains"; "1";
+            |]
+            Unix.stdin fd fd
+        in
+        Unix.close fd;
+        pid
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Belt and braces: the normal path already drained the daemon
+             via the shutdown verb and reaped it. *)
+          (match Unix.waitpid [ Unix.WNOHANG ] daemon_pid with
+          | 0, _ ->
+              (try Unix.kill daemon_pid Sys.sigkill
+               with Unix.Unix_error _ -> ());
+              ignore (Unix.waitpid [] daemon_pid)
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ());
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ sock; ready; log ])
+        (fun () ->
+          wait_for ready;
+          let connect () = Server_client.connect_unix sock in
+          let verify name answers =
+            Array.iteri
+              (fun i a ->
+                if a <> expected.(i) then begin
+                  let u, v = pairs.(i) in
+                  Printf.eprintf
+                    "bench serve: %s disagrees with BFS on QR(%d, %d)\n" name
+                    u v;
+                  exit 1
+                end)
+              answers
+          in
+          let batch = 256 in
+          let levels =
+            List.map
+              (fun concurrency ->
+                let res =
+                  Server_loadgen.run ~connect ~concurrency ~batch ~pairs
+                in
+                verify (Printf.sprintf "loadgen c=%d" concurrency)
+                  res.Server_loadgen.answers;
+                let p50 =
+                  Server_loadgen.percentile res.Server_loadgen.latencies_us 50.0
+                in
+                let p99 =
+                  Server_loadgen.percentile res.Server_loadgen.latencies_us 99.0
+                in
+                Format.fprintf ppf
+                  "loadgen c=%-2d batch=%d: %9.0f q/s  p50 %6.0f us  p99 \
+                   %6.0f us@."
+                  concurrency batch res.Server_loadgen.qps p50 p99;
+                (concurrency, res.Server_loadgen.qps, p50, p99))
+              [ 1; 4 ]
+          in
+          (* Fork-per-query baseline: every query pays process startup,
+             snapshot load and planning — the economics serve exists to
+             fix. *)
+          let baseline_queries = 12 in
+          let null_fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+          let (), baseline_s =
+            Obs.time (fun () ->
+                for i = 0 to baseline_queries - 1 do
+                  let u, v = pairs.(i) in
+                  run_child qpgc
+                    [
+                      "query"; snap; string_of_int u; string_of_int v;
+                      "--planner";
+                    ]
+                    null_fd
+                done)
+          in
+          Unix.close null_fd;
+          let baseline_qps = float_of_int baseline_queries /. baseline_s in
+          Format.fprintf ppf
+            "fork-per-query baseline: %d queries in %.3fs (%.1f q/s)@."
+            baseline_queries baseline_s baseline_qps;
+          let best_qps =
+            List.fold_left (fun acc (_, qps, _, _) -> Float.max acc qps) 0.0
+              levels
+          in
+          Format.fprintf ppf "daemon vs fork-per-query: %.0fx@."
+            (best_qps /. baseline_qps);
+          (* Drain through the protocol and reap. *)
+          let c = connect () in
+          let ack =
+            Fun.protect
+              ~finally:(fun () -> Server_client.close c)
+              (fun () -> Server_client.shutdown c)
+          in
+          Format.fprintf ppf "shutdown: %s@." ack;
+          (match Unix.waitpid [] daemon_pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ ->
+              Printf.eprintf "bench serve: daemon did not exit cleanly\n";
+              exit 1);
+          let levels_json =
+            String.concat ",\n"
+              (List.map
+                 (fun (concurrency, qps, p50, p99) ->
+                   Printf.sprintf
+                     "    { \"concurrency\": %d, \"batch\": %d, \"qps\": \
+                      %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f }"
+                     concurrency batch qps p50 p99)
+                 levels)
+          in
+          let json =
+            Printf.sprintf
+              "{\n\
+              \  \"nodes\": %d,\n\
+              \  \"edges\": %d,\n\
+              \  \"seed\": %d,\n\
+              \  \"scale\": %g,\n\
+              \  \"queries\": %d,\n\
+              \  \"baseline\": { \"queries\": %d, \"qps\": %.1f },\n\
+              \  \"levels\": [\n%s\n  ],\n\
+              \  \"speedup_vs_fork\": %.1f,\n\
+              \  \"verified_against_bfs\": true\n\
+               }\n"
+              (Digraph.n g) (Digraph.m g) opts.Experiments.seed
+              opts.Experiments.scale queries baseline_queries baseline_qps
+              levels_json
+              (best_qps /. baseline_qps)
+          in
+          let path = "BENCH_serve.json" in
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Format.fprintf ppf "(json written to %s)@." path))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -791,6 +1025,7 @@ let experiments =
     ("storage", run_storage);
     ("reach", run_reach);
     ("bisim", run_bisim);
+    ("serve", run_serve);
   ]
 
 let () =

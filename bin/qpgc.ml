@@ -11,7 +11,9 @@
      rpq        evaluate a regular path query via the compression
      workload   run a query workload over G and Gr, verify and time
      dot        Graphviz export, optionally clustered by hypernode
-     datasets   list the built-in dataset stand-ins *)
+     datasets   list the built-in dataset stand-ins
+     serve      long-lived query daemon over the binary wire protocol
+     loadgen    drive a running daemon and report qps / latency percentiles *)
 
 open Cmdliner
 
@@ -395,7 +397,17 @@ let query_cmd =
   let target =
     Arg.(required & pos 2 (some int) None & info [] ~docv:"TARGET" ~doc:"Target node.")
   in
-  let run () domains mmap path source target planner index_file =
+  let server_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server" ] ~docv:"SOCKET"
+          ~doc:
+            "Ask a running $(b,qpgc serve) daemon on this unix socket \
+             instead of computing locally (the graph file is still read \
+             for id validation and the BFS cross-check).")
+  in
+  let run () domains mmap path source target planner index_file server =
     setup_domains domains;
     let g = read_graph ~mmap path in
     let n = Digraph.n g in
@@ -411,21 +423,31 @@ let query_cmd =
         exit 1
     | _ -> ());
     let answer =
-      match (planner, index) with
-      | true, _ ->
+      match (server, planner, index) with
+      | Some sock, _, _ ->
+          let c = Server_client.connect_unix sock in
+          let answer =
+            Fun.protect
+              ~finally:(fun () -> Server_client.close c)
+              (fun () -> (Server_client.reach c [| (source, target) |]).(0))
+          in
+          Printf.printf "QR(%d, %d) = %b   (served over %s)\n" source target
+            answer sock;
+          answer
+      | None, true, _ ->
           let pl = Planner.create ?index g in
           let answer = Planner.eval pl ~source ~target in
           Printf.printf "QR(%d, %d) = %b   (planner: %s)\n" source target
             answer (Planner.describe pl);
           answer
-      | false, Some idx ->
+      | None, false, Some idx ->
           let answer = Reach_index.query idx ~source ~target in
           Printf.printf "QR(%d, %d) = %b   (%s index over %d node(s))\n"
             source target answer
             (Reach_index.algorithm_name (Reach_index.algorithm idx))
             (Reach_index.indexed_n idx);
           answer
-      | false, None ->
+      | None, false, None ->
           let c = Compress_reach.compress g in
           let s, t = Compress_reach.rewrite c ~source ~target in
           let answer = Compress_reach.answer c ~source ~target in
@@ -442,7 +464,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a reachability query via the compression.")
     Term.(
       const run $ obs_term $ domains_arg $ mmap_arg $ graph_arg $ source
-      $ target $ planner_arg $ index_file_arg)
+      $ target $ planner_arg $ index_file_arg $ server_arg)
 
 (* ------------------------------------------------------------------ *)
 (* match *)
@@ -779,6 +801,276 @@ let datasets_cmd =
     (Cmd.info "datasets" ~doc:"List the built-in dataset stand-ins.")
     Term.(const run $ obs_term $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the daemon.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"TCP port of the daemon.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (default 127.0.0.1).")
+
+let serve_cmd =
+  let no_mmap =
+    Arg.(
+      value & flag
+      & info [ "no-mmap" ]
+          ~doc:
+            "Load the snapshot eagerly onto the heap instead of the \
+             default zero-copy mmap open.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 8192
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Queries per coalesced eval_batch dispatch (default 8192).")
+  in
+  let queue_max =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Request frames parsed per connection per loop cycle — the \
+             per-connection backpressure bound (default 64).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Server_protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Largest accepted frame payload; oversized frames get an \
+             error reply and the connection is dropped (default 16MiB).")
+  in
+  let ready_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ready-file" ] ~docv:"FILE"
+          ~doc:
+            "Write $(docv) once every listener is bound — scripts poll it \
+             instead of racing the startup.")
+  in
+  let run () domains no_mmap path index_file socket port host batch_max
+      queue_max max_frame ready_file =
+    setup_domains domains;
+    let listeners =
+      (match socket with Some p -> [ Server.Unix_socket p ] | None -> [])
+      @
+      match port with
+      | Some p -> [ Server.Tcp { host; port = p } ]
+      | None -> []
+    in
+    if listeners = [] then begin
+      Printf.eprintf "serve: pass --socket PATH and/or --port N\n";
+      exit 1
+    end;
+    let engine =
+      try Server.load_engine ~mmap:(not no_mmap) ?index_file path with
+      | Graph_io.Parse_error (line, msg)
+      | Compressed_io.Parse_error (line, msg)
+      | Reach_index_io.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" path line msg;
+          exit 1
+      | Sys_error e ->
+          Printf.eprintf "%s\n" e;
+          exit 1
+    in
+    Printf.printf "serving %s\n" (Server.engine_info engine);
+    Printf.printf "route: %s\n%!" (Server.engine_route engine);
+    let on_ready () =
+      match ready_file with
+      | None -> ()
+      | Some f ->
+          Out_channel.with_open_bin f (fun oc -> output_string oc "ready\n")
+    in
+    let log msg = Printf.printf "%s\n%!" msg in
+    let (_ : Server.totals) =
+      Server.run ~max_frame ~queue_max ~batch_max ~on_ready ~log ~listeners
+        engine
+    in
+    ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve reachability and pattern queries from a resident snapshot \
+          over the binary protocol (unix socket and/or TCP).")
+    Term.(
+      const run $ obs_term $ domains_arg $ no_mmap $ graph_arg
+      $ index_file_arg $ socket_arg $ port_arg $ host_arg $ batch_max
+      $ queue_max $ max_frame $ ready_file)
+
+let loadgen_cmd =
+  let queries =
+    Arg.(
+      value & opt int 10_000
+      & info [ "queries"; "n" ] ~docv:"N"
+          ~doc:"Total reachability queries to issue (default 10000).")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency"; "c" ] ~docv:"N"
+          ~doc:"Concurrent client connections (default 4).")
+  in
+  let batch =
+    Arg.(
+      value & opt int 256
+      & info [ "batch"; "b" ] ~docv:"N"
+          ~doc:"Queries per request frame (default 256).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Query-pair RNG seed (default 42).")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Re-answer every query with the in-process BFS oracle and \
+             fail on any divergence.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the run summary (qps, p50/p99) to $(docv) as JSON.")
+  in
+  let wait_ready =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait-ready" ] ~docv:"SECONDS"
+          ~doc:
+            "Retry refused connections for up to $(docv) seconds before \
+             giving up (default 5).")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:"Send the shutdown verb after the run drains the daemon.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the daemon's stats verb output after the run.")
+  in
+  let run () domains mmap path socket port host queries concurrency batch
+      seed verify json wait_ready shutdown stats =
+    setup_domains domains;
+    let connect_once =
+      match (socket, port) with
+      | Some p, _ -> fun () -> Server_client.connect_unix p
+      | None, Some p -> fun () -> Server_client.connect_tcp ~host ~port:p
+      | None, None ->
+          Printf.eprintf "loadgen: pass --socket PATH or --port N\n";
+          exit 1
+    in
+    let connect () =
+      let deadline = Obs.Clock.now_ns () in
+      let rec go () =
+        match connect_once () with
+        | c -> c
+        | exception
+            Unix.Unix_error
+              ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+          when Obs.Clock.elapsed_s deadline < wait_ready ->
+            Unix.sleepf 0.05;
+            go ()
+      in
+      go ()
+    in
+    let g = read_graph ~mmap path in
+    let rng = Random.State.make [| seed |] in
+    let pairs = Reach_query.random_pairs rng g ~count:queries in
+    let res = Server_loadgen.run ~connect ~concurrency ~batch ~pairs in
+    Printf.printf "loadgen: %d queries in %d batches over %d connection(s)\n"
+      res.Server_loadgen.queries res.Server_loadgen.batches concurrency;
+    Printf.printf "qps: %.0f (%.3fs elapsed)\n" res.Server_loadgen.qps
+      res.Server_loadgen.elapsed_s;
+    Printf.printf "latency_us: p50 %.0f, p99 %.0f\n"
+      (Server_loadgen.percentile res.Server_loadgen.latencies_us 50.0)
+      (Server_loadgen.percentile res.Server_loadgen.latencies_us 99.0);
+    if verify then begin
+      let oracle = Reach_query.eval_batch Reach_query.Bfs g pairs in
+      let diverged = ref (-1) in
+      Array.iteri
+        (fun i a ->
+          if !diverged < 0 && a <> res.Server_loadgen.answers.(i) then
+            diverged := i)
+        oracle;
+      if !diverged >= 0 then begin
+        let s, t = pairs.(!diverged) in
+        Printf.eprintf
+          "loadgen: query %d diverged: served QR(%d, %d) = %b, oracle says %b\n"
+          !diverged s t
+          res.Server_loadgen.answers.(!diverged)
+          oracle.(!diverged);
+        exit 1
+      end;
+      Printf.printf "verified: %d answers match the BFS oracle\n"
+        (Array.length oracle)
+    end;
+    (match json with
+    | None -> ()
+    | Some file ->
+        Out_channel.with_open_bin file (fun oc ->
+            Printf.fprintf oc
+              "{\"queries\": %d, \"concurrency\": %d, \"batch\": %d, \
+               \"batches\": %d, \"elapsed_s\": %.6f, \"qps\": %.1f, \
+               \"p50_us\": %.1f, \"p99_us\": %.1f, \"verified\": %b}\n"
+              res.Server_loadgen.queries concurrency batch
+              res.Server_loadgen.batches res.Server_loadgen.elapsed_s
+              res.Server_loadgen.qps
+              (Server_loadgen.percentile res.Server_loadgen.latencies_us 50.0)
+              (Server_loadgen.percentile res.Server_loadgen.latencies_us 99.0)
+              verify));
+    if stats then begin
+      let c = connect () in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> Server_client.close c)
+          (fun () -> Server_client.stats c)
+      in
+      print_string text
+    end;
+    if shutdown then begin
+      let c = connect () in
+      let ack =
+        Fun.protect
+          ~finally:(fun () -> Server_client.close c)
+          (fun () -> Server_client.shutdown c)
+      in
+      Printf.printf "shutdown: %s\n" ack
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running $(b,qpgc serve) daemon with concurrent batched \
+          reachability queries and report qps and latency percentiles.")
+    Term.(
+      const run $ obs_term $ domains_arg $ mmap_arg $ graph_arg $ socket_arg
+      $ port_arg $ host_arg $ queries $ concurrency $ batch $ seed $ verify
+      $ json $ wait_ready $ shutdown $ stats)
+
 let () =
   let doc = "query preserving graph compression (Fan et al., SIGMOD 2012)" in
   let info = Cmd.info "qpgc" ~version:"1.0.0" ~doc in
@@ -788,5 +1080,5 @@ let () =
           [
             generate_cmd; stats_cmd; compress_cmd; index_cmd; query_cmd;
             cquery_cmd; match_cmd; rpq_cmd; workload_cmd; dot_cmd;
-            convert_cmd; datasets_cmd;
+            convert_cmd; datasets_cmd; serve_cmd; loadgen_cmd;
           ]))

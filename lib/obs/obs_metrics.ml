@@ -253,6 +253,51 @@ let snapshot () =
            List.fold_left (fun acc s -> merge acc (value_in_slot d s)) (zero d)
              slots ))
 
+let find name =
+  let d = defs () in
+  let slots = all_slots () in
+  let rec go i =
+    if i >= Array.length d then None
+    else if String.equal d.(i).name name then
+      Some
+        (List.fold_left
+           (fun acc s -> merge acc (value_in_slot d.(i) s))
+           (zero d.(i)) slots)
+    else go (i + 1)
+  in
+  go 0
+
+(* The cumulative count crosses [q * total] inside some bucket; interpolate
+   linearly between that bucket's bounds.  The histogram cannot resolve
+   above its last bound, so overflow observations report the last bound —
+   an under-estimate the caller accepts by choosing the bucket range. *)
+let quantile v q =
+  match v with
+  | Counter_v _ | Gauge_v _ -> None
+  | Hist_v { buckets; counts; _ } ->
+      let total = Array.fold_left ( + ) 0 counts in
+      if total = 0 then None
+      else begin
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let rank = q *. float_of_int total in
+        let nb = Array.length buckets in
+        let rec go i cum =
+          if i >= nb then Some buckets.(nb - 1)
+          else
+            let here = counts.(i) in
+            if here > 0 && float_of_int (cum + here) >= rank then
+              let lo = if i = 0 then 0.0 else buckets.(i - 1) in
+              let hi = buckets.(i) in
+              let frac =
+                Float.max 0.0
+                  (Float.min 1.0 ((rank -. float_of_int cum) /. float_of_int here))
+              in
+              Some (lo +. ((hi -. lo) *. frac))
+            else go (i + 1) (cum + here)
+        in
+        go 0 0
+      end
+
 let per_domain () =
   all_slots ()
   |> List.map (fun s ->

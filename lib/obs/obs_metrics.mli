@@ -50,6 +50,18 @@ type value =
     registration order. *)
 val snapshot : unit -> (string * value) list
 
+(** [find name] is the merged value of the metric [name], or [None] when
+    no such metric is registered — {!snapshot} for a single metric,
+    without building the whole list. *)
+val find : string -> value option
+
+(** [quantile v q] estimates the [q]-quantile ([0.0 .. 1.0]) of a
+    [Hist_v] from its bucket counts: the bucket where the cumulative
+    count crosses [q * total], linearly interpolated between its bounds.
+    Observations above the last bound report the last bound.  [None] for
+    counters, gauges and empty histograms. *)
+val quantile : value -> float -> float option
+
 (** [per_domain ()] returns each domain's unmerged slot, sorted by domain
     id — mainly for tests and pool diagnostics. *)
 val per_domain : unit -> (int * (string * value) list) list

@@ -1,0 +1,586 @@
+(* The serving loop.  See the .mli for the architecture overview.
+
+   Single-threaded [select] over all sockets; parallelism lives inside
+   the engine's [eval_batch] (the Pool domains), not in the I/O layer, so
+   connection state needs no locks.  Each cycle is parse -> one coalesced
+   eval -> reply -> flush; replies preserve per-connection FIFO order
+   because items are appended in parse order and written back in the same
+   order. *)
+
+module SP = Server_protocol
+
+(* ------------------------------------------------------------------ *)
+(* Metrics, registered once at module init *)
+
+let m_connections = Obs.counter "server.connections"
+let m_frames = Obs.counter "server.frames"
+let m_malformed = Obs.counter "server.malformed"
+let m_queries = Obs.counter "server.queries"
+let m_batches = Obs.counter "server.batches"
+let h_batch = Obs.histogram "server.batch_size"
+let h_queue = Obs.histogram "server.queue_depth"
+
+(* 1 us .. ~1 s in powers of two; per-frame turnaround. *)
+let h_latency =
+  Obs.histogram
+    ~buckets:(Array.init 21 (fun i -> float_of_int (1 lsl i)))
+    "server.latency_us"
+
+(* ------------------------------------------------------------------ *)
+(* Engines *)
+
+type engine = {
+  info : string;
+  route : string;
+  describe : string;
+  node_bound : int;
+  eval_batch : (int * int) array -> bool array;
+  eval_pattern : (Pattern.t -> Pattern.result) option;
+}
+
+let engine_info e = e.info
+let engine_route e = e.route
+let engine_describe e = e.describe
+let node_bound e = e.node_bound
+let eval e pairs = e.eval_batch pairs
+
+let engine_of_graph ?pool ?index g =
+  let planner = Planner.create ?pool ?index g in
+  let bisim = lazy (Compress_bisim.compress ?pool g) in
+  {
+    info =
+      Printf.sprintf "graph, %d node(s), %d edge(s), %s backend" (Digraph.n g)
+        (Digraph.m g) (Digraph.backend_name g);
+    route = Planner.route_name (Planner.route planner);
+    describe = Planner.describe planner;
+    node_bound = Digraph.n g;
+    eval_batch = (fun pairs -> Planner.eval_batch ?pool planner pairs);
+    eval_pattern = Some (fun p -> Compress_bisim.answer p (Lazy.force bisim));
+  }
+
+let engine_of_compressed ?pool c =
+  let idx = Compress_reach.index ?pool c in
+  {
+    info =
+      Printf.sprintf "compressed snapshot, %d hypernode(s) for %d original node(s)"
+        (Compressed.size c) (Compressed.original_n c);
+    route = "index";
+    describe =
+      Printf.sprintf "%s index over the %d-hypernode compression"
+        (Reach_index.algorithm_name (Reach_index.algorithm idx))
+        (Compressed.size c);
+    node_bound = Compressed.original_n c;
+    eval_batch = (fun pairs -> Reach_index.query_batch ?pool idx pairs);
+    eval_pattern = Some (fun p -> Compress_bisim.answer p c);
+  }
+
+let engine_of_index ?pool idx =
+  let name = Reach_index.algorithm_name (Reach_index.algorithm idx) in
+  {
+    info =
+      Printf.sprintf "%s index snapshot, %d indexed node(s) for %d original node(s)"
+        name (Reach_index.indexed_n idx)
+        (Reach_index.original_n idx);
+    route = "index";
+    describe = Printf.sprintf "%s index, %d byte(s)" name (Reach_index.memory_bytes idx);
+    node_bound = Reach_index.original_n idx;
+    eval_batch = (fun pairs -> Reach_index.query_batch ?pool idx pairs);
+    eval_pattern = None;
+  }
+
+(* First five bytes decide the loader: "QPGC" + kind byte for binary
+   snapshots, anything else (short file, text edge list) goes through
+   [Graph_io.load]'s own sniffing. *)
+let snapshot_kind path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let b = Bytes.create 5 in
+      let rec fill off =
+        if off >= 5 then true
+        else
+          let k = input ic b off (5 - off) in
+          if k = 0 then false else fill (off + k)
+      in
+      if fill 0 && String.equal (Bytes.sub_string b 0 4) "QPGC" then
+        Some (Bytes.get b 4)
+      else None)
+
+let load_engine ?pool ?(mmap = true) ?index_file path =
+  let index = Option.map (fun f -> Reach_index_io.load ~mmap f) index_file in
+  let reject_index what =
+    if Option.is_some index then
+      invalid_arg
+        (Printf.sprintf
+           "Server.load_engine: an index file cannot be combined with a %s snapshot"
+           what)
+  in
+  match snapshot_kind path with
+  | Some 'C' ->
+      reject_index "compressed";
+      engine_of_compressed ?pool (Compressed_io.load ~mmap path)
+  | Some 'I' ->
+      reject_index "index";
+      engine_of_index ?pool (Reach_index_io.load ~mmap path)
+  | Some _ ->
+      let g, _labels = Graph_io.load ~mmap path in
+      engine_of_graph ?pool ?index g
+  | None -> (
+      (* A text snapshot carries no kind byte.  The compression text
+         format strictly extends the graph records with 'o'/'m' lines
+         after the edges, so a text .qc fails the graph parser exactly
+         at its first 'o' line — retry those as a compression.  When
+         both parsers reject the file, report the error of the one that
+         got further into it. *)
+      match Graph_io.load ~mmap path with
+      | g, _labels -> engine_of_graph ?pool ?index g
+      | exception (Graph_io.Parse_error (graph_line, _) as graph_err) -> (
+          match Compressed_io.load ~mmap path with
+          | c ->
+              reject_index "compressed";
+              engine_of_compressed ?pool c
+          | exception Compressed_io.Parse_error (comp_line, _)
+            when comp_line <= graph_line ->
+              raise graph_err))
+
+(* ------------------------------------------------------------------ *)
+(* Connections and serving state *)
+
+type listener = Unix_socket of string | Tcp of { host : string; port : int }
+
+type totals = {
+  accepted : int;
+  frames : int;
+  malformed : int;
+  queries : int;
+  batches : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* bytes received, not yet parsed *)
+  out : Buffer.t;  (* encoded replies, flushed from [out_ofs] *)
+  mutable out_ofs : int;
+  mutable closing : bool;  (* close once [out] is flushed *)
+}
+
+type state = {
+  engine : engine;
+  max_frame : int;
+  queue_max : int;
+  batch_max : int;
+  log : string -> unit;
+  started_ns : int;
+  mutable conns : conn list;
+  mutable lfds : Unix.file_descr list;
+  mutable draining : bool;
+  mutable accepted : int;
+  mutable frames : int;
+  mutable malformed : int;
+  mutable queries : int;
+  mutable batches : int;
+  mutable cleanup : (unit -> unit) list;  (* unlink unix socket paths *)
+}
+
+(* Reads pause on a connection holding this much unflushed output. *)
+let out_high_water = 1 lsl 20
+
+let out_pending c = Buffer.length c.out - c.out_ofs
+
+let pending_frame st c =
+  (not c.closing)
+  && Buffer.length c.inbuf >= 4
+  && SP.frame_ready ~max_frame:st.max_frame (Buffer.contents c.inbuf) ~pos:0
+
+let stats_text st =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "graph: %s" st.engine.info;
+  line "engine: %s" st.engine.describe;
+  line "route: %s" st.engine.route;
+  line "domains: %d" (Pool.domains (Pool.default ()));
+  line "connections: %d open, %d accepted" (List.length st.conns) st.accepted;
+  line "frames: %d ok, %d malformed" st.frames st.malformed;
+  line "queries: %d" st.queries;
+  line "batches: %d" st.batches;
+  let q p =
+    match Obs.Metrics.find "server.latency_us" with
+    | None -> "n/a"
+    | Some v -> (
+        match Obs.Metrics.quantile v p with
+        | None -> "n/a"
+        | Some x -> Printf.sprintf "%.0f" x)
+  in
+  line "latency_us: p50 %s, p99 %s" (q 0.5) (q 0.99);
+  let uptime = Obs.Clock.elapsed_s st.started_ns in
+  line "uptime_s: %.1f" uptime;
+  line "qps: %.1f" (float_of_int st.queries /. Float.max uptime 1e-9);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The parse -> eval -> reply cycle *)
+
+(* Work discovered during the parse phase, in per-connection arrival
+   order.  [Slice] points into the cycle's coalesced answer array. *)
+type item =
+  | Ready of conn * SP.response * int  (* response, start ns *)
+  | Slice of conn * int * int * int  (* offset, length, start ns *)
+
+let handle_request st items pairs_rev pairs_len c req t0 =
+  let push i = items := i :: !items in
+  match req with
+  | SP.Reach pairs ->
+      let bound = st.engine.node_bound in
+      let bad = ref (-1) in
+      Array.iteri
+        (fun i (u, v) -> if !bad < 0 && (u >= bound || v >= bound) then bad := i)
+        pairs;
+      if !bad >= 0 then
+        push
+          (Ready
+             ( c,
+               SP.Error
+                 (Printf.sprintf "query %d: node id out of range (node count %d)"
+                    !bad bound),
+               t0 ))
+      else begin
+        let off = !pairs_len in
+        pairs_rev := pairs :: !pairs_rev;
+        pairs_len := off + Array.length pairs;
+        push (Slice (c, off, Array.length pairs, t0))
+      end
+  | SP.Match p -> (
+      match st.engine.eval_pattern with
+      | None ->
+          push
+            (Ready
+               ( c,
+                 SP.Error
+                   "pattern queries are not supported over a bare index snapshot",
+                 t0 ))
+      | Some f ->
+          let resp =
+            match f p with
+            | r -> SP.Matches r
+            | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+            | exception e ->
+                SP.Error ("pattern evaluation failed: " ^ Printexc.to_string e)
+          in
+          push (Ready (c, resp, t0)))
+  | SP.Stats -> push (Ready (c, SP.Text (stats_text st), t0))
+  | SP.Metrics -> push (Ready (c, SP.Text (Obs.prometheus ()), t0))
+  | SP.Shutdown ->
+      st.log "shutdown requested by client";
+      st.draining <- true;
+      push (Ready (c, SP.Text "draining", t0))
+
+let parse_conn st items pairs_rev pairs_len c =
+  if Buffer.length c.inbuf > 0 && not c.closing then begin
+    let data = Buffer.contents c.inbuf in
+    let len = String.length data in
+    let pos = ref 0 in
+    let parsed = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !parsed < st.queue_max do
+      match SP.decode_request ~max_frame:st.max_frame data ~pos:!pos with
+      | None -> stop := true
+      | Some (decoded, next) ->
+          let t0 = Obs.Clock.now_ns () in
+          (match decoded with
+          | SP.Malformed msg ->
+              st.malformed <- st.malformed + 1;
+              Obs.incr m_malformed;
+              items := Ready (c, SP.Error ("malformed frame: " ^ msg), t0) :: !items
+          | SP.Frame req ->
+              st.frames <- st.frames + 1;
+              Obs.incr m_frames;
+              handle_request st items pairs_rev pairs_len c req t0);
+          pos := next;
+          incr parsed
+      | exception SP.Parse_error (_, msg) ->
+          (* The length prefix itself lied: reply, then drop the
+             connection — the stream cannot be resynchronised. *)
+          st.malformed <- st.malformed + 1;
+          Obs.incr m_malformed;
+          items := Ready (c, SP.Error msg, Obs.Clock.now_ns ()) :: !items;
+          c.closing <- true;
+          pos := len;
+          stop := true
+    done;
+    if !parsed > 0 then Obs.observe h_queue (float_of_int !parsed);
+    if !pos > 0 then begin
+      let rest = len - !pos in
+      Buffer.clear c.inbuf;
+      if rest > 0 then Buffer.add_substring c.inbuf data !pos rest
+    end
+  end
+
+let run_batches st pairs answers =
+  let total = Array.length pairs in
+  let off = ref 0 in
+  while !off < total do
+    let k = min st.batch_max (total - !off) in
+    let chunk = Array.sub pairs !off k in
+    let a = st.engine.eval_batch chunk in
+    Array.blit a 0 answers !off k;
+    st.batches <- st.batches + 1;
+    st.queries <- st.queries + k;
+    Obs.incr m_batches;
+    Obs.add m_queries k;
+    Obs.observe h_batch (float_of_int k);
+    off := !off + k
+  done
+
+let deliver items answers =
+  List.iter
+    (fun item ->
+      let c, resp, t0 =
+        match item with
+        | Ready (c, r, t0) -> (c, r, t0)
+        | Slice (c, off, len, t0) -> (c, SP.Answers (Array.sub answers off len), t0)
+      in
+      SP.add_response c.out resp;
+      Obs.observe h_latency (Obs.Clock.ns_to_us (Obs.Clock.now_ns () - t0)))
+    items
+
+let process_cycle st =
+  let items = ref [] in
+  let pairs_rev = ref [] in
+  let pairs_len = ref 0 in
+  List.iter (fun c -> parse_conn st items pairs_rev pairs_len c) st.conns;
+  let items = List.rev !items in
+  let answers =
+    if !pairs_len = 0 then [||]
+    else begin
+      let pairs = Array.concat (List.rev !pairs_rev) in
+      let answers = Array.make !pairs_len false in
+      run_batches st pairs answers;
+      answers
+    end
+  in
+  deliver items answers
+
+(* ------------------------------------------------------------------ *)
+(* Sockets *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      let hits =
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      in
+      let rec first = function
+        | [] -> failwith (Printf.sprintf "Server: cannot resolve host %s" host)
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ :: rest -> first rest
+      in
+      first hits)
+
+let open_listener st l =
+  match l with
+  | Unix_socket path ->
+      (* A stale socket file from a crashed daemon would make bind fail;
+         replace it. *)
+      if Sys.file_exists path then begin
+        try Unix.unlink path with Unix.Unix_error _ -> ()
+      end;
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      st.cleanup <-
+        (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
+        :: st.cleanup;
+      st.log (Printf.sprintf "listening on unix socket %s" path);
+      fd
+  | Tcp { host; port } ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      st.log (Printf.sprintf "listening on tcp %s:%d" host port);
+      fd
+
+let rec accept_all st lfd =
+  match Unix.accept ~cloexec:true lfd with
+  | fd, _addr ->
+      Unix.set_nonblock fd;
+      st.accepted <- st.accepted + 1;
+      Obs.incr m_connections;
+      st.conns <-
+        {
+          fd;
+          inbuf = Buffer.create 4096;
+          out = Buffer.create 4096;
+          out_ofs = 0;
+          closing = false;
+        }
+        :: st.conns;
+      accept_all st lfd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      accept_all st lfd
+
+(* One scratch buffer is enough: the loop is single-threaded. *)
+let read_scratch = Bytes.create 65536
+
+let read_conn c =
+  match Unix.read c.fd read_scratch 0 (Bytes.length read_scratch) with
+  | 0 -> c.closing <- true
+  | k -> Buffer.add_subbytes c.inbuf read_scratch 0 k
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      Buffer.clear c.out;
+      c.out_ofs <- 0;
+      c.closing <- true
+
+let flush_conn c =
+  let progress = ref true in
+  while !progress && out_pending c > 0 do
+    let k = min 65536 (out_pending c) in
+    let s = Buffer.sub c.out c.out_ofs k in
+    match Unix.write_substring c.fd s 0 k with
+    | n ->
+        c.out_ofs <- c.out_ofs + n;
+        if n < k then progress := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        progress := false
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Buffer.clear c.out;
+        c.out_ofs <- 0;
+        c.closing <- true;
+        progress := false
+  done;
+  if out_pending c = 0 && Buffer.length c.out > 0 then begin
+    Buffer.clear c.out;
+    c.out_ofs <- 0
+  end
+
+let sweep st =
+  let closed, live =
+    List.partition (fun c -> c.closing && out_pending c = 0) st.conns
+  in
+  List.iter
+    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    closed;
+  st.conns <- live
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+let serve_loop st stop =
+  let rec go () =
+    if st.draining && st.lfds <> [] then begin
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        st.lfds;
+      st.lfds <- []
+    end;
+    if st.draining && st.conns = [] then ()
+    else begin
+      let backlog = List.exists (pending_frame st) st.conns in
+      let rfds =
+        st.lfds
+        @ List.filter_map
+            (fun c ->
+              if
+                (not c.closing) && (not st.draining)
+                && out_pending c < out_high_water
+              then Some c.fd
+              else None)
+            st.conns
+      in
+      let wfds =
+        List.filter_map
+          (fun c -> if out_pending c > 0 then Some c.fd else None)
+          st.conns
+      in
+      let timeout = if backlog then 0.0 else if st.draining then 0.05 else 0.25 in
+      (match Unix.select rfds wfds [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+          List.iter
+            (fun fd -> if List.memq fd st.lfds then accept_all st fd)
+            readable;
+          List.iter
+            (fun c -> if List.memq c.fd readable then read_conn c)
+            st.conns);
+      if !stop && not st.draining then begin
+        st.log "signal received; draining";
+        st.draining <- true
+      end;
+      process_cycle st;
+      List.iter flush_conn st.conns;
+      if st.draining then
+        List.iter
+          (fun c -> if not (pending_frame st c) then c.closing <- true)
+          st.conns;
+      sweep st;
+      go ()
+    end
+  in
+  go ()
+
+let run ?(max_frame = SP.default_max_frame) ?(queue_max = 64)
+    ?(batch_max = 8192) ?(on_ready = fun () -> ()) ?(log = fun _ -> ())
+    ~listeners engine =
+  if listeners = [] then invalid_arg "Server.run: no listeners";
+  if queue_max < 1 then invalid_arg "Server.run: queue_max must be positive";
+  if batch_max < 1 then invalid_arg "Server.run: batch_max must be positive";
+  Obs.set_metrics true;
+  let st =
+    {
+      engine;
+      max_frame;
+      queue_max;
+      batch_max;
+      log;
+      started_ns = Obs.Clock.now_ns ();
+      conns = [];
+      lfds = [];
+      draining = false;
+      accepted = 0;
+      frames = 0;
+      malformed = 0;
+      queries = 0;
+      batches = 0;
+      cleanup = [];
+    }
+  in
+  let stop = ref false in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)) in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigpipe old_pipe;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.lfds;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        st.conns;
+      st.lfds <- [];
+      st.conns <- [];
+      List.iter (fun f -> f ()) st.cleanup)
+    (fun () ->
+      st.lfds <- List.map (open_listener st) listeners;
+      on_ready ();
+      serve_loop st stop;
+      st.log
+        (Printf.sprintf "drained: %d frames, %d queries served" st.frames
+           st.queries);
+      {
+        accepted = st.accepted;
+        frames = st.frames;
+        malformed = st.malformed;
+        queries = st.queries;
+        batches = st.batches;
+      })

@@ -1,0 +1,31 @@
+(** Closed-loop load generator for the query daemon.
+
+    [run] splits the pair list into contiguous per-connection chunks, one
+    OCaml domain per connection, each issuing [batch]-sized reach frames
+    in lockstep (send, wait for the reply, repeat) and timing every
+    round-trip.  Answers land in pair order so the caller can compare the
+    whole run against a BFS oracle bit for bit. *)
+
+type result = {
+  queries : int;
+  batches : int;  (** request frames sent across all connections *)
+  elapsed_s : float;
+  qps : float;
+  latencies_us : float array;  (** per-frame round-trips, sorted ascending *)
+  answers : bool array;  (** in [pairs] order *)
+}
+
+(** [run ~connect ~concurrency ~batch ~pairs] drives the daemon through
+    [concurrency] fresh connections ([connect] is called once per
+    worker).  A worker failure (connect refused, server error reply)
+    propagates out of the final join. *)
+val run :
+  connect:(unit -> Server_client.t) ->
+  concurrency:int ->
+  batch:int ->
+  pairs:(int * int) array ->
+  result
+
+(** [percentile sorted p] is the linearly-interpolated [p]-th percentile
+    ([0.0 .. 100.0]) of an ascending array; [nan] when empty. *)
+val percentile : float array -> float -> float

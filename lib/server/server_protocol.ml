@@ -1,0 +1,254 @@
+(* The qpgc wire protocol.  See the .mli for the frame layout.
+
+   Decoding never trusts a byte: every read is preceded by a bounds check
+   that raises [Parse_error] (the BOUNDS01 contract), and the caller-facing
+   entry points convert in-frame failures into [Malformed] — the frame
+   boundary is known from the length prefix, so a server can answer with a
+   clean error and keep the connection.  Only an untrustworthy length
+   prefix itself (declared payload over the cap) escapes as [Parse_error]:
+   past that point the stream cannot be resynchronised. *)
+
+exception Parse_error of int * string
+
+let version = 1
+let default_max_frame = 1 lsl 24
+
+type request =
+  | Reach of (int * int) array
+  | Match of Pattern.t
+  | Stats
+  | Metrics
+  | Shutdown
+
+type response =
+  | Answers of bool array
+  | Matches of Pattern.result
+  | Text of string
+  | Error of string
+
+type 'a decoded = Frame of 'a | Malformed of string
+
+(* ------------------------------------------------------------------ *)
+(* Bounds-checked reads *)
+
+let bad pos msg = raise (Parse_error (pos, msg))
+
+(* Checker: [k] more bytes at [pos] must lie inside both the buffer and
+   the current frame ([limit] never exceeds [String.length s], checked
+   when the frame is delimited). *)
+let need_frame s ~limit pos k what =
+  if pos < 0 || k < 0 || pos + k > limit || pos + k > String.length s then
+    bad pos (Printf.sprintf "frame truncated reading %s" what)
+
+let rd_u8 s ~limit pos what =
+  need_frame s ~limit pos 1 what;
+  Char.code (String.unsafe_get s pos)
+
+let rd_u32 s ~limit pos what =
+  need_frame s ~limit pos 4 what;
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+let rd_string s ~limit pos len what =
+  need_frame s ~limit pos len what;
+  String.sub s pos len
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let add_u32 buf x =
+  if x < 0 || x > 0xFFFFFFFF then
+    invalid_arg "Server_protocol: u32 field out of range";
+  Buffer.add_int32_le buf (Int32.of_int x)
+
+(* Serialise the body into a scratch buffer first so the length prefix is
+   known; frames are small relative to the cap, the copy is cheap. *)
+let with_frame buf tag body =
+  let b = Buffer.create 64 in
+  Buffer.add_uint8 b version;
+  Buffer.add_char b tag;
+  body b;
+  let len = Buffer.length b in
+  if len > default_max_frame then
+    invalid_arg "Server_protocol: frame body exceeds the frame cap";
+  add_u32 buf len;
+  Buffer.add_buffer buf b
+
+let add_request buf r =
+  match r with
+  | Reach pairs ->
+      with_frame buf 'R' (fun b ->
+          add_u32 b (Array.length pairs);
+          Array.iter
+            (fun (u, v) ->
+              add_u32 b u;
+              add_u32 b v)
+            pairs)
+  | Match p ->
+      with_frame buf 'P' (fun b ->
+          let text = Pattern_io.to_string p in
+          add_u32 b (String.length text);
+          Buffer.add_string b text)
+  | Stats -> with_frame buf 'S' ignore
+  | Metrics -> with_frame buf 'M' ignore
+  | Shutdown -> with_frame buf 'X' ignore
+
+let add_response buf r =
+  match r with
+  | Answers answers ->
+      with_frame buf 'A' (fun b ->
+          add_u32 b (Array.length answers);
+          Array.iter (fun a -> Buffer.add_uint8 b (if a then 1 else 0)) answers)
+  | Matches m ->
+      with_frame buf 'H' (fun b ->
+          match m with
+          | None -> Buffer.add_uint8 b 0
+          | Some rows ->
+              Buffer.add_uint8 b 1;
+              add_u32 b (Array.length rows);
+              Array.iter
+                (fun row ->
+                  add_u32 b (Array.length row);
+                  Array.iter (add_u32 b) row)
+                rows)
+  | Text s ->
+      with_frame buf 'T' (fun b ->
+          add_u32 b (String.length s);
+          Buffer.add_string b s)
+  | Error s ->
+      with_frame buf 'E' (fun b ->
+          add_u32 b (String.length s);
+          Buffer.add_string b s)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+(* Delimit the frame at [pos]: [None] while the buffer holds only a
+   prefix, [Some (body, len, next)] otherwise.  An oversized declared
+   length raises — the one unrecoverable condition. *)
+let frame_bounds ~max_frame s ~pos =
+  if String.length s - pos < 4 then None
+  else begin
+    let limit = String.length s in
+    let len = rd_u32 s ~limit pos "frame length" in
+    if len > max_frame then
+      bad pos
+        (Printf.sprintf
+           "declared frame length %d exceeds the %d-byte cap" len max_frame);
+    if limit - (pos + 4) < len then None else Some (pos + 4, len, pos + 4 + len)
+  end
+
+(* The body parsers work inside [pos .. limit) and must consume the frame
+   exactly: trailing bytes mean a count field lied about the payload. *)
+let finish q ~limit at = if at <> limit then bad at "trailing bytes in frame" else q
+
+let parse_pairs s ~limit pos =
+  let count = rd_u32 s ~limit pos "query count" in
+  let base = pos + 4 in
+  need_frame s ~limit base (8 * count) "query pairs";
+  let pairs =
+    Array.init count (fun i ->
+        let at = base + (8 * i) in
+        ( rd_u32 s ~limit at "query source",
+          rd_u32 s ~limit (at + 4) "query target" ))
+  in
+  (pairs, base + (8 * count))
+
+let parse_text s ~limit pos what =
+  let len = rd_u32 s ~limit pos what in
+  (rd_string s ~limit (pos + 4) len what, pos + 4 + len)
+
+let parse_header s ~limit pos =
+  let ver = rd_u8 s ~limit pos "version" in
+  if ver <> version then
+    bad pos (Printf.sprintf "unsupported protocol version %d" ver);
+  rd_u8 s ~limit (pos + 1) "frame tag"
+
+let parse_request s ~limit pos =
+  let tag = parse_header s ~limit pos in
+  let p = pos + 2 in
+  if tag = Char.code 'R' then
+    let pairs, at = parse_pairs s ~limit p in
+    finish (Reach pairs) ~limit at
+  else if tag = Char.code 'P' then begin
+    let text, at = parse_text s ~limit p "pattern text" in
+    let pat =
+      try Pattern_io.of_string text
+      with Pattern_io.Parse_error (line, msg) ->
+        bad p (Printf.sprintf "bad pattern (line %d): %s" line msg)
+    in
+    finish (Match pat) ~limit at
+  end
+  else if tag = Char.code 'S' then finish Stats ~limit p
+  else if tag = Char.code 'M' then finish Metrics ~limit p
+  else if tag = Char.code 'X' then finish Shutdown ~limit p
+  else bad pos (Printf.sprintf "unknown request verb %d" tag)
+
+let parse_answers s ~limit pos =
+  let count = rd_u32 s ~limit pos "answer count" in
+  let base = pos + 4 in
+  need_frame s ~limit base count "answer bytes";
+  let answers =
+    Array.init count (fun i ->
+        match rd_u8 s ~limit (base + i) "answer" with
+        | 0 -> false
+        | 1 -> true
+        | b -> bad (base + i) (Printf.sprintf "answer byte %d is not 0/1" b))
+  in
+  (answers, base + count)
+
+let parse_matches s ~limit pos =
+  match rd_u8 s ~limit pos "match flag" with
+  | 0 -> (None, pos + 1)
+  | 1 ->
+      let rows = rd_u32 s ~limit (pos + 1) "match row count" in
+      let at = ref (pos + 5) in
+      let result =
+        Array.init rows (fun _ ->
+            let count = rd_u32 s ~limit !at "match entry count" in
+            need_frame s ~limit (!at + 4) (4 * count) "match entries";
+            let row =
+              Array.init count (fun i ->
+                  rd_u32 s ~limit (!at + 4 + (4 * i)) "match entry")
+            in
+            at := !at + 4 + (4 * count);
+            row)
+      in
+      (Some result, !at)
+  | b -> bad pos (Printf.sprintf "match flag byte %d is not 0/1" b)
+
+let parse_response s ~limit pos =
+  let tag = parse_header s ~limit pos in
+  let p = pos + 2 in
+  if tag = Char.code 'A' then
+    let answers, at = parse_answers s ~limit p in
+    finish (Answers answers) ~limit at
+  else if tag = Char.code 'H' then
+    let m, at = parse_matches s ~limit p in
+    finish (Matches m) ~limit at
+  else if tag = Char.code 'T' then
+    let text, at = parse_text s ~limit p "text payload" in
+    finish (Text text) ~limit at
+  else if tag = Char.code 'E' then
+    let text, at = parse_text s ~limit p "error payload" in
+    finish (Error text) ~limit at
+  else bad pos (Printf.sprintf "unknown response kind %d" tag)
+
+let decode parse ?(max_frame = default_max_frame) s ~pos =
+  match frame_bounds ~max_frame s ~pos with
+  | None -> None
+  | Some (body, len, next) ->
+      if len < 2 then Some (Malformed "frame too short for version and tag", next)
+      else begin
+        match parse s ~limit:(body + len) body with
+        | frame -> Some (Frame frame, next)
+        | exception Parse_error (_, msg) -> Some (Malformed msg, next)
+      end
+
+let decode_request ?max_frame s ~pos = decode parse_request ?max_frame s ~pos
+let decode_response ?max_frame s ~pos = decode parse_response ?max_frame s ~pos
+
+let frame_ready ?(max_frame = default_max_frame) s ~pos =
+  match frame_bounds ~max_frame s ~pos with
+  | None -> false
+  | Some _ -> true
+  | exception Parse_error _ -> true

@@ -1,0 +1,84 @@
+(** The qpgc wire protocol: length-prefixed, versioned binary frames.
+
+    Every frame — request or response — is
+
+    {v
+    u32 LE   payload length (bytes after this prefix)
+    u8       protocol version (currently 1)
+    u8       tag (request verb / response kind)
+    ...      body, tag-specific, little-endian throughout
+    v}
+
+    Request verbs: ['R'] reachability batch ([u32] count, then count
+    [u32 src, u32 dst] pairs), ['P'] pattern match ([u32] length +
+    {!Pattern_io} text), ['S'] stats, ['M'] metrics, ['X'] shutdown.
+    Response kinds: ['A'] answers ([u32] count + one [0/1] byte per
+    query), ['H'] match result, ['T'] text, ['E'] error message.
+
+    Decoding distinguishes three situations:
+    - an {e incomplete} frame (the buffer ends before the declared
+      length) decodes to [None] — read more bytes and retry;
+    - a {e malformed} frame whose boundary is still known (bad version,
+      unknown tag, body inconsistent with the declared length) decodes to
+      [Malformed] with the position one past the frame, so a server can
+      reply with a clean error and keep the connection;
+    - a frame whose {e length prefix itself} cannot be trusted (declared
+      payload over [max_frame]) raises {!Parse_error} — the stream has
+      lost sync and the connection must be dropped after an error reply.
+
+    Every body read is bounds-checked against the buffer length and the
+    frame boundary before touching the bytes (the BOUNDS01 contract), so
+    corrupt input can never index out of range. *)
+
+(** Raised with a byte offset and message when the stream cannot be
+    resynchronised (oversized or negative declared length). *)
+exception Parse_error of int * string
+
+(** Current protocol version, the byte after the length prefix. *)
+val version : int
+
+(** Default cap on a frame's declared payload length (16 MiB).  Both
+    sides reject larger frames: the decoder with {!Parse_error}, the
+    encoder with [Invalid_argument]. *)
+val default_max_frame : int
+
+type request =
+  | Reach of (int * int) array  (** batch of (source, target) queries *)
+  | Match of Pattern.t  (** bounded-simulation pattern query *)
+  | Stats  (** human-readable serving statistics *)
+  | Metrics  (** Prometheus dump of the obs registry *)
+  | Shutdown  (** drain and exit *)
+
+type response =
+  | Answers of bool array  (** one bit per query of a [Reach] batch *)
+  | Matches of Pattern.result  (** result of a [Match] *)
+  | Text of string  (** [Stats] / [Metrics] / [Shutdown] payload *)
+  | Error of string  (** the request was rejected; connection state says
+                         whether the stream is still in sync *)
+
+(** A decoded frame, or a syntactically delimited but invalid one. *)
+type 'a decoded = Frame of 'a | Malformed of string
+
+(** [add_request buf r] appends the encoded frame to [buf].
+    @raise Invalid_argument when the body exceeds {!default_max_frame}
+    or a count field overflows its wire width. *)
+val add_request : Buffer.t -> request -> unit
+
+val add_response : Buffer.t -> response -> unit
+
+(** [decode_request ?max_frame s ~pos] decodes the frame starting at
+    [pos].  [Some (frame, next)] consumes bytes [pos .. next-1]; [None]
+    means the buffer holds only a frame prefix.  @raise Parse_error when
+    the declared length exceeds [max_frame]. *)
+val decode_request :
+  ?max_frame:int -> string -> pos:int -> (request decoded * int) option
+
+val decode_response :
+  ?max_frame:int -> string -> pos:int -> (response decoded * int) option
+
+(** [frame_ready ?max_frame s ~pos] is [true] iff a decode attempt at
+    [pos] would yield a result right now — a frame, a malformed frame, or
+    an oversized-length [Parse_error] — rather than needing more bytes.
+    Never raises: the poll the event loop uses to tell backlog from a
+    partial frame. *)
+val frame_ready : ?max_frame:int -> string -> pos:int -> bool

@@ -102,6 +102,14 @@ partition-refinement counters are deterministic:
   planner.route.index      counter    0
   planner.route.grail      counter    0
   planner.route.trivial    counter    0
+  server.connections       counter    0
+  server.frames            counter    0
+  server.malformed         counter    0
+  server.queries           counter    0
+  server.batches           counter    0
+  server.batch_size        histogram  count=0 sum=0
+  server.queue_depth       histogram  count=0 sum=0
+  server.latency_us        histogram  count=0 sum=0
 
 --trace writes a Chrome trace with the compression phases as spans:
 

@@ -111,6 +111,42 @@ let test_metrics_record () =
           Alcotest.(check (float 1e-9)) "running sum" 105.5 sum
       | _ -> Alcotest.fail "rec.h is not a histogram")
 
+(* Single-metric lookup and bucket-quantile estimation, the pair the
+   serve daemon's stats verb is built on. *)
+
+let test_find_and_quantile () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Obs.counter "fq.c" in
+      Obs.add c 3;
+      let h = Obs.histogram ~buckets:[| 10.0; 20.0; 40.0 |] "fq.h" in
+      Testutil.check_bool "absent metric" true
+        (Obs.Metrics.find "fq.nope" = None);
+      (match Obs.Metrics.find "fq.c" with
+      | Some (Obs.Metrics.Counter_v n) ->
+          Testutil.check_int "find merges the counter" 3 n
+      | _ -> Alcotest.fail "fq.c is not a counter");
+      let hist () =
+        match Obs.Metrics.find "fq.h" with
+        | Some v -> v
+        | None -> Alcotest.fail "fq.h not found"
+      in
+      Testutil.check_bool "empty histogram has no quantiles" true
+        (Obs.Metrics.quantile (hist ()) 0.5 = None);
+      (* counts per le-bucket: 10 -> 1, 20 -> 2, 40 -> 1, overflow -> 1 *)
+      List.iter (Obs.observe h) [ 5.0; 15.0; 15.0; 35.0; 1000.0 ];
+      let q p = Obs.Metrics.quantile (hist ()) p in
+      Alcotest.(check (option (float 1e-9)))
+        "median interpolates inside its bucket" (Some 17.5) (q 0.5);
+      Alcotest.(check (option (float 1e-9)))
+        "overflow reports the last bound" (Some 40.0) (q 1.0);
+      Alcotest.(check (option (float 1e-9)))
+        "q = 0 reports the first bucket's floor" (Some 0.0) (q 0.0);
+      match Obs.Metrics.find "fq.c" with
+      | Some v ->
+          Testutil.check_bool "counters have no quantiles" true
+            (Obs.Metrics.quantile v 0.5 = None)
+      | None -> Alcotest.fail "fq.c disappeared")
+
 (* The per-domain merge: recording a set of observations from pool
    workers (any domain count) must merge to exactly what a single
    domain recording them sequentially reports.  Observations are
@@ -341,6 +377,8 @@ let () =
         [
           Alcotest.test_case "counter and histogram record" `Quick
             test_metrics_record;
+          Alcotest.test_case "find and bucket quantiles" `Quick
+            test_find_and_quantile;
           Testutil.qtest ~count:30 "per-domain merge = sequential recording"
             (merge_gen, merge_print) merge_prop;
         ] );

@@ -1,0 +1,579 @@
+(* The serve layer: wire-codec round-trips, strict rejection of truncated
+   and corrupted frames, and the daemon end to end over a unix socket
+   (answers checked against the BFS oracle, malformed-frame recovery,
+   oversized-frame disconnect, stats/shutdown verbs).
+
+   The daemon runs in a spawned domain inside this process; every test
+   drains it through the protocol's shutdown verb and joins the domain,
+   so a hang here is a drain bug, not a test artefact. *)
+
+module SP = Server_protocol
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Codec helpers *)
+
+let encode_request r =
+  let b = Buffer.create 64 in
+  SP.add_request b r;
+  Buffer.contents b
+
+let encode_response r =
+  let b = Buffer.create 64 in
+  SP.add_response b r;
+  Buffer.contents b
+
+let request_equal a b =
+  match (a, b) with
+  | SP.Reach p, SP.Reach q -> p = q
+  | SP.Match p, SP.Match q -> Pattern_io.to_string p = Pattern_io.to_string q
+  | SP.Stats, SP.Stats | SP.Metrics, SP.Metrics | SP.Shutdown, SP.Shutdown ->
+      true
+  | _ -> false
+
+let response_equal a b =
+  match (a, b) with
+  | SP.Answers p, SP.Answers q -> p = q
+  | SP.Matches p, SP.Matches q -> Pattern.result_equal p q
+  | SP.Text s, SP.Text t | SP.Error s, SP.Error t -> s = t
+  | _ -> false
+
+let request_print = function
+  | SP.Reach pairs ->
+      Printf.sprintf "Reach [%s]"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) pairs)))
+  | SP.Match p -> "Match " ^ String.escaped (Pattern_io.to_string p)
+  | SP.Stats -> "Stats"
+  | SP.Metrics -> "Metrics"
+  | SP.Shutdown -> "Shutdown"
+
+let response_print = function
+  | SP.Answers a ->
+      Printf.sprintf "Answers [%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_bool a)))
+  | SP.Matches None -> "Matches None"
+  | SP.Matches (Some rows) ->
+      Printf.sprintf "Matches (%d rows)" (Array.length rows)
+  | SP.Text s -> "Text " ^ String.escaped s
+  | SP.Error s -> "Error " ^ String.escaped s
+
+let roundtrip_request r =
+  let s = encode_request r in
+  match SP.decode_request s ~pos:0 with
+  | Some (SP.Frame r', next) when next = String.length s -> request_equal r r'
+  | Some (SP.Frame _, next) ->
+      QCheck2.Test.fail_reportf "frame consumed %d of %d bytes" next
+        (String.length s)
+  | Some (SP.Malformed msg, _) ->
+      QCheck2.Test.fail_reportf "own encoding rejected: %s" msg
+  | None -> QCheck2.Test.fail_report "own encoding judged incomplete"
+
+let roundtrip_response r =
+  let s = encode_response r in
+  match SP.decode_response s ~pos:0 with
+  | Some (SP.Frame r', next) when next = String.length s -> response_equal r r'
+  | Some (SP.Frame _, next) ->
+      QCheck2.Test.fail_reportf "frame consumed %d of %d bytes" next
+        (String.length s)
+  | Some (SP.Malformed msg, _) ->
+      QCheck2.Test.fail_reportf "own encoding rejected: %s" msg
+  | None -> QCheck2.Test.fail_report "own encoding judged incomplete"
+
+(* ------------------------------------------------------------------ *)
+(* Codec: unit round-trips *)
+
+let test_roundtrip_variants () =
+  let requests =
+    [
+      SP.Reach [||];
+      SP.Reach [| (0, 0) |];
+      SP.Reach [| (1, 2); (3, 4); (0xFFFF_FFFF, 0) |];
+      SP.Match (Testutil.recommendation_pattern ());
+      SP.Stats;
+      SP.Metrics;
+      SP.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      Testutil.check_bool (request_print r) true (roundtrip_request r))
+    requests;
+  let responses =
+    [
+      SP.Answers [||];
+      SP.Answers [| true; false; true |];
+      SP.Matches None;
+      SP.Matches (Some [||]);
+      SP.Matches (Some [| [| 1; 2 |]; [||]; [| 7 |] |]);
+      SP.Text "";
+      SP.Text "route: grail\nqps: 12.5";
+      SP.Error "malformed frame: unsupported protocol version 9";
+    ]
+  in
+  List.iter
+    (fun r ->
+      Testutil.check_bool (response_print r) true (roundtrip_response r))
+    responses
+
+let test_u32_bounds () =
+  (* A pair component outside the u32 range must be refused at encode
+     time, not silently wrapped on the wire. *)
+  Alcotest.check_raises "count overflow"
+    (Invalid_argument "Server_protocol: u32 field out of range") (fun () ->
+      ignore (encode_request (SP.Reach [| (0x1_0000_0000, 0) |])))
+
+(* ------------------------------------------------------------------ *)
+(* Codec: corruption (unit) *)
+
+let decode_req s = SP.decode_request s ~pos:0
+
+let expect_malformed what s =
+  match decode_req s with
+  | Some (SP.Malformed _, next) when next = String.length s -> ()
+  | Some (SP.Malformed _, next) ->
+      Alcotest.failf "%s: malformed but next = %d, not %d" what next
+        (String.length s)
+  | Some (SP.Frame _, _) -> Alcotest.failf "%s: accepted" what
+  | None -> Alcotest.failf "%s: judged incomplete" what
+
+let test_corruption_cases () =
+  let valid = encode_request (SP.Reach [| (5, 9) |]) in
+  (* Wrong protocol version. *)
+  let bad_version = Bytes.of_string valid in
+  Bytes.set bad_version 4 '\009';
+  expect_malformed "bad version" (Bytes.to_string bad_version);
+  (* Unknown request tag. *)
+  let bad_tag = Bytes.of_string valid in
+  Bytes.set bad_tag 5 'Z';
+  expect_malformed "unknown tag" (Bytes.to_string bad_tag);
+  (* Declared length one byte short: the body read crosses the frame
+     boundary and must be rejected, not read out of the next frame. *)
+  let short = Bytes.of_string valid in
+  Bytes.set_int32_le short 0
+    (Int32.of_int (String.length valid - 4 - 1));
+  expect_malformed "body crosses frame boundary"
+    (Bytes.sub_string short 0 (Bytes.length short - 1));
+  (* Trailing junk inside the declared frame. *)
+  let padded = Bytes.of_string (valid ^ "\000") in
+  Bytes.set_int32_le padded 0 (Int32.of_int (String.length valid - 4 + 1));
+  expect_malformed "trailing bytes in frame" (Bytes.to_string padded);
+  (* Frame too short to hold version and tag. *)
+  expect_malformed "one-byte payload" "\001\000\000\000\001";
+  (* An answers flag byte other than 0/1. *)
+  let resp = Bytes.of_string (encode_response (SP.Answers [| true |])) in
+  Bytes.set resp (Bytes.length resp - 1) '\002';
+  (match SP.decode_response (Bytes.to_string resp) ~pos:0 with
+  | Some (SP.Malformed _, _) -> ()
+  | Some (SP.Frame _, _) -> Alcotest.fail "answer byte 2 accepted"
+  | None -> Alcotest.fail "answer byte 2 judged incomplete");
+  (* An oversized declared length cannot be resynchronised. *)
+  let oversized = "\255\255\255\127rest never arrives" in
+  Alcotest.check_raises "oversized length prefix"
+    (SP.Parse_error
+       (0, "declared frame length 2147483647 exceeds the 16777216-byte cap"))
+    (fun () -> ignore (decode_req oversized))
+
+let test_frame_ready () =
+  let valid = encode_request SP.Stats in
+  Testutil.check_bool "empty buffer" false (SP.frame_ready "" ~pos:0);
+  Testutil.check_bool "partial prefix" false (SP.frame_ready "\006\000" ~pos:0);
+  Testutil.check_bool "one byte short" false
+    (SP.frame_ready (String.sub valid 0 (String.length valid - 1)) ~pos:0);
+  Testutil.check_bool "complete frame" true (SP.frame_ready valid ~pos:0);
+  Testutil.check_bool "oversized is ready (to fail)" true
+    (SP.frame_ready "\255\255\255\127" ~pos:0);
+  Testutil.check_bool "past the frame" false
+    (SP.frame_ready valid ~pos:(String.length valid))
+
+let test_stream_decode () =
+  let reqs = [ SP.Reach [| (1, 2); (3, 4) |]; SP.Stats; SP.Shutdown ] in
+  let stream = String.concat "" (List.map encode_request reqs) in
+  let rec go pos acc =
+    if pos = String.length stream then List.rev acc
+    else
+      match SP.decode_request stream ~pos with
+      | Some (SP.Frame r, next) ->
+          Testutil.check_bool "positions advance" true (next > pos);
+          go next (r :: acc)
+      | Some (SP.Malformed msg, _) -> Alcotest.failf "malformed: %s" msg
+      | None -> Alcotest.fail "incomplete mid-stream"
+  in
+  let decoded = go 0 [] in
+  Testutil.check_int "frame count" (List.length reqs) (List.length decoded);
+  List.iter2
+    (fun a b -> Testutil.check_bool (request_print a) true (request_equal a b))
+    reqs decoded
+
+(* ------------------------------------------------------------------ *)
+(* Codec: qcheck properties *)
+
+let request_gen =
+  let open QCheck2.Gen in
+  let reach =
+    let* n = int_range 0 40 in
+    let* pairs =
+      array_size (pure n)
+        (pair (int_range 0 0xFFFF_FFFF) (int_range 0 0xFFFF_FFFF))
+    in
+    pure (SP.Reach pairs)
+  in
+  frequency
+    [ (5, reach); (1, pure SP.Stats); (1, pure SP.Metrics);
+      (1, pure SP.Shutdown) ]
+
+let response_gen =
+  let open QCheck2.Gen in
+  let answers =
+    let* n = int_range 0 60 in
+    let* a = array_size (pure n) bool in
+    pure (SP.Answers a)
+  in
+  let text =
+    let* s = string_size (int_range 0 120) in
+    pure (SP.Text s)
+  in
+  let error =
+    let* s = string_size (int_range 0 120) in
+    pure (SP.Error s)
+  in
+  let matches =
+    let* rows =
+      list_size (int_range 0 5)
+        (array_size (int_range 0 4) (int_range 0 100000))
+    in
+    pure (SP.Matches (Some (Array.of_list rows)))
+  in
+  frequency
+    [ (4, answers); (2, text); (2, error); (2, matches);
+      (1, pure (SP.Matches None)) ]
+
+let qcheck_roundtrip_request =
+  Testutil.qtest "request round-trips" (request_gen, request_print)
+    roundtrip_request
+
+let qcheck_roundtrip_response =
+  Testutil.qtest "response round-trips" (response_gen, response_print)
+    roundtrip_response
+
+let qcheck_roundtrip_pattern =
+  Testutil.qtest ~count:100 "pattern request round-trips"
+    (Testutil.arbitrary_graph_pattern ())
+    (fun (_g, p) -> roundtrip_request (SP.Match p))
+
+let qcheck_truncation =
+  Testutil.qtest "every strict prefix is incomplete"
+    (request_gen, request_print) (fun r ->
+      let s = encode_request r in
+      for k = 0 to String.length s - 1 do
+        match SP.decode_request (String.sub s 0 k) ~pos:0 with
+        | None -> ()
+        | Some _ ->
+            QCheck2.Test.fail_reportf "prefix of %d/%d bytes decoded" k
+              (String.length s)
+      done;
+      true)
+
+let qcheck_corruption =
+  let open QCheck2.Gen in
+  let gen = triple request_gen (int_range 0 100000) (int_range 0 255) in
+  let print (r, i, b) =
+    Printf.sprintf "%s, byte %d := %d" (request_print r) i b
+  in
+  Testutil.qtest ~count:500 "single-byte corruption never desyncs"
+    (gen, print) (fun (r, i, b) ->
+      let s = Bytes.of_string (encode_request r) in
+      Bytes.set s (i mod Bytes.length s) (Char.chr b);
+      let s = Bytes.to_string s in
+      match SP.decode_request s ~pos:0 with
+      | None -> true (* corrupted length prefix now claims more bytes *)
+      | Some (_, next) ->
+          (* A frame or a malformed verdict must stay within the buffer:
+             the decoder never reads past what it was given. *)
+          next > 0 && next <= String.length s
+      | exception SP.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon end to end *)
+
+let random_graph ~n ~m ~seed =
+  let rng = Random.State.make [| seed |] in
+  let labels = Array.init n (fun _ -> Random.State.int rng 3) in
+  let edges =
+    List.init m (fun _ -> (Random.State.int rng n, Random.State.int rng n))
+  in
+  Digraph.make ~n ~labels edges
+
+let fresh_sock () =
+  let path = Filename.temp_file "qpgc_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let rec wait_ready ready n =
+  if not (Atomic.get ready) then (
+    if n = 0 then Alcotest.fail "server did not become ready";
+    Unix.sleepf 0.01;
+    wait_ready ready (n - 1))
+
+(* Run [f sock] against a daemon serving [engine] in a spawned domain;
+   drain it with the shutdown verb afterwards and return [f]'s result
+   together with the daemon's totals. *)
+let with_server ?max_frame ?queue_max engine f =
+  let sock = fresh_sock () in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ?max_frame ?queue_max
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~listeners:[ Server.Unix_socket sock ] engine)
+  in
+  let drain () =
+    (try
+       let c = Server_client.connect_unix sock in
+       let (_ : string) = Server_client.shutdown c in
+       Server_client.close c
+     with _ -> () (* already draining *));
+    let totals = Domain.join d in
+    (try Sys.remove sock with Sys_error _ -> ());
+    totals
+  in
+  match
+    wait_ready ready 1000;
+    f sock
+  with
+  | v -> (v, drain ())
+  | exception e ->
+      let (_ : Server.totals) = drain () in
+      raise e
+
+let with_client sock f =
+  let c = Server_client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Server_client.close c) (fun () -> f c)
+
+let test_eval_in_process () =
+  let g = random_graph ~n:120 ~m:400 ~seed:17 in
+  let rng = Random.State.make [| 4 |] in
+  let pairs = Reach_query.random_pairs rng g ~count:200 in
+  Testutil.check_bool "engine eval matches the BFS oracle" true
+    (Server.eval (Server.engine_of_graph g) pairs
+    = Reach_query.eval_batch Reach_query.Bfs g pairs)
+
+(* Text snapshots carry no kind byte; load_engine must still tell a text
+   compression from a text graph (regression: the daemon used to feed
+   text .qc files to the plain graph parser). *)
+let test_load_engine_text () =
+  let g = random_graph ~n:80 ~m:240 ~seed:29 in
+  let rng = Random.State.make [| 7 |] in
+  let pairs = Reach_query.random_pairs rng g ~count:150 in
+  let oracle = Reach_query.eval_batch Reach_query.Bfs g pairs in
+  let gfile = Filename.temp_file "qpgc_srv" ".g" in
+  let qcfile = Filename.temp_file "qpgc_srv" ".qc" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ gfile; qcfile ])
+    (fun () ->
+      Graph_io.save gfile g;
+      Compressed_io.save qcfile (Compress_reach.compress g);
+      let eg = Server.load_engine gfile in
+      Testutil.check_bool "text graph engine answers" true
+        (Server.eval eg pairs = oracle);
+      let ec = Server.load_engine qcfile in
+      Testutil.check_bool "text .qc takes the compressed route" true
+        (Server.engine_route ec = "index");
+      Testutil.check_bool "text .qc engine answers" true
+        (Server.eval ec pairs = oracle))
+
+let test_e2e_reach () =
+  let n = 300 in
+  let g = random_graph ~n ~m:900 ~seed:11 in
+  let rng = Random.State.make [| 99 |] in
+  let pairs = Reach_query.random_pairs rng g ~count:500 in
+  let expected = Reach_query.eval_batch Reach_query.Bfs g pairs in
+  let (), totals =
+    with_server (Server.engine_of_graph g) (fun sock ->
+        with_client sock (fun c ->
+            let half = Array.length pairs / 2 in
+            let a = Server_client.reach c (Array.sub pairs 0 half) in
+            let b =
+              Server_client.reach c
+                (Array.sub pairs half (Array.length pairs - half))
+            in
+            Testutil.check_bool "served answers match the BFS oracle" true
+              (Array.append a b = expected);
+            (* An out-of-range id draws an error reply, not an answer. *)
+            match Server_client.reach c [| (0, n) |] with
+            | _ -> Alcotest.fail "out-of-range id was answered"
+            | exception Failure msg ->
+                Testutil.check_bool "error names the bound" true
+                  (contains ~sub:"out of range" msg)))
+  in
+  Testutil.check_int "queries counted" (Array.length pairs)
+    totals.Server.queries;
+  Testutil.check_bool "frames counted" true (totals.Server.frames >= 2);
+  Testutil.check_bool "batches dispatched" true (totals.Server.batches >= 1)
+
+let test_e2e_pattern () =
+  let g = Testutil.recommendation () in
+  let p = Testutil.recommendation_pattern () in
+  let expected = Bounded_sim.eval p g in
+  let (), _totals =
+    with_server (Server.engine_of_graph g) (fun sock ->
+        with_client sock (fun c ->
+            Testutil.check_bool "served match equals direct evaluation" true
+              (Pattern.result_equal (Server_client.match_pattern c p) expected)))
+  in
+  ()
+
+let test_e2e_stats () =
+  let g = random_graph ~n:80 ~m:200 ~seed:23 in
+  let engine = Server.engine_of_graph g in
+  let route = Server.engine_route engine in
+  let (), _totals =
+    with_server engine (fun sock ->
+        with_client sock (fun c ->
+            let (_ : bool array) = Server_client.reach c [| (0, 1) |] in
+            let stats = Server_client.stats c in
+            Testutil.check_bool "stats names the committed route" true
+              (contains ~sub:("route: " ^ route) stats);
+            Testutil.check_bool "stats reports latency quantiles" true
+              (contains ~sub:"latency_us: p50" stats);
+            let metrics = Server_client.metrics c in
+            Testutil.check_bool "metrics exports the frame counter" true
+              (contains ~sub:"frames" metrics)))
+  in
+  ()
+
+(* Raw-socket client, for frames Server_client refuses to send. *)
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let raw_send fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Testutil.check_int "short raw write" (String.length s) n
+
+let raw_response fd buf =
+  let scratch = Bytes.create 4096 in
+  let rec go () =
+    match SP.decode_response (Buffer.contents buf) ~pos:0 with
+    | Some (d, next) ->
+        let rest = Buffer.sub buf next (Buffer.length buf - next) in
+        Buffer.clear buf;
+        Buffer.add_string buf rest;
+        d
+    | None ->
+        let n = Unix.read fd scratch 0 (Bytes.length scratch) in
+        if n = 0 then Alcotest.fail "connection closed while awaiting reply";
+        Buffer.add_subbytes buf scratch 0 n;
+        go ()
+  in
+  go ()
+
+let rec read_until_eof fd scratch =
+  if Unix.read fd scratch 0 (Bytes.length scratch) > 0 then
+    read_until_eof fd scratch
+
+let test_e2e_malformed_recovery () =
+  let g = random_graph ~n:50 ~m:100 ~seed:3 in
+  let (), totals =
+    with_server (Server.engine_of_graph g) (fun sock ->
+        let fd = raw_connect sock in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let buf = Buffer.create 256 in
+            (* A delimited-but-invalid frame: bad version byte. *)
+            let frame =
+              Bytes.of_string (encode_request (SP.Reach [| (1, 2) |]))
+            in
+            Bytes.set frame 4 '\009';
+            raw_send fd (Bytes.to_string frame);
+            (match raw_response fd buf with
+            | SP.Frame (SP.Error msg) ->
+                Testutil.check_bool "reply names the malformed frame" true
+                  (contains ~sub:"malformed" msg)
+            | _ -> Alcotest.fail "expected an error reply");
+            (* The stream is still in sync: the next frame is served. *)
+            raw_send fd (encode_request (SP.Reach [| (7, 7) |]));
+            match raw_response fd buf with
+            | SP.Frame (SP.Answers a) ->
+                Testutil.check_bool "reflexive answer after recovery" true
+                  (a = [| true |])
+            | _ -> Alcotest.fail "expected answers after recovery"))
+  in
+  Testutil.check_int "malformed frame counted" 1 totals.Server.malformed;
+  Testutil.check_int "valid query still counted" 1 totals.Server.queries
+
+let test_e2e_oversized_disconnect () =
+  let g = random_graph ~n:50 ~m:100 ~seed:3 in
+  let (), _totals =
+    with_server (Server.engine_of_graph g) (fun sock ->
+        let fd = raw_connect sock in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            let buf = Buffer.create 256 in
+            (* Length prefix claiming 2 GiB: unrecoverable desync. *)
+            raw_send fd "\255\255\255\127";
+            (match raw_response fd buf with
+            | SP.Frame (SP.Error msg) ->
+                Testutil.check_bool "reply names the length cap" true
+                  (contains ~sub:"exceeds the" msg)
+            | _ -> Alcotest.fail "expected an error reply");
+            (* ... after which the server hangs up. *)
+            read_until_eof fd (Bytes.create 4096)))
+  in
+  ()
+
+let test_e2e_shutdown_ack () =
+  let g = random_graph ~n:20 ~m:40 ~seed:5 in
+  let (), totals =
+    with_server (Server.engine_of_graph g) (fun sock ->
+        with_client sock (fun c ->
+            Testutil.check_bool "shutdown acknowledged" true
+              (Server_client.shutdown c = "draining")))
+  in
+  Testutil.check_int "no queries were needed" 0 totals.Server.queries;
+  Testutil.check_bool "the connection was accepted" true (totals.Server.accepted >= 1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "variant round-trips" `Quick
+            test_roundtrip_variants;
+          Alcotest.test_case "u32 encode bounds" `Quick test_u32_bounds;
+          Alcotest.test_case "corruption verdicts" `Quick test_corruption_cases;
+          Alcotest.test_case "frame_ready" `Quick test_frame_ready;
+          Alcotest.test_case "multi-frame stream" `Quick test_stream_decode;
+          qcheck_roundtrip_request;
+          qcheck_roundtrip_response;
+          qcheck_roundtrip_pattern;
+          qcheck_truncation;
+          qcheck_corruption;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "in-process eval oracle" `Quick
+            test_eval_in_process;
+          Alcotest.test_case "text snapshot dispatch" `Quick
+            test_load_engine_text;
+          Alcotest.test_case "reach batches vs BFS oracle" `Quick
+            test_e2e_reach;
+          Alcotest.test_case "pattern query" `Quick test_e2e_pattern;
+          Alcotest.test_case "stats and metrics verbs" `Quick test_e2e_stats;
+          Alcotest.test_case "malformed frame recovery" `Quick
+            test_e2e_malformed_recovery;
+          Alcotest.test_case "oversized frame disconnects" `Quick
+            test_e2e_oversized_disconnect;
+          Alcotest.test_case "shutdown verb drains" `Quick
+            test_e2e_shutdown_ack;
+        ] );
+    ]

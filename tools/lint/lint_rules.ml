@@ -715,6 +715,77 @@ let csr02 =
         end);
   }
 
+(* ------------------------------------------------------------------ *)
+(* SRV01: no blocking primitives inside the serving layer *)
+
+(* The daemon's event loop is single-threaded: one blocking sleep or one
+   unbounded "read exactly N bytes" call stalls every connection at once.
+   lib/server therefore reads in bounded [Unix.read] chunks driven by the
+   protocol's length prefix and never sleeps — retry/backoff loops belong
+   in the callers (bin/, bench/), which may block freely. *)
+let srv01_scope = "lib/server"
+
+let srv_blocking =
+  [
+    ([ "Unix"; "sleep" ], "Unix.sleep");
+    ([ "Unix"; "sleepf" ], "Unix.sleepf");
+    ([ "UnixLabels"; "sleep" ], "UnixLabels.sleep");
+    ([ "UnixLabels"; "sleepf" ], "UnixLabels.sleepf");
+    ([ "Thread"; "delay" ], "Thread.delay");
+    ([ "really_input" ], "really_input");
+    ([ "really_input_string" ], "really_input_string");
+    ([ "In_channel"; "really_input" ], "In_channel.really_input");
+    ([ "In_channel"; "really_input_string" ], "In_channel.really_input_string");
+    ([ "input_line" ], "input_line");
+    ([ "In_channel"; "input_line" ], "In_channel.input_line");
+  ]
+
+let srv01 =
+  {
+    id = "SRV01";
+    (* lib/server is linted cold (no kernels), so the rule must not be
+       hot-only to run there at all. *)
+    hot_only = false;
+    doc =
+      "Blocking primitives (Unix.sleep/sleepf, Thread.delay, really_input, \
+       really_input_string, input_line) inside lib/server: the daemon's \
+       event loop is single-threaded, so one blocking call stalls every \
+       connection and wrecks the latency tail. Read in bounded Unix.read \
+       chunks driven by the protocol's length prefix, let Unix.select do \
+       the waiting, and keep retry/backoff sleeps in the callers (bin/, \
+       bench/).";
+    check =
+      (fun ctx structure ->
+        if contains_sub ~sub:srv01_scope ctx.display then begin
+          let open Ast_iterator in
+          let super = default_iterator in
+          let expr it e =
+            (match e.pexp_desc with
+            | Pexp_ident _ -> (
+                match path_of_expr e with
+                | Some path -> (
+                    match
+                      List.find_opt (fun (p, _) -> p = path) srv_blocking
+                    with
+                    | Some (_, name) ->
+                        report ctx ~loc:e.pexp_loc ~rule:"SRV01"
+                          (Printf.sprintf
+                             "`%s` blocks the single-threaded serving loop, \
+                              stalling every connection at once; use \
+                              bounded Unix.read chunks driven by the frame \
+                              length prefix and Unix.select timeouts, and \
+                              move sleeps/retries into the callers"
+                             name)
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            super.expr it e
+          in
+          let it = { super with expr } in
+          it.structure it structure
+        end);
+  }
+
 let () =
   List.iter register
-    [ para01; poly01; partial01; cmp01; csr01; csr02; alloc01; obs01 ]
+    [ para01; poly01; partial01; cmp01; csr01; csr02; alloc01; obs01; srv01 ]

@@ -101,6 +101,25 @@ The same file under lib/obs is exempt (that layer wraps the raw clock):
 
   $ qpgc-lint --cold --rule OBS01 --prefix lib/obs/ fixtures/bad_obs01.ml
 
+SRV01 forbids blocking sleeps and unbounded channel reads inside
+lib/server, where one stalled call freezes every connection; --prefix
+lib/server/ puts the fixture in scope:
+
+  $ qpgc-lint --cold --rule SRV01 --prefix lib/server/ fixtures/bad_srv01.ml
+  lib/server/fixtures/bad_srv01.ml:3:13: SRV01 `Unix.sleep` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  lib/server/fixtures/bad_srv01.ml:6:14: SRV01 `Unix.sleepf` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  lib/server/fixtures/bad_srv01.ml:9:15: SRV01 `Thread.delay` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  lib/server/fixtures/bad_srv01.ml:12:17: SRV01 `really_input` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  lib/server/fixtures/bad_srv01.ml:15:13: SRV01 `really_input_string` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  lib/server/fixtures/bad_srv01.ml:18:14: SRV01 `input_line` blocks the single-threaded serving loop, stalling every connection at once; use bounded Unix.read chunks driven by the frame length prefix and Unix.select timeouts, and move sleeps/retries into the callers
+  qpgc-lint: 6 finding(s)
+  [1]
+
+Outside lib/server the same file is clean -- callers are allowed to
+sleep between retries:
+
+  $ qpgc-lint --cold --rule SRV01 fixtures/bad_srv01.ml
+
 The typed tier (--typed) typechecks standalone .ml inputs in-process and
 runs the whole-program rules plus the syntactic ones.  PARA02 follows
 mutation through helper calls and partial applications:

@@ -1,0 +1,28 @@
+(* SRV01 fixture: blocking primitives, linted with a display path under
+   lib/server (the rule is quiet anywhere else). *)
+let nap () = Unix.sleep 1
+(* line 3 *)
+
+let napf () = Unix.sleepf 0.25
+(* line 6 *)
+
+let delay () = Thread.delay 0.25
+(* line 9 *)
+
+let slurp ic b = really_input ic b 0 4096
+(* line 12 *)
+
+let sip ic = really_input_string ic 16
+(* line 15 *)
+
+let next ic = input_line ic
+(* line 18 *)
+
+(* Not flagged: bounded single reads and the select-driven primitives the
+   serving loop is built from. *)
+let chunk fd b = Unix.read fd b 0 (Bytes.length b)
+let bounded ic b = In_channel.input ic b 0 (Bytes.length b)
+let wait r = Unix.select r [] [] 0.25
+
+(* Suppression works for SRV01 like any other rule. *)
+let legacy () = Unix.sleep 1 (* lint: allow SRV01 *)

@@ -138,6 +138,33 @@ let test_obs01_in_scope () =
        (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
        r.Lint_driver.diags)
 
+(* SRV01 is scoped like ALLOC01: it fires only when the linted file sits
+   under lib/server — the one layer whose event loop must never block. *)
+let test_srv01 () =
+  let r =
+    Lint_driver.lint_file ~hot:false ~only:[ "SRV01" ]
+      ~display:"lib/server/bad_srv01.ml"
+      (fixture "bad_srv01.ml")
+  in
+  check_diags "bad_srv01"
+    [
+      (3, "SRV01");
+      (6, "SRV01");
+      (9, "SRV01");
+      (12, "SRV01");
+      (15, "SRV01");
+      (18, "SRV01");
+    ]
+    (List.map
+       (fun d -> (d.Lint_diag.line, d.Lint_diag.rule))
+       r.Lint_driver.diags)
+
+(* The same file anywhere else is exempt: retry/backoff sleeps belong in
+   the callers (bin/, bench/). *)
+let test_srv01_out_of_scope () =
+  check_diags "bad_srv01 outside lib/server" []
+    (lint ~only:[ "SRV01" ] "bad_srv01.ml")
+
 let test_poly01 () =
   check_diags "bad_poly01"
     [
@@ -286,6 +313,9 @@ let () =
           Alcotest.test_case "OBS01 fixture" `Quick test_obs01;
           Alcotest.test_case "OBS01 exempts lib/obs" `Quick
             test_obs01_in_scope;
+          Alcotest.test_case "SRV01 fixture" `Quick test_srv01;
+          Alcotest.test_case "SRV01 scoped to lib/server" `Quick
+            test_srv01_out_of_scope;
         ] );
       ( "classification",
         [
