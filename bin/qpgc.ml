@@ -13,7 +13,8 @@
      dot        Graphviz export, optionally clustered by hypernode
      datasets   list the built-in dataset stand-ins
      serve      long-lived query daemon over the binary wire protocol
-     loadgen    drive a running daemon and report qps / latency percentiles *)
+     loadgen    drive a running daemon and report qps / latency percentiles
+     top        poll a running daemon and render a live terminal view *)
 
 open Cmdliner
 
@@ -863,9 +864,77 @@ let serve_cmd =
             "Write $(docv) once every listener is bound — scripts poll it \
              instead of racing the startup.")
   in
-  let run () domains no_mmap path index_file socket port host batch_max
-      queue_max max_frame ready_file =
+  let http_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http-port" ] ~docv:"N"
+          ~doc:
+            "Serve $(b,GET /metrics), $(b,/healthz) and $(b,/readyz) over \
+             HTTP on this TCP port, inside the same event loop.")
+  in
+  let http_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "http-socket" ] ~docv:"PATH"
+          ~doc:"Serve the scrape endpoints on this unix-domain socket.")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured-log threshold: debug, info, warn, error or off \
+             (default info).  Lines go to stderr.")
+  in
+  let log_json =
+    Arg.(
+      value & flag
+      & info [ "log-json" ]
+          ~doc:"Emit JSON log lines instead of the default logfmt.")
+  in
+  let slow_us =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "slow-us" ] ~docv:"MICROSECONDS"
+          ~doc:
+            "Flight-recorder threshold: every frame at or above this \
+             latency is recorded (default 1000).")
+  in
+  let sample_every =
+    Arg.(
+      value & opt int 64
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Also record 1 in $(docv) below-threshold frames as a \
+             baseline (default 64; 0 disables sampling).")
+  in
+  let flight_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "flight-cap" ] ~docv:"N"
+          ~doc:"Flight-recorder ring capacity in frames (default 4096).")
+  in
+  let flight_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Chrome-trace file SIGUSR1 dumps the flight recorder to \
+             (default: qpgc-flight-<pid>.json in the temp directory).")
+  in
+  let run () domains no_mmap path index_file socket port host http_port
+      http_socket batch_max queue_max max_frame ready_file log_level log_json
+      slow_us sample_every flight_cap flight_dump =
     setup_domains domains;
+    (match Obs.Log.level_of_string log_level with
+    | Ok l -> Obs.Log.set_level l
+    | Error e ->
+        Printf.eprintf "serve: %s\n" e;
+        exit 1);
+    if log_json then Obs.Log.set_format Obs.Log.Json;
     let listeners =
       (match socket with Some p -> [ Server.Unix_socket p ] | None -> [])
       @
@@ -877,6 +946,13 @@ let serve_cmd =
       Printf.eprintf "serve: pass --socket PATH and/or --port N\n";
       exit 1
     end;
+    let http_listeners =
+      (match http_socket with Some p -> [ Server.Unix_socket p ] | None -> [])
+      @
+      match http_port with
+      | Some p -> [ Server.Tcp { host; port = p } ]
+      | None -> []
+    in
     let engine =
       try Server.load_engine ~mmap:(not no_mmap) ?index_file path with
       | Graph_io.Parse_error (line, msg)
@@ -888,18 +964,22 @@ let serve_cmd =
           Printf.eprintf "%s\n" e;
           exit 1
     in
-    Printf.printf "serving %s\n" (Server.engine_info engine);
-    Printf.printf "route: %s\n%!" (Server.engine_route engine);
+    Obs.Log.info "serving"
+      ~fields:
+        [
+          ("graph", Obs.Log.Str (Server.engine_info engine));
+          ("route", Obs.Log.Str (Server.engine_route engine));
+        ];
     let on_ready () =
       match ready_file with
       | None -> ()
       | Some f ->
           Out_channel.with_open_bin f (fun oc -> output_string oc "ready\n")
     in
-    let log msg = Printf.printf "%s\n%!" msg in
     let (_ : Server.totals) =
-      Server.run ~max_frame ~queue_max ~batch_max ~on_ready ~log ~listeners
-        engine
+      Server.run ~max_frame ~queue_max ~batch_max ~on_ready ~http_listeners
+        ~slow_us ~sample_every ~flight_cap ?flight_file:flight_dump
+        ~listeners engine
     in
     ()
   in
@@ -907,11 +987,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve reachability and pattern queries from a resident snapshot \
-          over the binary protocol (unix socket and/or TCP).")
+          over the binary protocol (unix socket and/or TCP), with an \
+          optional HTTP scrape plane for metrics and health.")
     Term.(
       const run $ obs_term $ domains_arg $ no_mmap $ graph_arg
-      $ index_file_arg $ socket_arg $ port_arg $ host_arg $ batch_max
-      $ queue_max $ max_frame $ ready_file)
+      $ index_file_arg $ socket_arg $ port_arg $ host_arg $ http_port
+      $ http_socket $ batch_max $ queue_max $ max_frame $ ready_file
+      $ log_level $ log_json $ slow_us $ sample_every $ flight_cap
+      $ flight_dump)
 
 let loadgen_cmd =
   let queries =
@@ -1071,6 +1154,120 @@ let loadgen_cmd =
       $ port_arg $ host_arg $ queries $ concurrency $ batch $ seed $ verify
       $ json $ wait_ready $ shutdown $ stats)
 
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"SECONDS"
+          ~doc:"Refresh interval (default 2).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Print a single snapshot and exit instead of refreshing the \
+             screen — for scripts and CI.")
+  in
+  let wait_ready =
+    Arg.(
+      value & opt float 5.0
+      & info [ "wait-ready" ] ~docv:"SECONDS"
+          ~doc:
+            "Retry refused connections for up to $(docv) seconds before \
+             giving up (default 5).")
+  in
+  (* The stats verb is line-oriented "key: value" text; keep the daemon
+     authoritative about what it reports and just re-arrange it here. *)
+  let parse_stats text =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           match String.index_opt line ':' with
+           | Some i when i > 0 ->
+               Some
+                 ( String.sub line 0 i,
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)) )
+           | Some _ | None -> None)
+  in
+  let render kv =
+    let get k = Option.value (List.assoc_opt k kv) ~default:"-" in
+    let b = Buffer.create 512 in
+    let line fmt =
+      Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+    in
+    line "qpgc top — %s" (get "graph");
+    line "route: %s   domains: %s   uptime_s: %s" (get "route") (get "domains")
+      (get "uptime_s");
+    line "connections: %s   scrapes: %s" (get "connections") (get "scrapes");
+    line "frames: %s   queries: %s   batches: %s" (get "frames")
+      (get "queries") (get "batches");
+    line "qps: %s lifetime   |   %s over 10s" (get "qps") (get "qps_10s");
+    line "latency_us: %s lifetime   |   %s over 10s" (get "latency_us")
+      (get "latency_us_10s");
+    line "queue_depth: %s" (get "queue_depth");
+    line "flight: %s" (get "flight");
+    line "gc: %s" (get "gc");
+    Buffer.contents b
+  in
+  let run () socket port host interval once wait_ready =
+    let connect_once =
+      match (socket, port) with
+      | Some p, _ -> fun () -> Server_client.connect_unix p
+      | None, Some p -> fun () -> Server_client.connect_tcp ~host ~port:p
+      | None, None ->
+          Printf.eprintf "top: pass --socket PATH or --port N\n";
+          exit 1
+    in
+    let connect () =
+      let started = Obs.Clock.now_ns () in
+      let rec go () =
+        match connect_once () with
+        | c -> c
+        | exception
+            Unix.Unix_error
+              ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+          when Obs.Clock.elapsed_s started < wait_ready ->
+            Unix.sleepf 0.05;
+            go ()
+      in
+      go ()
+    in
+    let c = connect () in
+    Fun.protect
+      ~finally:(fun () -> Server_client.close c)
+      (fun () ->
+        let rec loop () =
+          let text =
+            match Server_client.stats c with
+            | s -> s
+            | exception Failure e ->
+                Printf.eprintf "top: %s\n" e;
+                exit 1
+          in
+          let view = render (parse_stats text) in
+          if once then print_string view
+          else begin
+            (* Home + clear-to-end keeps the refresh flicker-free. *)
+            print_string "\027[H\027[2J";
+            print_string view;
+            flush stdout;
+            Unix.sleepf (Float.max 0.1 interval);
+            loop ()
+          end
+        in
+        loop ())
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running $(b,qpgc serve) daemon and render a refreshing \
+          view of qps, latency percentiles, queue depth, connections and \
+          GC stats.")
+    Term.(
+      const run $ obs_term $ socket_arg $ port_arg $ host_arg $ interval
+      $ once $ wait_ready)
+
 let () =
   let doc = "query preserving graph compression (Fan et al., SIGMOD 2012)" in
   let info = Cmd.info "qpgc" ~version:"1.0.0" ~doc in
@@ -1080,5 +1277,5 @@ let () =
           [
             generate_cmd; stats_cmd; compress_cmd; index_cmd; query_cmd;
             cquery_cmd; match_cmd; rpq_cmd; workload_cmd; dot_cmd;
-            convert_cmd; datasets_cmd; serve_cmd; loadgen_cmd;
+            convert_cmd; datasets_cmd; serve_cmd; loadgen_cmd; top_cmd;
           ]))

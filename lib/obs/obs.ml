@@ -4,6 +4,9 @@
 module Clock = Obs_clock
 module Metrics = Obs_metrics
 module Trace = Obs_trace
+module Log = Obs_log
+module Ring = Obs_ring
+module Window = Obs_window
 
 let time = Obs_clock.time
 

@@ -10,6 +10,15 @@ module Clock = Obs_clock
 module Metrics = Obs_metrics
 module Trace = Obs_trace
 
+(** Structured leveled logging ({!Obs_log}), the slow-query flight
+    recorder ({!Obs_ring}) and sliding-window metric views
+    ({!Obs_window}) — the live-telemetry additions the daemon builds
+    on. *)
+module Log = Obs_log
+
+module Ring = Obs_ring
+module Window = Obs_window
+
 (** [time f] = {!Obs_clock.time}: run [f] and return (result, seconds).
     Always measures, regardless of the switches — it replaces ad-hoc
     [Unix.gettimeofday] deltas in the CLI / bench front ends. *)

@@ -9,6 +9,24 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* RFC 8259 string escaping, shared by every JSON-emitting exporter
+   (structured logs, flight-recorder dumps). *)
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
 (* %g with enough digits, but "+Inf" and integral floats kept short the
    way Prometheus convention writes them. *)
 let float_str v =

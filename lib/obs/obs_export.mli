@@ -8,3 +8,12 @@ val prometheus : (string * Obs_metrics.value) list -> string
 (** Human-readable aligned table (what [--metrics] prints): one row per
     metric with its type and merged value. *)
 val table : (string * Obs_metrics.value) list -> string
+
+(** [add_json_string b s] appends [s] to [b] as a quoted RFC 8259 JSON
+    string (escaping quotes, backslashes and control characters) —
+    shared by the JSON log format and the flight-recorder dump. *)
+val add_json_string : Buffer.t -> string -> unit
+
+(** [float_str v] renders a float the way the exporters write numbers:
+    integral values without a fractional part, everything else as [%g]. *)
+val float_str : float -> string

@@ -1,0 +1,201 @@
+(* Structured, leveled logging with per-domain buffers.
+
+   The shape mirrors Obs_metrics: a record site touches only its calling
+   domain's buffer (reached through domain-local storage, registered in a
+   global list under a lock on first use), so pool workers log without
+   contending or interleaving bytes; a flush gathers every buffer, sorts
+   the lines by their nanosecond timestamps and hands them to the sink in
+   true chronological order.  Lines are rendered at the call site — the
+   timestamp must be taken there anyway, and rendering into the buffer
+   keeps flush allocation-free apart from the merge itself.
+
+   No [Unix] dependency: timestamps come from Obs_clock and the default
+   sink is a Stdlib [stderr] write, keeping qpgc_obs linkable everywhere
+   (rule OBS01 territory). *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+(* Threshold as an int so the disabled path is one atomic load and one
+   compare; 4 (above Error) means "off". *)
+let threshold = Atomic.make 2 (* Warn: libraries are quiet by default *)
+
+let set_level = function
+  | None -> Atomic.set threshold 4
+  | Some l -> Atomic.set threshold (severity l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Some Debug
+  | 1 -> Some Info
+  | 2 -> Some Warn
+  | 3 -> Some Error
+  | _ -> None
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok (Some Debug)
+  | "info" -> Ok (Some Info)
+  | "warn" | "warning" -> Ok (Some Warn)
+  | "error" -> Ok (Some Error)
+  | "off" | "none" -> Ok None
+  | _ -> Error (Printf.sprintf "unknown log level %S" s)
+
+let enabled l = severity l >= Atomic.get threshold
+
+type format = Logfmt | Json
+
+let fmt = Atomic.make Logfmt
+let set_format f = Atomic.set fmt f
+let format () = Atomic.get fmt
+
+type field_value = Str of string | Int of int | Float of float | Bool of bool
+type field = string * field_value
+
+(* ------------------------------------------------------------------ *)
+(* Sink *)
+
+let default_sink line =
+  output_string stderr line;
+  output_char stderr '\n'
+
+let sink = Atomic.make default_sink
+let set_sink f = Atomic.set sink f
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffers *)
+
+type slot = { dom : int; mutable lines : (int * string) list (* newest first *) }
+
+let slots : slot list ref = ref []
+let slots_lock = Mutex.create ()
+
+let slot_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { dom = (Domain.self () :> int); lines = [] } in
+      Mutex.lock slots_lock;
+      slots := s :: !slots;
+      Mutex.unlock slots_lock;
+      s)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let float_str = Obs_export.float_str
+
+(* logfmt quotes a value only when it would not survive a naive
+   whitespace split: spaces, quotes, '=' or emptiness force quoting. *)
+let needs_quote s =
+  String.length s = 0
+  || String.exists (fun c -> c = ' ' || c = '"' || c = '=' || c < ' ') s
+
+let add_logfmt_value b s =
+  if needs_quote s then begin
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+  end
+  else Buffer.add_string b s
+
+let render ts l msg fields =
+  let b = Buffer.create 128 in
+  (match Atomic.get fmt with
+  | Logfmt ->
+      Buffer.add_string b (Printf.sprintf "ts=%d level=%s msg=" ts (level_name l));
+      add_logfmt_value b msg;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b k;
+          Buffer.add_char b '=';
+          match v with
+          | Str s -> add_logfmt_value b s
+          | Int i -> Buffer.add_string b (string_of_int i)
+          | Float f -> Buffer.add_string b (float_str f)
+          | Bool x -> Buffer.add_string b (if x then "true" else "false"))
+        fields
+  | Json ->
+      Buffer.add_string b (Printf.sprintf "{\"ts\":%d,\"level\":" ts);
+      Obs_export.add_json_string b (level_name l);
+      Buffer.add_string b ",\"msg\":";
+      Obs_export.add_json_string b msg;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ',';
+          Obs_export.add_json_string b k;
+          Buffer.add_char b ':';
+          match v with
+          | Str s -> Obs_export.add_json_string b s
+          | Int i -> Buffer.add_string b (string_of_int i)
+          | Float f ->
+              (* JSON has no NaN/Inf literals; stringify those. *)
+              if Float.is_finite f then Buffer.add_string b (float_str f)
+              else Obs_export.add_json_string b (float_str f)
+          | Bool x -> Buffer.add_string b (if x then "true" else "false"))
+        fields;
+      Buffer.add_char b '}');
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Recording *)
+
+let log l ?(fields = []) msg =
+  if severity l >= Atomic.get threshold then begin
+    let ts = Obs_clock.now_ns () in
+    let s = Domain.DLS.get slot_key in
+    s.lines <- (ts, render ts l msg fields) :: s.lines
+  end
+
+let debug ?fields msg = log Debug ?fields msg
+let info ?fields msg = log Info ?fields msg
+let warn ?fields msg = log Warn ?fields msg
+let error ?fields msg = log Error ?fields msg
+
+(* ------------------------------------------------------------------ *)
+(* Flushing *)
+
+let all_slots () =
+  Mutex.lock slots_lock;
+  let s = !slots in
+  Mutex.unlock slots_lock;
+  s
+
+let pending () = List.exists (fun s -> s.lines <> []) (all_slots ())
+
+(* Taking a slot's lines is a single mutable-field swap; a line recorded
+   by another domain between the read and the write could in principle be
+   lost, but in practice each domain's lines are drained by that domain's
+   own flush or after a join (the pool flushes worker logs from the
+   caller once the parallel region completes). *)
+let flush () =
+  let gathered =
+    List.concat_map
+      (fun s ->
+        let l = s.lines in
+        s.lines <- [];
+        l)
+      (all_slots ())
+  in
+  if gathered <> [] then begin
+    let lines =
+      List.stable_sort (fun (a, _) (b, _) -> Int.compare a b) gathered
+    in
+    let out = Atomic.get sink in
+    List.iter (fun (_, line) -> out line) lines;
+    flush stderr
+  end
+
+let clear () = List.iter (fun s -> s.lines <- []) (all_slots ())

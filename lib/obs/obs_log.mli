@@ -1,0 +1,66 @@
+(** Structured, leveled logging with per-domain buffers.
+
+    Mirrors the {!Obs_metrics} shape: a log call renders the line into
+    the calling domain's private buffer (no locks, no interleaved bytes
+    between pool workers); {!flush} merges every domain's buffer in
+    timestamp order and hands the lines to the sink.  Timestamps come
+    from {!Obs_clock}, so lines from different domains sort correctly.
+
+    The module is quiet by default (threshold [Warn]); daemons and CLIs
+    opt into more with {!set_level}.  A disabled call costs one atomic
+    load and one branch. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+(** [set_level (Some l)] emits lines at [l] and above; [set_level None]
+    turns logging off entirely.  The default threshold is [Warn]. *)
+val set_level : level option -> unit
+
+val level : unit -> level option
+
+(** Parse a [--log-level] argument: debug, info, warn(ing), error, off. *)
+val level_of_string : string -> (level option, string) result
+
+(** [enabled l] — would a line at level [l] be recorded right now?  For
+    hoisting expensive field computation out of the common path. *)
+val enabled : level -> bool
+
+(** Output shape: logfmt ([ts=... level=... msg=... k=v]) or JSON lines
+    ([{"ts":...,"level":...,"msg":...,...}]). Default [Logfmt]. *)
+type format = Logfmt | Json
+
+val set_format : format -> unit
+val format : unit -> format
+
+type field_value = Str of string | Int of int | Float of float | Bool of bool
+type field = string * field_value
+
+(** [log l ?fields msg] records one line in the calling domain's buffer
+    (rendered immediately, stamped with {!Obs_clock.now_ns}).  Dropped
+    without rendering when [l] is below the threshold. *)
+val log : level -> ?fields:field list -> string -> unit
+
+val debug : ?fields:field list -> string -> unit
+val info : ?fields:field list -> string -> unit
+val warn : ?fields:field list -> string -> unit
+val error : ?fields:field list -> string -> unit
+
+(** [set_sink f] replaces the line sink (default: write to [stderr]).
+    [f] receives one rendered line, without a trailing newline. *)
+val set_sink : (string -> unit) -> unit
+
+(** [pending ()] — does any domain hold unflushed lines?  Cheap enough
+    to poll every daemon loop iteration. *)
+val pending : unit -> bool
+
+(** [flush ()] drains every domain's buffer, sorts the lines by their
+    nanosecond timestamps and writes them through the sink.  Call from
+    the owning side of a join (the pool flushes worker lines after each
+    parallel region) or on a daemon's loop; concurrent flushes from two
+    domains may interleave batches but never split a line. *)
+val flush : unit -> unit
+
+(** Drop all buffered lines without writing them (tests). *)
+val clear : unit -> unit

@@ -11,8 +11,9 @@
 
    Kinds:
    - counters: monotone int sums (merge: sum over slots);
-   - gauges: last-written float per domain (merge: sum over the slots that
-     ever wrote — in practice gauges are set from one domain);
+   - gauges: last-written float per domain, stamped with the monotonic
+     clock (merge: last-writer-wins across slots — the write with the
+     newest timestamp is the merged value);
    - histograms: fixed upper-bound buckets plus an overflow bucket, with a
      running sum of observations (merge: element-wise bucket sum; exact,
      order-independent — the qcheck suite pins merged-vs-sequential
@@ -72,6 +73,7 @@ type slot = {
   mutable counters : int array;  (* indexed by def id *)
   mutable gauges : float array;
   mutable gauge_set : bool array;
+  mutable gauge_ts : int array;  (* monotonic ns of the last set *)
   mutable hist : int array array;  (* def id -> bucket counts, [||] = unused *)
   mutable hist_sum : float array;
 }
@@ -87,6 +89,7 @@ let slot_key =
           counters = [||];
           gauges = [||];
           gauge_set = [||];
+          gauge_ts = [||];
           hist = [||];
           hist_sum = [||];
         }
@@ -144,10 +147,12 @@ let set_gauge g v =
     let s = Domain.DLS.get slot_key in
     if g >= Array.length s.gauges then begin
       s.gauges <- grow_float s.gauges (cap ());
-      s.gauge_set <- grow_bool s.gauge_set (cap ())
+      s.gauge_set <- grow_bool s.gauge_set (cap ());
+      s.gauge_ts <- grow_int s.gauge_ts (cap ())
     end;
     s.gauges.(g) <- v;
-    s.gauge_set.(g) <- true
+    s.gauge_set.(g) <- true;
+    s.gauge_ts.(g) <- Obs_clock.now_ns ()
   end
 
 type histogram = int
@@ -224,10 +229,12 @@ let value_in_slot (d : def) s =
       let sum = if d.id < Array.length s.hist_sum then s.hist_sum.(d.id) else 0.0 in
       Hist_v { buckets; counts; sum }
 
+(* Pairwise merge for additive kinds; gauges take the LWW path in
+   [merged_value] instead and never reach this function. *)
 let merge a b =
   match (a, b) with
   | Counter_v x, Counter_v y -> Counter_v (x + y)
-  | Gauge_v x, Gauge_v y -> Gauge_v (x +. y)
+  | Gauge_v _, Gauge_v y -> Gauge_v y
   | Hist_v x, Hist_v y ->
       Hist_v
         {
@@ -245,42 +252,61 @@ let zero (d : def) =
   | Hist buckets ->
       Hist_v { buckets; counts = Array.make (Array.length buckets + 1) 0; sum = 0.0 }
 
+(* Gauges merge last-writer-wins: summing per-domain last values is
+   meaningless once two domains set the same gauge (queue depth reported
+   by several workers would double-count).  The newest timestamp wins;
+   a same-ns tie (below clock resolution) is broken arbitrarily. *)
+let merged_value (d : def) slots =
+  match d.kind with
+  | Gauge ->
+      let best_ts = ref min_int and best = ref 0.0 in
+      List.iter
+        (fun s ->
+          if
+            d.id < Array.length s.gauges
+            && s.gauge_set.(d.id)
+            && s.gauge_ts.(d.id) >= !best_ts
+          then begin
+            best_ts := s.gauge_ts.(d.id);
+            best := s.gauges.(d.id)
+          end)
+        slots;
+      Gauge_v !best
+  | Counter | Hist _ ->
+      List.fold_left (fun acc s -> merge acc (value_in_slot d s)) (zero d) slots
+
 let snapshot () =
   let slots = all_slots () in
   Array.to_list (defs ())
-  |> List.map (fun d ->
-         ( d.name,
-           List.fold_left (fun acc s -> merge acc (value_in_slot d s)) (zero d)
-             slots ))
+  |> List.map (fun d -> (d.name, merged_value d slots))
 
 let find name =
   let d = defs () in
   let slots = all_slots () in
   let rec go i =
     if i >= Array.length d then None
-    else if String.equal d.(i).name name then
-      Some
-        (List.fold_left
-           (fun acc s -> merge acc (value_in_slot d.(i) s))
-           (zero d.(i)) slots)
+    else if String.equal d.(i).name name then Some (merged_value d.(i) slots)
     else go (i + 1)
   in
   go 0
 
 (* The cumulative count crosses [q * total] inside some bucket; interpolate
    linearly between that bucket's bounds.  The histogram cannot resolve
-   above its last bound, so overflow observations report the last bound —
-   an under-estimate the caller accepts by choosing the bucket range. *)
+   above its last bound, so any mass in the overflow bucket reports the
+   last bound — an under-estimate the caller accepts by choosing the
+   bucket range; no extrapolation past it.  Degenerate shapes (no
+   observations, or a histogram with no finite buckets at all) are [None]
+   rather than a crash or a divide-by-zero. *)
 let quantile v q =
   match v with
   | Counter_v _ | Gauge_v _ -> None
   | Hist_v { buckets; counts; _ } ->
       let total = Array.fold_left ( + ) 0 counts in
-      if total = 0 then None
+      let nb = Array.length buckets in
+      if total = 0 || nb = 0 then None
       else begin
         let q = Float.max 0.0 (Float.min 1.0 q) in
         let rank = q *. float_of_int total in
-        let nb = Array.length buckets in
         let rec go i cum =
           if i >= nb then Some buckets.(nb - 1)
           else
@@ -312,6 +338,7 @@ let clear () =
       Array.fill s.counters 0 (Array.length s.counters) 0;
       Array.fill s.gauges 0 (Array.length s.gauges) 0.0;
       Array.fill s.gauge_set 0 (Array.length s.gauge_set) false;
+      Array.fill s.gauge_ts 0 (Array.length s.gauge_ts) 0;
       Array.iter (fun h -> Array.fill h 0 (Array.length h) 0) s.hist;
       Array.fill s.hist_sum 0 (Array.length s.hist_sum) 0.0)
     (all_slots ())

@@ -22,9 +22,10 @@ val incr : counter -> unit
 
 val gauge : string -> gauge
 
-(** [set_gauge g v] records [v] in the calling domain's slot; the merged
-    value is the sum over domains that ever set it (in practice gauges
-    are set from a single domain). *)
+(** [set_gauge g v] records [v] in the calling domain's slot, stamped
+    with the monotonic clock; the merged value is last-writer-wins
+    across domains (the set with the newest timestamp), so several
+    domains may report the same gauge without double-counting. *)
 val set_gauge : gauge -> float -> unit
 
 (** Default histogram buckets: powers of two 1, 2, 4, ..., 65536. *)
@@ -58,8 +59,11 @@ val find : string -> value option
 (** [quantile v q] estimates the [q]-quantile ([0.0 .. 1.0]) of a
     [Hist_v] from its bucket counts: the bucket where the cumulative
     count crosses [q * total], linearly interpolated between its bounds.
-    Observations above the last bound report the last bound.  [None] for
-    counters, gauges and empty histograms. *)
+    Observations above the last bound report the last bound, even when
+    the entire mass sits in the overflow bucket — never an extrapolation
+    past it.  [None] for counters, gauges, histograms with no
+    observations, and degenerate [Hist_v] values with an empty bucket
+    array. *)
 val quantile : value -> float -> float option
 
 (** [per_domain ()] returns each domain's unmerged slot, sorted by domain

@@ -1,0 +1,103 @@
+(* Slow-query flight recorder: a preallocated power-of-two ring of entry
+   records claimed with one fetch-and-add.
+
+   The daemon records a frame by overwriting the mutable fields of the
+   next entry in the ring — no allocation, no lock, no branch on fullness
+   (old entries are simply overwritten).  Entries are plain records
+   rather than packed ints so a dump can read them without decoding; the
+   recorder is written from the daemon's single event-loop domain, and a
+   concurrent dump (the D verb runs in the same loop, so in practice only
+   tests race) at worst observes one torn entry, which the trace viewer
+   tolerates. *)
+
+type entry = {
+  mutable id : int;  (* per-daemon frame trace id; 0 = never written *)
+  mutable verb : char;
+  mutable batch : int;
+  mutable queue : int;
+  mutable ts_ns : int;  (* frame arrival, monotonic *)
+  mutable dur_ns : int;
+  mutable sampled : bool;  (* true: 1-in-N sample below the threshold *)
+}
+
+type t = {
+  entries : entry array;
+  mask : int;
+  cursor : int Atomic.t;  (* total entries ever recorded *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(cap = 4096) () =
+  let cap = next_pow2 (max 1 cap) in
+  {
+    entries =
+      Array.init cap (fun _ ->
+          { id = 0; verb = '?'; batch = 0; queue = 0; ts_ns = 0; dur_ns = 0;
+            sampled = false });
+    mask = cap - 1;
+    cursor = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.entries
+let recorded t = Atomic.get t.cursor
+
+let record t ~id ~verb ~batch ~queue ~ts_ns ~dur_ns ~sampled =
+  let i = Atomic.fetch_and_add t.cursor 1 land t.mask in
+  let e = t.entries.(i) in
+  e.id <- id;
+  e.verb <- verb;
+  e.batch <- batch;
+  e.queue <- queue;
+  e.ts_ns <- ts_ns;
+  e.dur_ns <- dur_ns;
+  e.sampled <- sampled
+
+let clear t =
+  Atomic.set t.cursor 0;
+  Array.iter (fun e -> e.id <- 0) t.entries
+
+(* Oldest-first snapshot: the cursor tells us how far the ring has
+   wrapped, so live entries are the [min total cap] before it. *)
+let entries t =
+  let total = Atomic.get t.cursor in
+  let cap = Array.length t.entries in
+  let n = min total cap in
+  List.init n (fun k ->
+      let e = t.entries.((total - n + k) land t.mask) in
+      { e with id = e.id } (* copy, so callers can't mutate the ring *))
+
+(* Chrome trace_event JSON: one complete ('X') event per entry, named by
+   verb, on a synthetic "frames" thread.  Timestamps are rebased to the
+   oldest entry so the viewer does not start 10^6 seconds in. *)
+let verb_name = function
+  | 'R' -> "reach"
+  | 'P' -> "match"
+  | 'S' -> "stats"
+  | 'M' -> "metrics"
+  | 'X' -> "shutdown"
+  | 'D' -> "dump"
+  | _ -> "frame"
+
+let to_chrome_json t =
+  let es = entries t in
+  let t0 = match es with [] -> 0 | e :: _ -> e.ts_ns in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  Buffer.add_string b
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"frames\"}}";
+  List.iter
+    (fun e ->
+      Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":%d,\"verb\":\"%c\",\"batch\":%d,\"queue_depth\":%d,\"slow\":%b}}"
+           (verb_name e.verb)
+           (float_of_int (e.ts_ns - t0) /. 1e3)
+           (float_of_int e.dur_ns /. 1e3)
+           e.id e.verb e.batch e.queue (not e.sampled)))
+    es;
+  Buffer.add_string b "]\n";
+  Buffer.contents b

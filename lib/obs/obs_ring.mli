@@ -1,0 +1,54 @@
+(** Slow-query flight recorder: a preallocated lock-free ring buffer.
+
+    The daemon records one {!entry} per interesting frame (every frame
+    above the slow threshold, plus a 1-in-N sample below it) by
+    overwriting preallocated records — no allocation on the record path,
+    one [fetch_and_add] to claim a slot, old entries silently
+    overwritten when the ring wraps.
+
+    Written from the daemon's single event-loop domain; a dump taken
+    while recording continues may observe at most one torn entry. *)
+
+type entry = {
+  mutable id : int;  (** per-daemon frame trace id (1-based) *)
+  mutable verb : char;  (** protocol tag: R P S M X D, or '?' (malformed) *)
+  mutable batch : int;  (** pairs in the frame, 0 for non-batch verbs *)
+  mutable queue : int;  (** items in the dispatch cycle that served it *)
+  mutable ts_ns : int;  (** frame arrival, monotonic ns *)
+  mutable dur_ns : int;  (** parse-to-reply-enqueued latency *)
+  mutable sampled : bool;  (** [true]: below-threshold 1-in-N sample *)
+}
+
+type t
+
+(** [create ?cap ()] preallocates a ring of [cap] entries (rounded up to
+    a power of two; default 4096). *)
+val create : ?cap:int -> unit -> t
+
+val capacity : t -> int
+
+(** Total entries ever recorded (≥ the number still held). *)
+val recorded : t -> int
+
+val record :
+  t ->
+  id:int ->
+  verb:char ->
+  batch:int ->
+  queue:int ->
+  ts_ns:int ->
+  dur_ns:int ->
+  sampled:bool ->
+  unit
+
+(** Oldest-first copies of the live entries. *)
+val entries : t -> entry list
+
+(** Chrome trace_event JSON (Perfetto-loadable): one complete event per
+    entry named by verb, with trace id, batch size, queue depth and the
+    slow/sampled flag in [args]; timestamps rebased to the oldest
+    entry. *)
+val to_chrome_json : t -> string
+
+(** Forget all entries (tests, post-dump reset). *)
+val clear : t -> unit

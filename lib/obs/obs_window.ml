@@ -1,0 +1,112 @@
+(* Sliding-window views over the merged metrics registry.
+
+   The registry's counters and histograms are lifetime aggregates; a
+   daemon wants "qps over the last 10s" and "p99 over the last 10s".
+   A window keeps a small ring of (timestamp, merged value) samples taken
+   by [tick] — the owner calls it from its event loop, and samples are
+   only stored every [window/slots] to bound memory — and answers rate /
+   quantile questions from the delta between the current merged value and
+   the oldest sample still inside the window.
+
+   Deltas are clamped at zero bucket-by-bucket so a concurrent
+   [Obs_metrics.clear] (tests, bench reruns) degrades to an empty window
+   rather than negative counts. *)
+
+type sample = { ts : int; v : Obs_metrics.value }
+
+type t = {
+  metric : string;
+  window_ns : int;
+  period_ns : int;  (* min spacing between stored samples *)
+  ring : sample option array;
+  mutable taken : int;  (* samples ever stored *)
+}
+
+let create ?(window_s = 10.0) ?(slots = 10) metric =
+  let slots = max 1 slots in
+  let window_ns = int_of_float (window_s *. 1e9) in
+  {
+    metric;
+    window_ns;
+    period_ns = max 1 (window_ns / slots);
+    ring = Array.make slots None;
+    taken = 0;
+  }
+
+let window_seconds t = float_of_int t.window_ns /. 1e9
+
+let latest t =
+  if t.taken = 0 then None
+  else t.ring.((t.taken - 1) mod Array.length t.ring)
+
+let tick ?now_ns t =
+  let now = match now_ns with Some n -> n | None -> Obs_clock.now_ns () in
+  let due =
+    match latest t with None -> true | Some s -> now - s.ts >= t.period_ns
+  in
+  if due then
+    match Obs_metrics.find t.metric with
+    | None -> ()
+    | Some v ->
+        t.ring.(t.taken mod Array.length t.ring) <- Some { ts = now; v };
+        t.taken <- t.taken + 1
+
+(* Oldest stored sample still inside the window; when every sample has
+   aged out (idle daemon), fall back to the newest one — the delta since
+   it is then zero or near-zero, which is the honest answer. *)
+let baseline t now =
+  let n = Array.length t.ring in
+  let live = min t.taken n in
+  let rec go k =
+    if k >= live then latest t
+    else
+      match t.ring.((t.taken - live + k) mod n) with
+      | Some s when now - s.ts <= t.window_ns -> Some s
+      | _ -> go (k + 1)
+  in
+  go 0
+
+let hist_delta (cur : Obs_metrics.value) (base : Obs_metrics.value) =
+  match (cur, base) with
+  | Hist_v c, Hist_v b when Array.length c.counts = Array.length b.counts ->
+      Some
+        (Obs_metrics.Hist_v
+           {
+             buckets = c.buckets;
+             counts = Array.mapi (fun i x -> max 0 (x - b.counts.(i))) c.counts;
+             sum = Float.max 0.0 (c.sum -. b.sum);
+           })
+  | _ -> None
+
+let total_of (v : Obs_metrics.value) =
+  match v with
+  | Counter_v n -> Some n
+  | Hist_v { counts; _ } -> Some (Array.fold_left ( + ) 0 counts)
+  | Gauge_v _ -> None
+
+(* Events per second over the window: counter delta, or histogram
+   observation-count delta, divided by the age of the baseline sample. *)
+let rate ?now_ns t =
+  let now = match now_ns with Some n -> n | None -> Obs_clock.now_ns () in
+  match (Obs_metrics.find t.metric, baseline t now) with
+  | Some cur, Some base when now > base.ts -> (
+      match (total_of cur, total_of base.v) with
+      | Some c, Some b ->
+          let dt = float_of_int (now - base.ts) /. 1e9 in
+          Some (Float.max 0.0 (float_of_int (c - b)) /. dt)
+      | _ -> None)
+  | _ -> None
+
+(* Quantile of the observations that happened inside the window. *)
+let quantile ?now_ns t q =
+  let now = match now_ns with Some n -> n | None -> Obs_clock.now_ns () in
+  match (Obs_metrics.find t.metric, baseline t now) with
+  | Some cur, Some base -> (
+      match hist_delta cur base.v with
+      | Some d -> Obs_metrics.quantile d q
+      | None -> None)
+  | _ -> None
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.taken <- 0

@@ -1,0 +1,36 @@
+(** Sliding-window rate/quantile views over the merged metrics registry.
+
+    Counters and histograms in {!Obs_metrics} are lifetime aggregates; a
+    window turns them into "over the last 10 seconds" answers.  The owner
+    calls {!tick} from its event loop (samples are stored at most every
+    [window/slots], so ticking every iteration is cheap) and reads
+    {!rate} / {!quantile}, which are computed from the delta between the
+    current merged value and the oldest sample still inside the window.
+
+    [?now_ns] overrides the clock for deterministic tests. *)
+
+type t
+
+(** [create ?window_s ?slots metric] — a window over the registered
+    metric named [metric] (default 10 s, 10 samples).  The metric need
+    not exist yet; ticks before registration store nothing. *)
+val create : ?window_s:float -> ?slots:int -> string -> t
+
+val window_seconds : t -> float
+
+(** Sample the metric's current merged value if the last stored sample
+    is at least [window/slots] old (no-op otherwise). *)
+val tick : ?now_ns:int -> t -> unit
+
+(** Events per second over the window: counter delta, or histogram
+    observation-count delta, per elapsed second since the baseline
+    sample.  [None] until a first sample exists, or for gauges. *)
+val rate : ?now_ns:int -> t -> float option
+
+(** [quantile t q] — {!Obs_metrics.quantile} of the histogram delta
+    accumulated inside the window.  [None] for non-histograms or when
+    nothing was observed in the window. *)
+val quantile : ?now_ns:int -> t -> float -> float option
+
+(** Drop all samples (tests, bench reruns). *)
+val clear : t -> unit

@@ -182,6 +182,9 @@ let parallel_for_ranges pool ?chunk ~n body =
       | Some j when j == job -> pool.current <- None
       | Some _ | None -> ());
       Mutex.unlock pool.pool_lock;
+      (* Worker domains never flush their own log buffers; the join above
+         makes their lines visible, so drain them from the caller. *)
+      if Obs.Log.pending () then Obs.Log.flush ();
       match job.exn with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()

@@ -52,7 +52,9 @@ val parallel_for : t -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for_ranges pool ~n f] is {!parallel_for} at chunk
     granularity: [f lo hi] must process indices [lo .. hi-1].  Use it when
     per-chunk scratch (a reusable worklist, a buffer) makes the per-index
-    closure too expensive. *)
+    closure too expensive.  After the join, any {!Obs.Log} lines buffered
+    by worker domains during the region are flushed from the caller —
+    workers never flush themselves. *)
 val parallel_for_ranges : t -> ?chunk:int -> n:int -> (int -> int -> unit) -> unit
 
 (** [parallel_map pool f arr] is [Array.map f arr] with the applications

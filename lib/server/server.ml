@@ -17,8 +17,15 @@ let m_frames = Obs.counter "server.frames"
 let m_malformed = Obs.counter "server.malformed"
 let m_queries = Obs.counter "server.queries"
 let m_batches = Obs.counter "server.batches"
+let m_scrapes = Obs.counter "server.scrapes"
 let h_batch = Obs.histogram "server.batch_size"
 let h_queue = Obs.histogram "server.queue_depth"
+
+(* Point-in-time gauges, refreshed once per loop cycle; their merge is
+   last-writer-wins, so a future multi-domain server can refresh them
+   from any domain without double-counting. *)
+let g_conns = Obs.gauge "server.connections_open"
+let g_queue = Obs.gauge "server.queue_depth_last"
 
 (* 1 us .. ~1 s in powers of two; per-frame turnaround. *)
 let h_latency =
@@ -170,16 +177,28 @@ type state = {
   max_frame : int;
   queue_max : int;
   batch_max : int;
-  log : string -> unit;
   started_ns : int;
+  slow_ns : int;  (* flight-recorder threshold *)
+  sample_every : int;  (* 1-in-N below-threshold sampling; 0 = off *)
+  flight : Obs.Ring.t;
+  flight_file : string;  (* SIGUSR1 dump target *)
+  w_queries : Obs.Window.t;  (* rolling qps *)
+  w_latency : Obs.Window.t;  (* rolling p50/p99 *)
+  frame_hook : (SP.request -> unit) option;  (* test-only latency injection *)
   mutable conns : conn list;
+  mutable hconns : conn list;  (* HTTP scrape connections, one-shot *)
   mutable lfds : Unix.file_descr list;
+  mutable http_lfds : Unix.file_descr list;
+  mutable ready : bool;  (* listeners bound, engine resident *)
   mutable draining : bool;
   mutable accepted : int;
+  mutable scrapes : int;
   mutable frames : int;
   mutable malformed : int;
   mutable queries : int;
   mutable batches : int;
+  mutable next_trace : int;  (* per-frame trace ids, 1-based *)
+  mutable last_depth : int;  (* items in the last dispatch cycle *)
   mutable cleanup : (unit -> unit) list;  (* unlink unix socket paths *)
 }
 
@@ -216,19 +235,73 @@ let stats_text st =
   let uptime = Obs.Clock.elapsed_s st.started_ns in
   line "uptime_s: %.1f" uptime;
   line "qps: %.1f" (float_of_int st.queries /. Float.max uptime 1e-9);
+  let win = Printf.sprintf "%.0fs" (Obs.Window.window_seconds st.w_queries) in
+  line "qps_%s: %.1f" win
+    (Option.value (Obs.Window.rate st.w_queries) ~default:0.0);
+  let wq p =
+    match Obs.Window.quantile st.w_latency p with
+    | None -> "n/a"
+    | Some x -> Printf.sprintf "%.0f" x
+  in
+  line "latency_us_%s: p50 %s, p99 %s" win (wq 0.5) (wq 0.99);
+  line "queue_depth: %d" st.last_depth;
+  line "scrapes: %d" st.scrapes;
+  line "flight: %d recorded, %d capacity, slow_us %.0f"
+    (Obs.Ring.recorded st.flight)
+    (Obs.Ring.capacity st.flight)
+    (float_of_int st.slow_ns /. 1e3);
+  let gc = Gc.quick_stat () in
+  line "gc: minor %d, major %d, heap_words %d" gc.minor_collections
+    gc.major_collections gc.heap_words;
+  Buffer.contents b
+
+(* The Prometheus dump plus the rolling-window families the lifetime
+   registry cannot answer: current qps and current latency quantiles.
+   Served by both the 'M' verb and GET /metrics. *)
+let metrics_text st =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Obs.prometheus ());
+  let win = Printf.sprintf "%.0fs" (Obs.Window.window_seconds st.w_queries) in
+  let gauge name v =
+    Buffer.add_string b
+      (Printf.sprintf "# TYPE %s gauge\n%s %s\n" name name
+         (Obs_export.float_str v))
+  in
+  gauge
+    (Printf.sprintf "qpgc_server_qps_%s" win)
+    (Option.value (Obs.Window.rate st.w_queries) ~default:0.0);
+  gauge
+    (Printf.sprintf "qpgc_server_latency_us_p50_%s" win)
+    (Option.value (Obs.Window.quantile st.w_latency 0.5) ~default:0.0);
+  gauge
+    (Printf.sprintf "qpgc_server_latency_us_p99_%s" win)
+    (Option.value (Obs.Window.quantile st.w_latency 0.99) ~default:0.0);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* The parse -> eval -> reply cycle *)
 
 (* Work discovered during the parse phase, in per-connection arrival
-   order.  [Slice] points into the cycle's coalesced answer array. *)
-type item =
-  | Ready of conn * SP.response * int  (* response, start ns *)
-  | Slice of conn * int * int * int  (* offset, length, start ns *)
+   order.  [Slice] points into the cycle's coalesced answer array.  Every
+   frame — well-formed or not — carries a [meta] with its daemon-unique
+   trace id, so the flight recorder can name it. *)
+type meta = { trace : int; verb : char; batch : int }
 
-let handle_request st items pairs_rev pairs_len c req t0 =
+type item =
+  | Ready of conn * SP.response * int * meta  (* response, start ns *)
+  | Slice of conn * int * int * int * meta  (* offset, length, start ns *)
+
+let verb_char = function
+  | SP.Reach _ -> 'R'
+  | SP.Match _ -> 'P'
+  | SP.Stats -> 'S'
+  | SP.Metrics -> 'M'
+  | SP.Dump -> 'D'
+  | SP.Shutdown -> 'X'
+
+let handle_request st items pairs_rev pairs_len c req t0 m =
   let push i = items := i :: !items in
+  (match st.frame_hook with Some f -> f req | None -> ());
   match req with
   | SP.Reach pairs ->
       let bound = st.engine.node_bound in
@@ -243,12 +316,12 @@ let handle_request st items pairs_rev pairs_len c req t0 =
                SP.Error
                  (Printf.sprintf "query %d: node id out of range (node count %d)"
                     !bad bound),
-               t0 ))
+               t0, m ))
       else begin
         let off = !pairs_len in
         pairs_rev := pairs :: !pairs_rev;
         pairs_len := off + Array.length pairs;
-        push (Slice (c, off, Array.length pairs, t0))
+        push (Slice (c, off, Array.length pairs, t0, m))
       end
   | SP.Match p -> (
       match st.engine.eval_pattern with
@@ -258,7 +331,7 @@ let handle_request st items pairs_rev pairs_len c req t0 =
                ( c,
                  SP.Error
                    "pattern queries are not supported over a bare index snapshot",
-                 t0 ))
+                 t0, m ))
       | Some f ->
           let resp =
             match f p with
@@ -267,13 +340,15 @@ let handle_request st items pairs_rev pairs_len c req t0 =
             | exception e ->
                 SP.Error ("pattern evaluation failed: " ^ Printexc.to_string e)
           in
-          push (Ready (c, resp, t0)))
-  | SP.Stats -> push (Ready (c, SP.Text (stats_text st), t0))
-  | SP.Metrics -> push (Ready (c, SP.Text (Obs.prometheus ()), t0))
+          push (Ready (c, resp, t0, m)))
+  | SP.Stats -> push (Ready (c, SP.Text (stats_text st), t0, m))
+  | SP.Metrics -> push (Ready (c, SP.Text (metrics_text st), t0, m))
+  | SP.Dump ->
+      push (Ready (c, SP.Text (Obs.Ring.to_chrome_json st.flight), t0, m))
   | SP.Shutdown ->
-      st.log "shutdown requested by client";
+      Obs.Log.info "draining" ~fields:[ ("reason", Obs.Log.Str "shutdown verb") ];
       st.draining <- true;
-      push (Ready (c, SP.Text "draining", t0))
+      push (Ready (c, SP.Text "draining", t0, m))
 
 let parse_conn st items pairs_rev pairs_len c =
   if Buffer.length c.inbuf > 0 && not c.closing then begin
@@ -282,6 +357,10 @@ let parse_conn st items pairs_rev pairs_len c =
     let pos = ref 0 in
     let parsed = ref 0 in
     let stop = ref false in
+    let fresh_meta verb batch =
+      st.next_trace <- st.next_trace + 1;
+      { trace = st.next_trace; verb; batch }
+    in
     while (not !stop) && !parsed < st.queue_max do
       match SP.decode_request ~max_frame:st.max_frame data ~pos:!pos with
       | None -> stop := true
@@ -291,11 +370,18 @@ let parse_conn st items pairs_rev pairs_len c =
           | SP.Malformed msg ->
               st.malformed <- st.malformed + 1;
               Obs.incr m_malformed;
-              items := Ready (c, SP.Error ("malformed frame: " ^ msg), t0) :: !items
+              items :=
+                Ready
+                  (c, SP.Error ("malformed frame: " ^ msg), t0, fresh_meta '?' 0)
+                :: !items
           | SP.Frame req ->
               st.frames <- st.frames + 1;
               Obs.incr m_frames;
-              handle_request st items pairs_rev pairs_len c req t0);
+              let batch =
+                match req with SP.Reach pairs -> Array.length pairs | _ -> 0
+              in
+              let m = fresh_meta (verb_char req) batch in
+              handle_request st items pairs_rev pairs_len c req t0 m);
           pos := next;
           incr parsed
       | exception SP.Parse_error (_, msg) ->
@@ -303,7 +389,9 @@ let parse_conn st items pairs_rev pairs_len c =
              connection — the stream cannot be resynchronised. *)
           st.malformed <- st.malformed + 1;
           Obs.incr m_malformed;
-          items := Ready (c, SP.Error msg, Obs.Clock.now_ns ()) :: !items;
+          items :=
+            Ready (c, SP.Error msg, Obs.Clock.now_ns (), fresh_meta '?' 0)
+            :: !items;
           c.closing <- true;
           pos := len;
           stop := true
@@ -332,16 +420,30 @@ let run_batches st pairs answers =
     off := !off + k
   done
 
-let deliver items answers =
+(* Flight-recorder policy: every frame at or above the slow threshold is
+   recorded; below it a deterministic 1-in-N sample (by trace id) keeps a
+   baseline of normal traffic in the ring. *)
+let record_flight st m ~t0 ~dur_ns ~depth =
+  if dur_ns >= st.slow_ns then
+    Obs.Ring.record st.flight ~id:m.trace ~verb:m.verb ~batch:m.batch
+      ~queue:depth ~ts_ns:t0 ~dur_ns ~sampled:false
+  else if st.sample_every > 0 && m.trace mod st.sample_every = 0 then
+    Obs.Ring.record st.flight ~id:m.trace ~verb:m.verb ~batch:m.batch
+      ~queue:depth ~ts_ns:t0 ~dur_ns ~sampled:true
+
+let deliver st items answers ~depth =
   List.iter
     (fun item ->
-      let c, resp, t0 =
+      let c, resp, t0, m =
         match item with
-        | Ready (c, r, t0) -> (c, r, t0)
-        | Slice (c, off, len, t0) -> (c, SP.Answers (Array.sub answers off len), t0)
+        | Ready (c, r, t0, m) -> (c, r, t0, m)
+        | Slice (c, off, len, t0, m) ->
+            (c, SP.Answers (Array.sub answers off len), t0, m)
       in
       SP.add_response c.out resp;
-      Obs.observe h_latency (Obs.Clock.ns_to_us (Obs.Clock.now_ns () - t0)))
+      let dur_ns = Obs.Clock.now_ns () - t0 in
+      Obs.observe h_latency (Obs.Clock.ns_to_us dur_ns);
+      record_flight st m ~t0 ~dur_ns ~depth)
     items
 
 let process_cycle st =
@@ -350,6 +452,11 @@ let process_cycle st =
   let pairs_len = ref 0 in
   List.iter (fun c -> parse_conn st items pairs_rev pairs_len c) st.conns;
   let items = List.rev !items in
+  let depth = List.length items in
+  if depth > 0 then begin
+    st.last_depth <- depth;
+    Obs.set_gauge g_queue (float_of_int depth)
+  end;
   let answers =
     if !pairs_len = 0 then [||]
     else begin
@@ -359,7 +466,7 @@ let process_cycle st =
       answers
     end
   in
-  deliver items answers
+  deliver st items answers ~depth
 
 (* ------------------------------------------------------------------ *)
 (* Sockets *)
@@ -379,7 +486,16 @@ let resolve_host host =
       in
       first hits)
 
-let open_listener st l =
+let open_listener st ~proto l =
+  let note transport addr =
+    Obs.Log.info "listening"
+      ~fields:
+        [
+          ("proto", Obs.Log.Str proto);
+          ("transport", Obs.Log.Str transport);
+          ("addr", Obs.Log.Str addr);
+        ]
+  in
   match l with
   | Unix_socket path ->
       (* A stale socket file from a crashed daemon would make bind fail;
@@ -394,7 +510,7 @@ let open_listener st l =
       st.cleanup <-
         (fun () -> try Unix.unlink path with Unix.Unix_error _ -> ())
         :: st.cleanup;
-      st.log (Printf.sprintf "listening on unix socket %s" path);
+      note "unix" path;
       fd
   | Tcp { host; port } ->
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -402,16 +518,14 @@ let open_listener st l =
       Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
       Unix.listen fd 64;
       Unix.set_nonblock fd;
-      st.log (Printf.sprintf "listening on tcp %s:%d" host port);
+      note "tcp" (Printf.sprintf "%s:%d" host port);
       fd
 
-let rec accept_all st lfd =
+let rec accept_all st lfd ~http =
   match Unix.accept ~cloexec:true lfd with
   | fd, _addr ->
       Unix.set_nonblock fd;
-      st.accepted <- st.accepted + 1;
-      Obs.incr m_connections;
-      st.conns <-
+      let c =
         {
           fd;
           inbuf = Buffer.create 4096;
@@ -419,11 +533,55 @@ let rec accept_all st lfd =
           out_ofs = 0;
           closing = false;
         }
-        :: st.conns;
-      accept_all st lfd
+      in
+      if http then st.hconns <- c :: st.hconns
+      else begin
+        st.accepted <- st.accepted + 1;
+        Obs.incr m_connections;
+        st.conns <- c :: st.conns
+      end;
+      accept_all st lfd ~http
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-      accept_all st lfd
+      accept_all st lfd ~http
+
+(* One-shot HTTP handling for the scrape plane: parse once the header
+   terminator is in, answer, close.  Routed entirely off the request
+   path so a scraper can never touch protocol state. *)
+let http_route st (r : Server_http.request) =
+  if r.meth <> "GET" then (405, "text/plain; charset=utf-8", "only GET\n")
+  else
+    match r.path with
+    | "/metrics" ->
+        (200, "text/plain; version=0.0.4; charset=utf-8", metrics_text st)
+    | "/healthz" -> (200, "text/plain; charset=utf-8", "ok\n")
+    | "/readyz" ->
+        if st.draining then (503, "text/plain; charset=utf-8", "draining\n")
+        else if st.ready then (200, "text/plain; charset=utf-8", "ready\n")
+        else (503, "text/plain; charset=utf-8", "starting\n")
+    | _ -> (404, "text/plain; charset=utf-8", "not found\n")
+
+let process_http st =
+  List.iter
+    (fun c ->
+      if (not c.closing) && Buffer.length c.out = 0 then
+        match Server_http.parse (Buffer.contents c.inbuf) with
+        | Server_http.Incomplete -> ()
+        | Server_http.Bad msg ->
+            Buffer.add_string c.out
+              (Server_http.response ~status:400 (msg ^ "\n"));
+            c.closing <- true
+        | Server_http.Request r ->
+            let status, content_type, body = http_route st r in
+            st.scrapes <- st.scrapes + 1;
+            Obs.incr m_scrapes;
+            Obs.Log.debug "scrape"
+              ~fields:
+                [ ("path", Obs.Log.Str r.path); ("status", Obs.Log.Int status) ];
+            Buffer.add_string c.out
+              (Server_http.response ~status ~content_type body);
+            c.closing <- true)
+    st.hconns
 
 (* One scratch buffer is enough: the loop is single-threaded. *)
 let read_scratch = Bytes.create 65536
@@ -464,73 +622,118 @@ let flush_conn c =
   end
 
 let sweep st =
-  let closed, live =
-    List.partition (fun c -> c.closing && out_pending c = 0) st.conns
+  let close_done conns =
+    let closed, live =
+      List.partition (fun c -> c.closing && out_pending c = 0) conns
+    in
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      closed;
+    live
   in
-  List.iter
-    (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-    closed;
-  st.conns <- live
+  st.conns <- close_done st.conns;
+  st.hconns <- close_done st.hconns
+
+let dump_flight st =
+  match open_out st.flight_file with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Obs.Ring.to_chrome_json st.flight));
+      Obs.Log.info "flight recorder dumped"
+        ~fields:
+          [
+            ("path", Obs.Log.Str st.flight_file);
+            ( "entries",
+              Obs.Log.Int
+                (min (Obs.Ring.recorded st.flight) (Obs.Ring.capacity st.flight))
+            );
+          ]
+  | exception Sys_error e ->
+      Obs.Log.error "flight dump failed" ~fields:[ ("error", Obs.Log.Str e) ]
 
 (* ------------------------------------------------------------------ *)
 (* Main loop *)
 
-let serve_loop st stop =
+let serve_loop st stop usr1 =
   let rec go () =
-    if st.draining && st.lfds <> [] then begin
+    if st.draining && (st.lfds <> [] || st.http_lfds <> []) then begin
       List.iter
         (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-        st.lfds;
-      st.lfds <- []
+        (st.lfds @ st.http_lfds);
+      st.lfds <- [];
+      st.http_lfds <- []
     end;
-    if st.draining && st.conns = [] then ()
+    if st.draining && st.conns = [] && st.hconns = [] then ()
     else begin
       let backlog = List.exists (pending_frame st) st.conns in
+      let readable_conns conns =
+        List.filter_map
+          (fun c ->
+            if
+              (not c.closing) && (not st.draining)
+              && out_pending c < out_high_water
+            then Some c.fd
+            else None)
+          conns
+      in
       let rfds =
-        st.lfds
-        @ List.filter_map
-            (fun c ->
-              if
-                (not c.closing) && (not st.draining)
-                && out_pending c < out_high_water
-              then Some c.fd
-              else None)
-            st.conns
+        st.lfds @ st.http_lfds @ readable_conns st.conns
+        @ readable_conns st.hconns
       in
       let wfds =
         List.filter_map
           (fun c -> if out_pending c > 0 then Some c.fd else None)
-          st.conns
+          (st.conns @ st.hconns)
       in
       let timeout = if backlog then 0.0 else if st.draining then 0.05 else 0.25 in
       (match Unix.select rfds wfds [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | readable, _, _ ->
           List.iter
-            (fun fd -> if List.memq fd st.lfds then accept_all st fd)
+            (fun fd ->
+              if List.memq fd st.lfds then accept_all st fd ~http:false
+              else if List.memq fd st.http_lfds then accept_all st fd ~http:true)
             readable;
           List.iter
             (fun c -> if List.memq c.fd readable then read_conn c)
-            st.conns);
+            (st.conns @ st.hconns));
       if !stop && not st.draining then begin
-        st.log "signal received; draining";
+        Obs.Log.info "draining" ~fields:[ ("reason", Obs.Log.Str "signal") ];
         st.draining <- true
       end;
+      if !usr1 then begin
+        usr1 := false;
+        dump_flight st
+      end;
       process_cycle st;
-      List.iter flush_conn st.conns;
-      if st.draining then
+      process_http st;
+      Obs.Window.tick st.w_queries;
+      Obs.Window.tick st.w_latency;
+      Obs.set_gauge g_conns (float_of_int (List.length st.conns));
+      List.iter flush_conn (st.conns @ st.hconns);
+      if st.draining then begin
         List.iter
           (fun c -> if not (pending_frame st c) then c.closing <- true)
           st.conns;
+        List.iter (fun c -> c.closing <- true) st.hconns
+      end;
       sweep st;
+      if Obs.Log.pending () then Obs.Log.flush ();
       go ()
     end
   in
   go ()
 
+let default_flight_file () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "qpgc-flight-%d.json" (Unix.getpid ()))
+
 let run ?(max_frame = SP.default_max_frame) ?(queue_max = 64)
-    ?(batch_max = 8192) ?(on_ready = fun () -> ()) ?(log = fun _ -> ())
-    ~listeners engine =
+    ?(batch_max = 8192) ?(on_ready = fun () -> ()) ?(http_listeners = [])
+    ?(slow_us = 1000.0) ?(sample_every = 64) ?(flight_cap = 4096) ?flight_file
+    ?frame_hook ~listeners engine =
   if listeners = [] then invalid_arg "Server.run: no listeners";
   if queue_max < 1 then invalid_arg "Server.run: queue_max must be positive";
   if batch_max < 1 then invalid_arg "Server.run: batch_max must be positive";
@@ -541,42 +744,69 @@ let run ?(max_frame = SP.default_max_frame) ?(queue_max = 64)
       max_frame;
       queue_max;
       batch_max;
-      log;
       started_ns = Obs.Clock.now_ns ();
+      slow_ns = int_of_float (Float.max 0.0 slow_us *. 1e3);
+      sample_every;
+      flight = Obs.Ring.create ~cap:flight_cap ();
+      flight_file =
+        (match flight_file with
+        | Some f -> f
+        | None -> default_flight_file ());
+      w_queries = Obs.Window.create "server.queries";
+      w_latency = Obs.Window.create "server.latency_us";
+      frame_hook;
       conns = [];
+      hconns = [];
       lfds = [];
+      http_lfds = [];
+      ready = false;
       draining = false;
       accepted = 0;
+      scrapes = 0;
       frames = 0;
       malformed = 0;
       queries = 0;
       batches = 0;
+      next_trace = 0;
+      last_depth = 0;
       cleanup = [];
     }
   in
   let stop = ref false in
+  let usr1 = ref false in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)) in
+  let old_usr1 = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> usr1 := true)) in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigterm old_term;
       Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigusr1 old_usr1;
       Sys.set_signal Sys.sigpipe old_pipe;
-      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) st.lfds;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (st.lfds @ st.http_lfds);
       List.iter
         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
-        st.conns;
+        (st.conns @ st.hconns);
       st.lfds <- [];
+      st.http_lfds <- [];
       st.conns <- [];
-      List.iter (fun f -> f ()) st.cleanup)
+      st.hconns <- [];
+      List.iter (fun f -> f ()) st.cleanup;
+      Obs.Log.flush ())
     (fun () ->
-      st.lfds <- List.map (open_listener st) listeners;
+      st.lfds <- List.map (open_listener st ~proto:"qpgc") listeners;
+      st.http_lfds <- List.map (open_listener st ~proto:"http") http_listeners;
+      (* The engine was built before [run] was entered, so readiness is
+         "listeners bound over a resident engine". *)
+      st.ready <- true;
       on_ready ();
-      serve_loop st stop;
-      st.log
-        (Printf.sprintf "drained: %d frames, %d queries served" st.frames
-           st.queries);
+      serve_loop st stop usr1;
+      Obs.Log.info "drained"
+        ~fields:
+          [ ("frames", Obs.Log.Int st.frames); ("queries", Obs.Log.Int st.queries) ];
       {
         accepted = st.accepted;
         frames = st.frames;

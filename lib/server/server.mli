@@ -24,7 +24,16 @@
 
     The loop records [server.*] obs counters and histograms (frames,
     queries, batch size, queue depth, per-frame latency); the stats verb
-    renders them with bucket-quantile p50/p99. *)
+    renders them with bucket-quantile p50/p99.
+
+    The telemetry plane rides the same [select] loop: optional HTTP/1.0
+    listeners serve [GET /metrics] (Prometheus text with rolling-window
+    qps and latency quantiles appended), [/healthz] and [/readyz] (503
+    while draining); every frame gets a daemon-unique trace id and the
+    slow ones (plus a 1-in-N sample) land in a preallocated
+    flight-recorder ring, dumpable with the protocol's ['D'] verb or as
+    a Chrome-trace file on SIGUSR1; progress and drain events go through
+    {!Obs.Log} rather than a callback. *)
 
 (** A loaded snapshot plus the query routes chosen for it, built once. *)
 type engine
@@ -87,18 +96,45 @@ type totals = {
 
 (** [run ~listeners engine] serves until a drain completes.  [on_ready]
     fires after every listener is bound and listening (write a ready
-    file, signal a test).  [log] receives human progress lines
-    (listening/draining/drained).  [queue_max] (default 64) caps frames
-    parsed per connection per cycle; [batch_max] (default 8192) caps the
-    pairs per [eval_batch] dispatch; [max_frame] caps the accepted frame
-    payload.  Installs SIGTERM/SIGINT drain handlers and ignores SIGPIPE
-    for its duration, restoring the previous handlers on return. *)
+    file, signal a test).  [queue_max] (default 64) caps frames parsed
+    per connection per cycle; [batch_max] (default 8192) caps the pairs
+    per [eval_batch] dispatch; [max_frame] caps the accepted frame
+    payload.
+
+    [http_listeners] (default none) adds scrape endpoints on the same
+    loop: [GET /metrics], [/healthz], [/readyz] — ready once the
+    listeners are bound over the resident engine, 503 while draining.
+
+    The flight recorder captures every frame whose latency reaches
+    [slow_us] (default 1000) plus a deterministic 1-in-[sample_every]
+    sample below it (default 64; 0 disables sampling) into a
+    [flight_cap]-entry ring (default 4096).  SIGUSR1 writes it as
+    Chrome-trace JSON to [flight_file] (default
+    [<tmpdir>/qpgc-flight-<pid>.json]); the ['D'] verb returns the same
+    JSON in a text frame.
+
+    [frame_hook] is a test-only hook called with every well-formed
+    request before dispatch — used to inject latency so the slow path
+    can be exercised deterministically.
+
+    Progress lines (listening / draining / drained / flight dumps) are
+    logged through {!Obs.Log} at info level; the buffer is flushed every
+    loop iteration and once more on return.
+
+    Installs SIGTERM/SIGINT drain handlers and a SIGUSR1 dump handler
+    and ignores SIGPIPE for its duration, restoring the previous
+    handlers on return. *)
 val run :
   ?max_frame:int ->
   ?queue_max:int ->
   ?batch_max:int ->
   ?on_ready:(unit -> unit) ->
-  ?log:(string -> unit) ->
+  ?http_listeners:listener list ->
+  ?slow_us:float ->
+  ?sample_every:int ->
+  ?flight_cap:int ->
+  ?flight_file:string ->
+  ?frame_hook:(Server_protocol.request -> unit) ->
   listeners:listener list ->
   engine ->
   totals

@@ -104,4 +104,5 @@ let text t verb what =
 
 let stats t = text t SP.Stats "stats"
 let metrics t = text t SP.Metrics "metrics"
+let dump t = text t SP.Dump "dump"
 let shutdown t = text t SP.Shutdown "shutdown"

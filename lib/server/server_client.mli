@@ -27,6 +27,10 @@ val match_pattern : t -> Pattern.t -> Pattern.result
 val stats : t -> string
 val metrics : t -> string
 
+(** [dump t] fetches the daemon's flight recorder as Chrome-trace
+    JSON. *)
+val dump : t -> string
+
 (** [shutdown t] asks the daemon to drain; returns its acknowledgement
     (["draining"]). *)
 val shutdown : t -> string

@@ -1,0 +1,70 @@
+(* Minimal HTTP/1.0 request parsing and response building for the scrape
+   listener.  Deliberately tiny: one GET per connection, headers are
+   skipped, the response always closes — exactly what a Prometheus
+   scraper or a curl health check needs, and nothing a real HTTP stack
+   would bring into the daemon's event loop. *)
+
+(* A request is parseable once the header terminator has arrived.  The
+   select loop accumulates bytes; past this cap with no terminator the
+   peer is not speaking scrape-sized HTTP. *)
+let max_header = 8192
+
+type request = { meth : string; path : string }
+
+type parsed = Incomplete | Bad of string | Request of request
+
+let find_sub s sub from =
+  let n = String.length s and k = String.length sub in
+  let rec matches i j = j >= k || (s.[i + j] = sub.[j] && matches i (j + 1)) in
+  let rec go i =
+    if i + k > n then None else if matches i 0 then Some i else go (i + 1)
+  in
+  if k = 0 then None else go from
+
+(* Split the request line on single spaces: METHOD SP PATH SP VERSION. *)
+let split_request_line line =
+  match String.index_opt line ' ' with
+  | None -> None
+  | Some sp1 -> (
+      let rest_at = sp1 + 1 in
+      match String.index_from_opt line rest_at ' ' with
+      | None -> None
+      | Some sp2 ->
+          let meth = String.sub line 0 sp1 in
+          let path = String.sub line rest_at (sp2 - rest_at) in
+          if meth = "" || path = "" then None else Some { meth; path })
+
+let parse s =
+  let header_end =
+    match find_sub s "\r\n\r\n" 0 with
+    | Some _ as hit -> hit
+    | None -> find_sub s "\n\n" 0
+  in
+  match header_end with
+  | None ->
+      if String.length s > max_header then Bad "header block too large"
+      else Incomplete
+  | Some _ -> (
+      let line_end =
+        match String.index_opt s '\n' with
+        | Some i when i > 0 && s.[i - 1] = '\r' -> i - 1
+        | Some i -> i
+        | None -> 0 (* unreachable: a terminator implies a newline *)
+      in
+      match split_request_line (String.sub s 0 line_end) with
+      | None -> Bad "malformed request line"
+      | Some r -> Request r)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let response ~status ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status (status_text status) content_type (String.length body) body

@@ -1,0 +1,25 @@
+(** Minimal HTTP/1.0 for the daemon's scrape listener.
+
+    Just enough to serve [/metrics], [/healthz] and [/readyz] to a
+    Prometheus scraper or curl from inside the [select] loop: parse a
+    request line once the header terminator has arrived, build a
+    [Connection: close] response, nothing else.  One request per
+    connection. *)
+
+(** Reject a header block larger than this (8 KiB) — scrape requests are
+    tiny, anything bigger is not a scraper. *)
+val max_header : int
+
+type request = { meth : string; path : string }
+
+type parsed =
+  | Incomplete  (** header terminator not yet received — read more *)
+  | Bad of string  (** unparseable or oversized; answer 400 and close *)
+  | Request of request
+
+(** [parse buf] examines the bytes received so far. *)
+val parse : string -> parsed
+
+(** [response ~status ?content_type body] renders a complete HTTP/1.0
+    response with [Content-Length] and [Connection: close]. *)
+val response : status:int -> ?content_type:string -> string -> string

@@ -18,6 +18,7 @@ type request =
   | Match of Pattern.t
   | Stats
   | Metrics
+  | Dump
   | Shutdown
 
 type response =
@@ -90,6 +91,7 @@ let add_request buf r =
           Buffer.add_string b text)
   | Stats -> with_frame buf 'S' ignore
   | Metrics -> with_frame buf 'M' ignore
+  | Dump -> with_frame buf 'D' ignore
   | Shutdown -> with_frame buf 'X' ignore
 
 let add_response buf r =
@@ -180,6 +182,7 @@ let parse_request s ~limit pos =
   end
   else if tag = Char.code 'S' then finish Stats ~limit p
   else if tag = Char.code 'M' then finish Metrics ~limit p
+  else if tag = Char.code 'D' then finish Dump ~limit p
   else if tag = Char.code 'X' then finish Shutdown ~limit p
   else bad pos (Printf.sprintf "unknown request verb %d" tag)
 

@@ -11,7 +11,8 @@
 
     Request verbs: ['R'] reachability batch ([u32] count, then count
     [u32 src, u32 dst] pairs), ['P'] pattern match ([u32] length +
-    {!Pattern_io} text), ['S'] stats, ['M'] metrics, ['X'] shutdown.
+    {!Pattern_io} text), ['S'] stats, ['M'] metrics, ['D'] flight-recorder
+    dump, ['X'] shutdown.
     Response kinds: ['A'] answers ([u32] count + one [0/1] byte per
     query), ['H'] match result, ['T'] text, ['E'] error message.
 
@@ -47,6 +48,7 @@ type request =
   | Match of Pattern.t  (** bounded-simulation pattern query *)
   | Stats  (** human-readable serving statistics *)
   | Metrics  (** Prometheus dump of the obs registry *)
+  | Dump  (** flight-recorder dump as Chrome-trace JSON *)
   | Shutdown  (** drain and exit *)
 
 type response =

@@ -107,8 +107,11 @@ partition-refinement counters are deterministic:
   server.malformed         counter    0
   server.queries           counter    0
   server.batches           counter    0
+  server.scrapes           counter    0
   server.batch_size        histogram  count=0 sum=0
   server.queue_depth       histogram  count=0 sum=0
+  server.connections_open  gauge      0
+  server.queue_depth_last  gauge      0
   server.latency_us        histogram  count=0 sum=0
 
 --trace writes a Chrome trace with the compression phases as spans:

@@ -10,7 +10,7 @@ short mktemp directory rather than the sandbox cwd:
   $ qpgc generate -d P2P -n 400 -m 1200 -o p2p.g --seed 7
   wrote p2p.g: |V| = 400, |E| = 1018, |L| = 1
 
-  $ qpgc serve p2p.g --socket $D/s.sock --ready-file $D/ready --domains 1 > server.log 2>&1 &
+  $ qpgc serve p2p.g --socket $D/s.sock --ready-file $D/ready --domains 1 --slow-us 0 --flight-dump $D/flight.json > server.log 2>&1 &
   $ SPID=$!
   $ for i in $(seq 1 200); do test -f $D/ready && break; sleep 0.05; done
 
@@ -37,16 +37,33 @@ serving counters:
   frames: 7 ok, 0 malformed
   queries: 611
 
-SIGTERM drains: buffered replies are flushed, the daemon exits 0 and
-accounts for everything it served:
+`qpgc top --once` renders a one-shot dashboard from the same stats verb
+(the uptime varies run to run):
+
+  $ qpgc top --socket $D/s.sock --once | head -2 | sed 's/uptime_s: .*/uptime_s: X/'
+  qpgc top — graph, 400 node(s), 1018 edge(s), flat backend
+  route: grail   domains: 1   uptime_s: X
+
+SIGUSR1 dumps the flight recorder as a Chrome trace; the daemon was
+started with --slow-us 0, so every frame was captured:
+
+  $ kill -USR1 $SPID
+  $ for i in $(seq 1 200); do grep -q ']' $D/flight.json 2>/dev/null && break; sleep 0.05; done
+  $ grep -o '"name":"reach"' $D/flight.json | head -1
+  "name":"reach"
+
+The daemon's progress lines are structured logfmt on stderr; the
+nanosecond timestamps vary, so they are stripped before comparing.
+Every frame so far — 7 from the traffic above plus the top snapshot's
+stats frame — is in the flight dump:
 
   $ kill -TERM $SPID
   $ wait $SPID
-  $ sed "s|$D/s.sock|SOCK|" server.log
-  serving graph, 400 node(s), 1018 edge(s), flat backend
-  route: grail
-  listening on unix socket SOCK
-  signal received; draining
-  drained: 7 frames, 611 queries served
+  $ sed -e "s|$D/s.sock|SOCK|" -e "s|$D/flight.json|FLIGHT|" -e 's/^ts=[0-9]* //' server.log
+  level=info msg=serving graph="graph, 400 node(s), 1018 edge(s), flat backend" route=grail
+  level=info msg=listening proto=qpgc transport=unix addr=SOCK
+  level=info msg="flight recorder dumped" path=FLIGHT entries=8
+  level=info msg=draining reason=signal
+  level=info msg=drained frames=8 queries=611
 
   $ rm -rf $D

@@ -5,6 +5,11 @@
    All Obs state is global, so every test starts from a reset with both
    switches off and restores that state on the way out. *)
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let with_obs ~tracing ~metrics f =
   Obs.reset ();
   Obs.set_tracing tracing;
@@ -146,6 +151,52 @@ let test_find_and_quantile () =
           Testutil.check_bool "counters have no quantiles" true
             (Obs.Metrics.quantile v 0.5 = None)
       | None -> Alcotest.fail "fq.c disappeared")
+
+(* Gauges are point-in-time values: the merge across domain slots must
+   be last-writer-wins by timestamp, never a sum (regression: two
+   domains refreshing the same gauge used to double it). *)
+let test_gauge_lww () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let g = Obs.gauge "lww.g" in
+      Obs.set_gauge g 1.0;
+      Domain.join (Domain.spawn (fun () -> Obs.set_gauge g 7.0));
+      (match Obs.Metrics.find "lww.g" with
+      | Some (Obs.Metrics.Gauge_v v) ->
+          Alcotest.(check (float 0.0)) "last writer wins across domains" 7.0 v
+      | _ -> Alcotest.fail "lww.g is not a gauge");
+      (* A later write from the original domain supersedes the other
+         domain's value: the winner is decided by timestamp, not by
+         slot registration order. *)
+      Obs.set_gauge g 3.0;
+      match Obs.Metrics.find "lww.g" with
+      | Some (Obs.Metrics.Gauge_v v) ->
+          Alcotest.(check (float 0.0)) "later local write supersedes" 3.0 v
+      | _ -> Alcotest.fail "lww.g is not a gauge")
+
+let test_quantile_edges () =
+  (* All mass in the overflow bucket: the estimator cannot extrapolate
+     past the last bound, so it reports the bound rather than None. *)
+  let overflow =
+    Obs.Metrics.Hist_v
+      { buckets = [| 1.0; 2.0 |]; counts = [| 0; 0; 5 |]; sum = 50.0 }
+  in
+  Alcotest.(check (option (float 0.0)))
+    "overflow-only mass reports the last bound" (Some 2.0)
+    (Obs.Metrics.quantile overflow 0.5);
+  Alcotest.(check (option (float 0.0)))
+    "p99 of overflow-only mass too" (Some 2.0)
+    (Obs.Metrics.quantile overflow 0.99);
+  (* Degenerate shapes must answer None, not raise or divide by zero. *)
+  let no_buckets =
+    Obs.Metrics.Hist_v { buckets = [||]; counts = [| 3 |]; sum = 3.0 }
+  in
+  Testutil.check_bool "no buckets, no quantile" true
+    (Obs.Metrics.quantile no_buckets 0.5 = None);
+  let empty =
+    Obs.Metrics.Hist_v { buckets = [| 1.0 |]; counts = [| 0; 0 |]; sum = 0.0 }
+  in
+  Testutil.check_bool "empty histogram, no quantile" true
+    (Obs.Metrics.quantile empty 0.5 = None)
 
 (* The per-domain merge: recording a set of observations from pool
    workers (any domain count) must merge to exactly what a single
@@ -360,6 +411,189 @@ let test_prometheus_shape () =
         (has "qpgc_prom_c 3"))
 
 (* ------------------------------------------------------------------ *)
+(* Structured logs *)
+
+(* Obs.Log state is global like the metrics registry: capture lines
+   through a test sink and restore the defaults on the way out. *)
+let with_log f =
+  Obs.Log.clear ();
+  let saved_level = Obs.Log.level () in
+  let saved_format = Obs.Log.format () in
+  let lines = ref [] in
+  Obs.Log.set_sink (fun l -> lines := l :: !lines);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.clear ();
+      Obs.Log.set_level saved_level;
+      Obs.Log.set_format saved_format;
+      Obs.Log.set_sink (fun l ->
+          output_string stderr l;
+          output_char stderr '\n'))
+    (fun () -> f lines)
+
+let flushed lines =
+  Obs.Log.flush ();
+  List.rev !lines
+
+let test_log_levels () =
+  with_log (fun lines ->
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      Obs.Log.info "dropped";
+      Testutil.check_bool "below-threshold line drops before rendering" true
+        (not (Obs.Log.pending ()));
+      Obs.Log.warn "kept";
+      Obs.Log.error "also kept";
+      Testutil.check_bool "recorded lines are pending" true
+        (Obs.Log.pending ());
+      Testutil.check_int "threshold admits warn and error" 2
+        (List.length (flushed lines));
+      Obs.Log.set_level None;
+      Obs.Log.error "off";
+      Testutil.check_bool "off drops even errors" true
+        (not (Obs.Log.pending ()));
+      (* The --log-level parser. *)
+      Testutil.check_bool "parse debug" true
+        (Obs.Log.level_of_string "debug" = Ok (Some Obs.Log.Debug));
+      Testutil.check_bool "parse warning alias" true
+        (Obs.Log.level_of_string "warning" = Ok (Some Obs.Log.Warn));
+      Testutil.check_bool "parse off" true
+        (Obs.Log.level_of_string "off" = Ok None);
+      Testutil.check_bool "reject junk" true
+        (match Obs.Log.level_of_string "loud" with
+        | Error _ -> true
+        | Ok _ -> false))
+
+let test_log_logfmt () =
+  with_log (fun lines ->
+      Obs.Log.set_level (Some Obs.Log.Debug);
+      Obs.Log.set_format Obs.Log.Logfmt;
+      Obs.Log.info "plain msg"
+        ~fields:
+          [
+            ("k", Obs.Log.Str "v");
+            ("quoted", Obs.Log.Str "a b");
+            ("n", Obs.Log.Int 3);
+            ("b", Obs.Log.Bool true);
+          ];
+      match flushed lines with
+      | [ l ] ->
+          Testutil.check_bool "line starts with ts=" true
+            (String.length l > 3 && String.sub l 0 3 = "ts=");
+          Testutil.check_bool "level rendered" true
+            (contains ~sub:"level=info" l);
+          Testutil.check_bool "msg with a space is quoted" true
+            (contains ~sub:"msg=\"plain msg\"" l);
+          Testutil.check_bool "bare string unquoted" true
+            (contains ~sub:"k=v" l);
+          Testutil.check_bool "string with a space quoted" true
+            (contains ~sub:"quoted=\"a b\"" l);
+          Testutil.check_bool "int field" true (contains ~sub:"n=3" l);
+          Testutil.check_bool "bool field" true (contains ~sub:"b=true" l)
+      | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls))
+
+let test_log_json () =
+  with_log (fun lines ->
+      Obs.Log.set_level (Some Obs.Log.Debug);
+      Obs.Log.set_format Obs.Log.Json;
+      Obs.Log.info "quote \" back \\ and\nnewline\ttab"
+        ~fields:
+          [
+            ("nan", Obs.Log.Float Float.nan);
+            ("inf", Obs.Log.Float Float.infinity);
+            ("ok", Obs.Log.Bool false);
+            ("ctl", Obs.Log.Str "bell\007");
+          ];
+      match flushed lines with
+      | [ l ] ->
+          check_json "json log line" l;
+          Testutil.check_bool "level field" true
+            (contains ~sub:"\"level\":\"info\"" l)
+      | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls))
+
+let test_log_domain_merge () =
+  with_log (fun lines ->
+      Obs.Log.set_level (Some Obs.Log.Debug);
+      Obs.Log.info "first";
+      (* The worker never flushes; its line sits in its own buffer until
+         the owning side flushes after the join, and the timestamp sort
+         puts it between the caller's lines. *)
+      Domain.join (Domain.spawn (fun () -> Obs.Log.info "second"));
+      Obs.Log.info "third";
+      match flushed lines with
+      | [ a; b; c ] ->
+          Testutil.check_bool "timestamp order across domains" true
+            (contains ~sub:"first" a && contains ~sub:"second" b
+           && contains ~sub:"third" c)
+      | ls -> Alcotest.failf "expected 3 lines, got %d" (List.length ls))
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows *)
+
+let sec n = n * 1_000_000_000
+
+let test_window_rate () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let c = Obs.counter "win.c" in
+      let w = Obs.Window.create ~window_s:10.0 ~slots:10 "win.c" in
+      Alcotest.(check (float 0.0)) "window width" 10.0 (Obs.Window.window_seconds w);
+      Testutil.check_bool "no sample, no rate" true
+        (Obs.Window.rate ~now_ns:(sec 0) w = None);
+      Obs.add c 100;
+      Obs.Window.tick ~now_ns:(sec 0) w;
+      Obs.add c 50;
+      (* Baseline is the t=0 sample (total 100); 50 more events over the
+         5 s since then. *)
+      Alcotest.(check (option (float 1e-6)))
+        "counter delta over elapsed time" (Some 10.0)
+        (Obs.Window.rate ~now_ns:(sec 5) w);
+      Obs.Window.clear w;
+      Testutil.check_bool "cleared window forgets its baseline" true
+        (Obs.Window.rate ~now_ns:(sec 5) w = None))
+
+let test_window_quantile () =
+  with_obs ~tracing:false ~metrics:true (fun () ->
+      let h = Obs.histogram ~buckets:[| 10.0; 20.0; 40.0 |] "win.h" in
+      let w = Obs.Window.create ~window_s:10.0 ~slots:10 "win.h" in
+      List.iter (Obs.observe h) [ 15.0; 15.0 ];
+      Obs.Window.tick ~now_ns:(sec 0) w;
+      Testutil.check_bool "no delta yet" true
+        (Obs.Window.quantile ~now_ns:(sec 0) w 0.5 = None);
+      List.iter (Obs.observe h) [ 35.0; 35.0; 35.0; 35.0 ];
+      (* The two 15s predate the baseline sample; the window's median is
+         computed from the four 35s alone: rank 2 of 4 in (20, 40]. *)
+      Alcotest.(check (option (float 1e-6)))
+        "quantile over the in-window delta only" (Some 30.0)
+        (Obs.Window.quantile ~now_ns:(sec 5) w 0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder ring *)
+
+let test_ring_wrap_and_json () =
+  let r = Obs.Ring.create ~cap:3 () in
+  Testutil.check_int "capacity rounds up to a power of two" 4
+    (Obs.Ring.capacity r);
+  check_json "empty ring dumps well-formed JSON"
+    (Obs.Ring.to_chrome_json r);
+  for i = 1 to 6 do
+    Obs.Ring.record r ~id:i ~verb:'R' ~batch:i ~queue:1 ~ts_ns:(i * 1000)
+      ~dur_ns:500 ~sampled:(i mod 2 = 0)
+  done;
+  Testutil.check_int "recorded counts every write" 6 (Obs.Ring.recorded r);
+  let es = Obs.Ring.entries r in
+  Alcotest.(check (list int))
+    "ring keeps the newest capacity entries, oldest first" [ 3; 4; 5; 6 ]
+    (List.map (fun (e : Obs.Ring.entry) -> e.id) es);
+  let json = Obs.Ring.to_chrome_json r in
+  check_json "chrome trace dump" json;
+  Testutil.check_bool "verbs named" true (contains ~sub:"\"name\":\"reach\"" json);
+  Testutil.check_bool "slow flag inverts sampled" true
+    (contains ~sub:"\"slow\":true" json);
+  Obs.Ring.clear r;
+  Testutil.check_int "clear forgets everything" 0 (Obs.Ring.recorded r);
+  Testutil.check_bool "entries empty after clear" true
+    (Obs.Ring.entries r = [])
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -379,8 +613,29 @@ let () =
             test_metrics_record;
           Alcotest.test_case "find and bucket quantiles" `Quick
             test_find_and_quantile;
+          Alcotest.test_case "gauge merge is last-writer-wins" `Quick
+            test_gauge_lww;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
           Testutil.qtest ~count:30 "per-domain merge = sequential recording"
             (merge_gen, merge_print) merge_prop;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level gating and parsing" `Quick test_log_levels;
+          Alcotest.test_case "logfmt shape" `Quick test_log_logfmt;
+          Alcotest.test_case "json lines well-formed" `Quick test_log_json;
+          Alcotest.test_case "cross-domain timestamp merge" `Quick
+            test_log_domain_merge;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "rolling rate" `Quick test_window_rate;
+          Alcotest.test_case "rolling quantile" `Quick test_window_quantile;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wrap, snapshot and chrome dump" `Quick
+            test_ring_wrap_and_json;
         ] );
       ( "export",
         [

@@ -31,7 +31,10 @@ let request_equal a b =
   match (a, b) with
   | SP.Reach p, SP.Reach q -> p = q
   | SP.Match p, SP.Match q -> Pattern_io.to_string p = Pattern_io.to_string q
-  | SP.Stats, SP.Stats | SP.Metrics, SP.Metrics | SP.Shutdown, SP.Shutdown ->
+  | SP.Stats, SP.Stats
+  | SP.Metrics, SP.Metrics
+  | SP.Dump, SP.Dump
+  | SP.Shutdown, SP.Shutdown ->
       true
   | _ -> false
 
@@ -51,6 +54,7 @@ let request_print = function
   | SP.Match p -> "Match " ^ String.escaped (Pattern_io.to_string p)
   | SP.Stats -> "Stats"
   | SP.Metrics -> "Metrics"
+  | SP.Dump -> "Dump"
   | SP.Shutdown -> "Shutdown"
 
 let response_print = function
@@ -97,6 +101,7 @@ let test_roundtrip_variants () =
       SP.Match (Testutil.recommendation_pattern ());
       SP.Stats;
       SP.Metrics;
+      SP.Dump;
       SP.Shutdown;
     ]
   in
@@ -225,7 +230,7 @@ let request_gen =
   in
   frequency
     [ (5, reach); (1, pure SP.Stats); (1, pure SP.Metrics);
-      (1, pure SP.Shutdown) ]
+      (1, pure SP.Dump); (1, pure SP.Shutdown) ]
 
 let response_gen =
   let open QCheck2.Gen in
@@ -323,12 +328,14 @@ let rec wait_ready ready n =
 (* Run [f sock] against a daemon serving [engine] in a spawned domain;
    drain it with the shutdown verb afterwards and return [f]'s result
    together with the daemon's totals. *)
-let with_server ?max_frame ?queue_max engine f =
+let with_server ?max_frame ?queue_max ?http_listeners ?slow_us ?sample_every
+    ?frame_hook engine f =
   let sock = fresh_sock () in
   let ready = Atomic.make false in
   let d =
     Domain.spawn (fun () ->
-        Server.run ?max_frame ?queue_max
+        Server.run ?max_frame ?queue_max ?http_listeners ?slow_us
+          ?sample_every ?frame_hook
           ~on_ready:(fun () -> Atomic.set ready true)
           ~listeners:[ Server.Unix_socket sock ] engine)
   in
@@ -529,6 +536,88 @@ let test_e2e_oversized_disconnect () =
   in
   ()
 
+(* Slow frames must land in the flight recorder with their trace ids.
+   The latency is injected through [frame_hook] (test-only), so the slow
+   path is exercised deterministically; sampling is off, so the dump
+   frame itself — fast — must stay out of the ring. *)
+let test_e2e_flight_recorder () =
+  let g = random_graph ~n:40 ~m:80 ~seed:13 in
+  let hook = function SP.Reach _ -> Unix.sleepf 0.005 | _ -> () in
+  let (), _totals =
+    with_server ~slow_us:1000.0 ~sample_every:0 ~frame_hook:hook
+      (Server.engine_of_graph g)
+      (fun sock ->
+        with_client sock (fun c ->
+            let (_ : bool array) = Server_client.reach c [| (1, 2) |] in
+            let dump = Server_client.dump c in
+            Testutil.check_bool "slow reach frame recorded" true
+              (contains ~sub:"\"name\":\"reach\"" dump);
+            Testutil.check_bool "entry carries a trace id" true
+              (contains ~sub:"\"trace_id\":" dump);
+            Testutil.check_bool "entry is marked slow" true
+              (contains ~sub:"\"slow\":true" dump);
+            Testutil.check_bool "fast dump frame not recorded" true
+              (not (contains ~sub:"\"name\":\"dump\"" dump))))
+  in
+  ()
+
+(* The scrape plane: raw HTTP/1.0 over a second unix socket served by
+   the same select loop. *)
+let http_get hsock req =
+  let fd = raw_connect hsock in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      raw_send fd req;
+      let buf = Buffer.create 1024 in
+      let scratch = Bytes.create 4096 in
+      let rec go () =
+        let k = Unix.read fd scratch 0 (Bytes.length scratch) in
+        if k > 0 then begin
+          Buffer.add_subbytes buf scratch 0 k;
+          go ()
+        end
+      in
+      go ();
+      Buffer.contents buf)
+
+let test_e2e_http_scrape () =
+  let g = random_graph ~n:60 ~m:150 ~seed:41 in
+  let hsock = fresh_sock () in
+  let (), _totals =
+    with_server
+      ~http_listeners:[ Server.Unix_socket hsock ]
+      (Server.engine_of_graph g)
+      (fun sock ->
+        with_client sock (fun c ->
+            let (_ : bool array) = Server_client.reach c [| (0, 1) |] in
+            ());
+        let metrics = http_get hsock "GET /metrics HTTP/1.0\r\n\r\n" in
+        Testutil.check_bool "metrics answers 200" true
+          (contains ~sub:"HTTP/1.0 200" metrics);
+        Testutil.check_bool "metrics is prometheus text" true
+          (contains ~sub:"text/plain; version=0.0.4" metrics);
+        Testutil.check_bool "lifetime families exported" true
+          (contains ~sub:"qpgc_server_frames" metrics);
+        Testutil.check_bool "rolling qps gauge exported" true
+          (contains ~sub:"qpgc_server_qps_" metrics);
+        Testutil.check_bool "rolling p99 gauge exported" true
+          (contains ~sub:"qpgc_server_latency_us_p99_" metrics);
+        let health = http_get hsock "GET /healthz HTTP/1.0\r\n\r\n" in
+        Testutil.check_bool "healthz ok" true
+          (contains ~sub:"HTTP/1.0 200" health && contains ~sub:"ok" health);
+        let ready = http_get hsock "GET /readyz HTTP/1.0\r\n\r\n" in
+        Testutil.check_bool "readyz ready" true
+          (contains ~sub:"HTTP/1.0 200" ready && contains ~sub:"ready" ready);
+        let missing = http_get hsock "GET /nope HTTP/1.0\r\n\r\n" in
+        Testutil.check_bool "unknown path is 404" true
+          (contains ~sub:"HTTP/1.0 404" missing);
+        let post = http_get hsock "POST /metrics HTTP/1.0\r\n\r\n" in
+        Testutil.check_bool "non-GET is 405" true
+          (contains ~sub:"HTTP/1.0 405" post))
+  in
+  try Sys.remove hsock with Sys_error _ -> ()
+
 let test_e2e_shutdown_ack () =
   let g = random_graph ~n:20 ~m:40 ~seed:5 in
   let (), totals =
@@ -573,6 +662,10 @@ let () =
             test_e2e_malformed_recovery;
           Alcotest.test_case "oversized frame disconnects" `Quick
             test_e2e_oversized_disconnect;
+          Alcotest.test_case "flight recorder captures slow frames" `Quick
+            test_e2e_flight_recorder;
+          Alcotest.test_case "http scrape endpoints" `Quick
+            test_e2e_http_scrape;
           Alcotest.test_case "shutdown verb drains" `Quick
             test_e2e_shutdown_ack;
         ] );

@@ -28,7 +28,13 @@
    - OBS01   raw clocks ([Unix.gettimeofday] / [Sys.time]) anywhere
              outside [lib/obs]: timing goes through the monotonic
              [Obs.Clock] so durations cannot go negative under NTP steps
-             and all measurement shares one code path. *)
+             and all measurement shares one code path.
+   - OBS02   direct console output ([print_string] / [Printf.printf] /
+             [prerr_endline] / [Format.eprintf] ...) inside [lib/server]
+             and [lib/parallel]: daemon and pool diagnostics go through
+             the leveled, per-domain-buffered [Obs.Log], so lines never
+             interleave across domains and operators can gate/format
+             them. *)
 
 open Parsetree
 
@@ -786,6 +792,88 @@ let srv01 =
         end);
   }
 
+(* ------------------------------------------------------------------ *)
+(* OBS02: ad-hoc console output inside the daemon and pool layers *)
+
+(* The telemetry plane made lib/server and lib/parallel multi-writer:
+   the event loop and every pool worker can emit diagnostics.  A bare
+   [print_string]/[Printf.printf] bypasses the per-domain log buffers
+   (interleaved bytes under contention), ignores the operator's
+   --log-level / --log-json choice, and — on stdout — corrupts any
+   machine-readable output the front end promised.  All output from
+   these layers goes through [Obs.Log]. *)
+let obs02_scopes = [ "lib/server"; "lib/parallel" ]
+
+let console_writers =
+  [
+    ([ "print_string" ], "print_string");
+    ([ "print_endline" ], "print_endline");
+    ([ "print_newline" ], "print_newline");
+    ([ "print_char" ], "print_char");
+    ([ "prerr_string" ], "prerr_string");
+    ([ "prerr_endline" ], "prerr_endline");
+    ([ "prerr_newline" ], "prerr_newline");
+    ([ "Printf"; "printf" ], "Printf.printf");
+    ([ "Printf"; "eprintf" ], "Printf.eprintf");
+    ([ "Format"; "printf" ], "Format.printf");
+    ([ "Format"; "eprintf" ], "Format.eprintf");
+    ([ "Format"; "print_string" ], "Format.print_string");
+  ]
+
+let obs02 =
+  {
+    id = "OBS02";
+    (* lib/server and lib/parallel are linted cold, so the rule must not
+       be hot-only to run there at all. *)
+    hot_only = false;
+    doc =
+      "Direct console output (print_string, print_endline, Printf.printf, \
+       Printf.eprintf, Format.printf, ...) inside lib/server or \
+       lib/parallel. These layers run across domains and inside a daemon: \
+       bare writes interleave bytes under contention, ignore the \
+       operator's --log-level / --log-json configuration, and on stdout \
+       corrupt machine-readable front-end output. Log through Obs.Log \
+       (debug/info/warn/error with structured fields); the loop and the \
+       pool flush the per-domain buffers at well-defined points.";
+    check =
+      (fun ctx structure ->
+        if
+          List.exists
+            (fun scope -> contains_sub ~sub:scope ctx.display)
+            obs02_scopes
+        then begin
+          let open Ast_iterator in
+          let super = default_iterator in
+          let expr it e =
+            (match e.pexp_desc with
+            | Pexp_ident _ -> (
+                match path_of_expr e with
+                | Some path -> (
+                    match
+                      List.find_opt (fun (p, _) -> p = path) console_writers
+                    with
+                    | Some (_, name) ->
+                        report ctx ~loc:e.pexp_loc ~rule:"OBS02"
+                          (Printf.sprintf
+                             "`%s` writes to the console directly from the \
+                              daemon/pool layer, bypassing the per-domain \
+                              log buffers and the operator's log \
+                              configuration; use Obs.Log.debug/info/warn/\
+                              error with structured fields instead"
+                             name)
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            super.expr it e
+          in
+          let it = { super with expr } in
+          it.structure it structure
+        end);
+  }
+
 let () =
   List.iter register
-    [ para01; poly01; partial01; cmp01; csr01; csr02; alloc01; obs01; srv01 ]
+    [
+      para01; poly01; partial01; cmp01; csr01; csr02; alloc01; obs01; srv01;
+      obs02;
+    ]

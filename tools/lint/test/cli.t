@@ -120,6 +120,29 @@ sleep between retries:
 
   $ qpgc-lint --cold --rule SRV01 fixtures/bad_srv01.ml
 
+OBS02 forbids direct console output inside lib/server and lib/parallel,
+where diagnostics must go through the per-domain Obs.Log buffers;
+--prefix lib/server/ puts the fixture in scope:
+
+  $ qpgc-lint --cold --rule OBS02 --prefix lib/server/ fixtures/bad_obs02.ml
+  lib/server/fixtures/bad_obs02.ml:3:16: OBS02 `print_string` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  lib/server/fixtures/bad_obs02.ml:6:14: OBS02 `print_endline` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  lib/server/fixtures/bad_obs02.ml:9:18: OBS02 `prerr_endline` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  lib/server/fixtures/bad_obs02.ml:12:17: OBS02 `Printf.printf` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  lib/server/fixtures/bad_obs02.ml:15:13: OBS02 `Printf.eprintf` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  lib/server/fixtures/bad_obs02.ml:18:14: OBS02 `Format.printf` writes to the console directly from the daemon/pool layer, bypassing the per-domain log buffers and the operator's log configuration; use Obs.Log.debug/info/warn/error with structured fields instead
+  qpgc-lint: 6 finding(s)
+  [1]
+
+The pool layer is covered by the same rule:
+
+  $ qpgc-lint --cold --rule OBS02 --prefix lib/parallel/ fixtures/bad_obs02.ml 2>&1 | tail -n 1
+  qpgc-lint: 6 finding(s)
+
+Outside those layers the same file is clean -- front ends print freely:
+
+  $ qpgc-lint --cold --rule OBS02 fixtures/bad_obs02.ml
+
 The typed tier (--typed) typechecks standalone .ml inputs in-process and
 runs the whole-program rules plus the syntactic ones.  PARA02 follows
 mutation through helper calls and partial applications:

@@ -1,0 +1,28 @@
+(* OBS02 fixture: direct console output, linted with a display path under
+   lib/server or lib/parallel (the rule is quiet anywhere else). *)
+let banner () = print_string "serving\n"
+(* line 3 *)
+
+let note () = print_endline "ready"
+(* line 6 *)
+
+let complain () = prerr_endline "oops"
+(* line 9 *)
+
+let progress n = Printf.printf "done %d\n" n
+(* line 12 *)
+
+let moan n = Printf.eprintf "failed %d\n" n
+(* line 15 *)
+
+let fancy n = Format.printf "%d@." n
+(* line 18 *)
+
+(* Not flagged: building strings, logging through Obs.Log, and writing to
+   an explicit channel a caller handed over. *)
+let render n = Printf.sprintf "done %d" n
+let log_it n = Obs.Log.info "done" ~fields:[ ("n", Obs.Log.Int n) ]
+let to_chan oc n = Printf.fprintf oc "done %d\n" n
+
+(* Suppression works for OBS02 like any other rule. *)
+let legacy () = print_endline "v0" (* lint: allow OBS02 *)

@@ -165,6 +165,36 @@ let test_srv01_out_of_scope () =
   check_diags "bad_srv01 outside lib/server" []
     (lint ~only:[ "SRV01" ] "bad_srv01.ml")
 
+(* OBS02 covers both multi-domain layers: the daemon's event loop and the
+   pool's workers must log through the per-domain Obs.Log buffers. *)
+let obs02_expected =
+  [
+    (3, "OBS02");
+    (6, "OBS02");
+    (9, "OBS02");
+    (12, "OBS02");
+    (15, "OBS02");
+    (18, "OBS02");
+  ]
+
+let obs02_under display =
+  let r =
+    Lint_driver.lint_file ~hot:false ~only:[ "OBS02" ] ~display
+      (fixture "bad_obs02.ml")
+  in
+  List.map (fun d -> (d.Lint_diag.line, d.Lint_diag.rule)) r.Lint_driver.diags
+
+let test_obs02 () =
+  check_diags "bad_obs02 under lib/server" obs02_expected
+    (obs02_under "lib/server/bad_obs02.ml");
+  check_diags "bad_obs02 under lib/parallel" obs02_expected
+    (obs02_under "lib/parallel/bad_obs02.ml")
+
+(* Anywhere else — front ends, bench, tests — printing is the point. *)
+let test_obs02_out_of_scope () =
+  check_diags "bad_obs02 outside the daemon layers" []
+    (lint ~only:[ "OBS02" ] "bad_obs02.ml")
+
 let test_poly01 () =
   check_diags "bad_poly01"
     [
@@ -316,6 +346,9 @@ let () =
           Alcotest.test_case "SRV01 fixture" `Quick test_srv01;
           Alcotest.test_case "SRV01 scoped to lib/server" `Quick
             test_srv01_out_of_scope;
+          Alcotest.test_case "OBS02 fixture" `Quick test_obs02;
+          Alcotest.test_case "OBS02 scoped to daemon layers" `Quick
+            test_obs02_out_of_scope;
         ] );
       ( "classification",
         [
